@@ -1,0 +1,292 @@
+(* alcop: command-line interface to the compiler.
+
+     alcop ops                       -- list the built-in operator suite
+     alcop show MM_RN50_FC           -- print input and pipelined IR
+     alcop time MM_RN50_FC           -- simulate one schedule, with breakdown
+     alcop tune MM_RN50_FC -m xgb+   -- run a tuner
+     alcop verify <op>               -- functional check on a small operator
+
+   Operators are either suite names (see `alcop ops`) or ad-hoc shapes via
+   --shape BxMxNxK / --shape MxNxK. *)
+
+open Cmdliner
+open Alcop
+
+let hw = Alcop_hw.Hw_config.default
+
+(* --- shared argument parsing --- *)
+
+let spec_of_string s =
+  match Alcop_workloads.Suites.find s with
+  | Some spec -> Ok spec
+  | None ->
+    (match List.map int_of_string (String.split_on_char 'x' s) with
+     | [ m; n; k ] ->
+       Ok (Alcop_sched.Op_spec.matmul ~name:s ~m ~n ~k ())
+     | [ b; m; n; k ] ->
+       Ok (Alcop_sched.Op_spec.batched_matmul ~name:s ~batch:b ~m ~n ~k ())
+     | _ | (exception _) ->
+       Error
+         (`Msg
+            (Printf.sprintf
+               "unknown operator %s (not in the suite, not MxNxK / BxMxNxK)" s)))
+
+let spec_conv =
+  Arg.conv
+    ( spec_of_string,
+      fun fmt spec -> Alcop_sched.Op_spec.pp fmt spec )
+
+let spec_arg =
+  Arg.(required & pos 0 (some spec_conv) None
+       & info [] ~docv:"OP" ~doc:"Operator: a suite name or MxNxK / BxMxNxK.")
+
+let tiling_term =
+  let open Term in
+  let tb =
+    Arg.(value & opt (t3 ~sep:'x' int int int) (64, 64, 32)
+         & info [ "tb" ] ~docv:"MxNxK" ~doc:"Threadblock tile.")
+  in
+  let warp =
+    Arg.(value & opt (t3 ~sep:'x' int int int) (32, 32, 16)
+         & info [ "warp" ] ~docv:"MxNxK" ~doc:"Warp tile.")
+  in
+  let split =
+    Arg.(value & opt int 1
+         & info [ "split-k" ] ~doc:"Split-K reduction parallelism (1 = off).")
+  in
+  const (fun (tb_m, tb_n, tb_k) (warp_m, warp_n, warp_k) split_k ->
+      Alcop_sched.Tiling.make ~split_k ~tb_m ~tb_n ~tb_k ~warp_m ~warp_n
+        ~warp_k ())
+  $ tb $ warp $ split
+
+let stages_term =
+  let open Term in
+  let smem =
+    Arg.(value & opt int 3
+         & info [ "smem-stages" ] ~doc:"Shared-memory pipeline stages (1 = off).")
+  in
+  let reg =
+    Arg.(value & opt int 2
+         & info [ "reg-stages" ] ~doc:"Register pipeline stages (1 = off).")
+  in
+  let fuse =
+    Arg.(value & opt bool true
+         & info [ "inner-fuse" ] ~doc:"Inner-pipeline fusion (Fig. 3d).")
+  in
+  const (fun smem_stages reg_stages inner_fuse -> (smem_stages, reg_stages, inner_fuse))
+  $ smem $ reg $ fuse
+
+let params_term =
+  Term.(const (fun tiling (smem_stages, reg_stages, inner_fuse) ->
+            Alcop_perfmodel.Params.make ~inner_fuse ~tiling ~smem_stages
+              ~reg_stages ())
+        $ tiling_term $ stages_term)
+
+(* --- commands --- *)
+
+let ops_cmd =
+  let run () =
+    List.iter
+      (fun spec -> Format.printf "%a@." Alcop_sched.Op_spec.pp spec)
+      Alcop_workloads.Suites.fig10;
+    Format.printf "%a  (motivating example)@." Alcop_sched.Op_spec.pp
+      Alcop_workloads.Suites.motivating
+  in
+  Cmd.v (Cmd.info "ops" ~doc:"List the built-in operator suite.")
+    Term.(const run $ const ())
+
+let with_compiled params spec f =
+  match Compiler.compile ~hw params spec with
+  | Ok c -> f c
+  | Error m ->
+    Printf.eprintf "compile error: %s\n" m;
+    exit 1
+
+let show_cmd =
+  let run spec params before cuda =
+    with_compiled params spec (fun c ->
+        if before then begin
+          print_endline "=== Input IR (unpipelined) ===";
+          print_endline
+            (Alcop_ir.Kernel.to_string c.Compiler.lowered.Alcop_sched.Lower.kernel);
+          print_newline ()
+        end;
+        if cuda then begin
+          print_string
+            (Alcop_cuda.Codegen.kernel ~groups:c.Compiler.groups
+               c.Compiler.kernel);
+          match c.Compiler.lowered.Alcop_sched.Lower.reduce with
+          | Some r ->
+            print_newline ();
+            print_string (Alcop_cuda.Codegen.kernel r)
+          | None -> ()
+        end
+        else begin
+          print_endline "=== Pipelined IR ===";
+          print_endline (Alcop_ir.Kernel.to_string c.Compiler.kernel);
+          List.iter
+            (fun (g : Alcop_pipeline.Analysis.group) ->
+              Format.printf "group %s: stages=%d loop=%s fused=%b@."
+                g.Alcop_pipeline.Analysis.id g.Alcop_pipeline.Analysis.stages
+                g.Alcop_pipeline.Analysis.loop_var g.Alcop_pipeline.Analysis.fused)
+            c.Compiler.groups
+        end)
+  in
+  let before =
+    Arg.(value & flag & info [ "before" ] ~doc:"Also print the unpipelined IR.")
+  in
+  let cuda =
+    Arg.(value & flag
+         & info [ "cuda" ] ~doc:"Emit illustrative CUDA C++ instead of IR.")
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print the (pipelined) IR of an operator's kernel.")
+    Term.(const run $ spec_arg $ params_term $ before $ cuda)
+
+let time_cmd =
+  let run spec params =
+    with_compiled params spec (fun c ->
+        let t = c.Compiler.timing in
+        Printf.printf "schedule:       %s\n"
+          (Alcop_perfmodel.Params.to_string params);
+        Printf.printf "latency:        %.0f cycles (%.1f us)\n"
+          c.Compiler.latency_cycles
+          (Alcop_hw.Hw_config.cycles_to_us hw c.Compiler.latency_cycles);
+        Printf.printf "waves:          %d (%d TBs/SM, limited by %s)\n"
+          t.Alcop_gpusim.Timing.n_waves t.Alcop_gpusim.Timing.tbs_per_sm
+          t.Alcop_gpusim.Timing.occupancy_limiter;
+        Printf.printf "wave / tail:    %.0f / %.0f cycles\n"
+          t.Alcop_gpusim.Timing.wave_cycles t.Alcop_gpusim.Timing.tail_cycles;
+        Printf.printf "LLC miss rate:  %.2f\n" t.Alcop_gpusim.Timing.miss_rate;
+        Printf.printf "TC utilization: %.0f%%\n"
+          (100.0 *. t.Alcop_gpusim.Timing.compute_utilization);
+        Printf.printf "TFLOPS:         %.1f\n"
+          (float_of_int (Alcop_sched.Op_spec.flops spec)
+           /. (c.Compiler.latency_cycles /. hw.Alcop_hw.Hw_config.clock_ghz)
+           /. 1000.0);
+        (match Alcop_perfmodel.Model.predict hw spec params with
+         | Ok p ->
+           Printf.printf "analytical:     %.0f cycles (%s-bound main loop)\n"
+             p.Alcop_perfmodel.Model.cycles
+             (if p.Alcop_perfmodel.Model.smem_bound then "load" else "compute")
+         | Error _ -> ()))
+  in
+  Cmd.v
+    (Cmd.info "time" ~doc:"Simulate one schedule and print the breakdown.")
+    Term.(const run $ spec_arg $ params_term)
+
+let method_conv =
+  Arg.enum
+    [ ("grid", Alcop_tune.Tuner.Grid); ("xgb", Alcop_tune.Tuner.Xgb);
+      ("analytical", Alcop_tune.Tuner.Analytical_only);
+      ("xgb+", Alcop_tune.Tuner.Analytical_xgb) ]
+
+let tune_cmd =
+  let run spec method_ budget seed log =
+    let space = Variants.space Variants.alcop spec in
+    let evaluate = Variants.evaluator ~hw Variants.alcop spec in
+    Printf.printf "space: %d schedules; method: %s; budget: %d\n%!"
+      (Array.length space)
+      (Alcop_tune.Tuner.method_to_string method_)
+      budget;
+    let result =
+      Alcop_tune.Tuner.run ~hw ~spec ~space ~evaluate ~budget ~seed method_
+    in
+    Array.iteri
+      (fun i (t : Alcop_tune.Tuner.trial) ->
+        Printf.printf "%3d  %-60s %s\n" (i + 1)
+          (Alcop_perfmodel.Params.to_string t.Alcop_tune.Tuner.params)
+          (match t.Alcop_tune.Tuner.cost with
+           | Some c -> Printf.sprintf "%.0f cycles" c
+           | None -> "compile fail"))
+      result.Alcop_tune.Tuner.trials;
+    (match Alcop_tune.Tuner.best result with
+     | Some best -> Printf.printf "best in %d trials: %.0f cycles\n" budget best
+     | None -> Printf.printf "no trial compiled\n");
+    match log with
+    | Some path ->
+      Alcop_tune.Tuning_log.write_file ~path
+        ~spec_name:spec.Alcop_sched.Op_spec.name ~method_ ~seed result;
+      Printf.printf "tuning log written to %s\n" path
+    | None -> ()
+  in
+  let method_ =
+    Arg.(value & opt method_conv Alcop_tune.Tuner.Analytical_xgb
+         & info [ "m"; "method" ] ~doc:"grid | xgb | analytical | xgb+.")
+  in
+  let budget =
+    Arg.(value & opt int 20 & info [ "budget" ] ~doc:"Measurement budget.")
+  in
+  let seed = Arg.(value & opt int 2023 & info [ "seed" ] ~doc:"Random seed.") in
+  let log =
+    Arg.(value & opt (some string) None
+         & info [ "log" ] ~docv:"FILE" ~doc:"Write a JSON tuning log.")
+  in
+  Cmd.v (Cmd.info "tune" ~doc:"Tune an operator's schedule.")
+    Term.(const run $ spec_arg $ method_ $ budget $ seed $ log)
+
+let model_cmd =
+  let run spec params =
+    match Alcop_perfmodel.Model.predict hw spec params with
+    | Error f ->
+      Format.printf "schedule cannot launch: %a@." Alcop_gpusim.Occupancy.pp_failure f;
+      exit 1
+    | Ok m ->
+      let open Alcop_perfmodel.Model in
+      Printf.printf "Table I analytical model for %s\n"
+        (Alcop_perfmodel.Params.to_string params);
+      Printf.printf "  T_kernel       = %10.0f cycles (T_threadblk x %d batches)\n"
+        m.cycles m.n_batches;
+      Printf.printf "  T_threadblk    = %10.0f\n" m.t_threadblk;
+      Printf.printf "    T_init       = %10.0f  (first smem + reg chunk)\n" m.t_init;
+      Printf.printf "    T_main_loop  = %10.0f  (%s-bound)\n" m.t_main_loop
+        (if m.smem_bound then "loading" else "compute");
+      Printf.printf "    T_epilogue   = %10.0f\n" m.t_epilogue;
+      Printf.printf "  T_smem_load    = %10.0f  per K iteration\n" m.t_smem_load;
+      Printf.printf "  T_smem_use     = %10.0f  (inner pipeline)\n" m.t_smem_use;
+      Printf.printf "  T_reg_load     = %10.0f\n" m.t_reg_load;
+      Printf.printf "  T_compute      = %10.0f  per register loop\n" m.t_compute;
+      Printf.printf "  N_tb_per_SM    = %10d\n" m.tbs_per_sm;
+      (match
+         Alcop_perfmodel.Bottleneck.predict_cycles hw spec params,
+         Compiler.evaluator ~hw spec params
+       with
+       | Some b, Some sim ->
+         Printf.printf "  bottleneck model: %.0f cycles; simulator: %.0f cycles\n"
+           b sim
+       | _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "model"
+       ~doc:"Print the Table I analytical prediction, term by term.")
+    Term.(const run $ spec_arg $ params_term)
+
+let verify_cmd =
+  let run spec params =
+    if Alcop_sched.Op_spec.flops spec > 200_000_000 then begin
+      Printf.eprintf
+        "operator too large for the functional interpreter; pick a small shape\n";
+      exit 1
+    end;
+    with_compiled params spec (fun c ->
+        match Compiler.verify c with
+        | Ok diff -> Printf.printf "OK: max |err| = %g\n" diff
+        | Error diff ->
+          Printf.printf "MISMATCH: max |err| = %g\n" diff;
+          exit 1)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Execute the pipelined kernel functionally and compare against \
+             the host reference.")
+    Term.(const run $ spec_arg $ params_term)
+
+let () =
+  let info =
+    Cmd.info "alcop" ~version:"1.0"
+      ~doc:"ALCOP: automatic load-compute pipelining on a simulated AI-GPU."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ ops_cmd; show_cmd; time_cmd; model_cmd; tune_cmd; verify_cmd ]))

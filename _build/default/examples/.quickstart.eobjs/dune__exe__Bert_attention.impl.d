@@ -1,0 +1,1 @@
+examples/bert_attention.ml: Alcop Alcop_hw Alcop_perfmodel Alcop_sched Alcop_workloads Compiler Format List Op_spec Option Tiling Variants

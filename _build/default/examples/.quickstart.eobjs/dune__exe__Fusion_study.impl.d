@@ -1,0 +1,1 @@
+examples/fusion_study.ml: Alcop Alcop_gpusim Alcop_hw Alcop_ir Alcop_perfmodel Alcop_pipeline Alcop_sched Buffer Compiler Format List Lower Op_spec Schedule String Tiling

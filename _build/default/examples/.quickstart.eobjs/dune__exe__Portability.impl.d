@@ -1,0 +1,1 @@
+examples/portability.ml: Alcop_hw Alcop_ir Alcop_pipeline Alcop_sched Buffer Format List Lower Op_spec Schedule Tiling

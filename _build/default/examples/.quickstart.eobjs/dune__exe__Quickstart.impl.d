@@ -1,0 +1,1 @@
+examples/quickstart.ml: Alcop_gpusim Alcop_hw Alcop_ir Alcop_pipeline Alcop_sched Format Interp List Reference Tensor

@@ -1,0 +1,1 @@
+examples/resnet_conv.ml: Alcop Alcop_gpusim Alcop_hw Alcop_perfmodel Alcop_sched Compiler Format Interp List Op_spec Reference Tensor Tiling Variants

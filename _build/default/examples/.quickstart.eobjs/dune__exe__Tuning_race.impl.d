@@ -1,0 +1,1 @@
+examples/tuning_race.ml: Alcop Alcop_hw Alcop_sched Alcop_tune Alcop_workloads Array Format List Option Variants

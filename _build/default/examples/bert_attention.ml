@@ -1,0 +1,56 @@
+(* BERT attention under pipelining.
+
+   The paper's insight (Sec. V-A): the QK^T matmul has a short reduction
+   axis (the head dimension, 64) and a big output, so pipelining cannot
+   amortize its prologue and the abundant inter-tile parallelism already
+   hides latency. The score-value matmul SV is the opposite: a long
+   reduction over the sequence with a small output. This example compiles
+   both with every pipeline depth and shows exactly that asymmetry. *)
+
+open Alcop
+open Alcop_sched
+
+let hw = Alcop_hw.Hw_config.default
+
+let qk = Alcop_workloads.Suites.bmm_bert_qk
+let sv = Alcop_workloads.Suites.bmm_bert_sv
+
+let sweep spec =
+  Format.printf "@.%a  (reduction axis K = %d)@." Op_spec.pp spec
+    spec.Op_spec.k;
+  let tiling =
+    (* a tiling valid for both: n = 384 or 64, so tb_n = 32 works *)
+    Tiling.make ~tb_m:64 ~tb_n:32 ~tb_k:32 ~warp_m:32 ~warp_n:16 ~warp_k:16 ()
+  in
+  let evaluate = Compiler.evaluator ~hw spec in
+  let base =
+    Option.get
+      (evaluate
+         (Alcop_perfmodel.Params.make ~tiling ~smem_stages:1 ~reg_stages:1 ()))
+  in
+  List.iter
+    (fun (smem_stages, reg_stages) ->
+      match
+        evaluate
+          (Alcop_perfmodel.Params.make ~tiling ~smem_stages ~reg_stages ())
+      with
+      | Some c ->
+        Format.printf "  smem=%d reg=%d: %9.0f cycles  (%.2fx)@." smem_stages
+          reg_stages c (base /. c)
+      | None -> Format.printf "  smem=%d reg=%d: fail@." smem_stages reg_stages)
+    [ (1, 1); (2, 1); (3, 1); (4, 1); (3, 2); (4, 2) ]
+
+let () =
+  Format.printf "BERT attention (batch x heads = %d, seq = %d, head dim = 64)@."
+    qk.Op_spec.batch qk.Op_spec.m;
+  sweep qk;
+  sweep sv;
+  (* Tuned head-to-head, the way an end-to-end run would compile them. *)
+  Format.printf "@.tuned (exhaustive) latencies:@.";
+  List.iter
+    (fun spec ->
+      let tvm = Option.get (Variants.best_latency ~hw Variants.tvm spec) in
+      let alcop = Option.get (Variants.best_latency ~hw Variants.alcop spec) in
+      Format.printf "  %-14s TVM %9.0f -> ALCOP %9.0f cycles (%.2fx)@."
+        spec.Op_spec.name tvm alcop (tvm /. alcop))
+    [ qk; sv ]

@@ -1,0 +1,46 @@
+(* The four schedule-tuning methods of paper Table II racing on one
+   operator: grid search, XGB (TVM's default), analytical-model ranking,
+   and ALCOP's analytical-pretrained XGB. Prints the best-so-far latency
+   after every trial so the search dynamics are visible. *)
+
+open Alcop
+
+let hw = Alcop_hw.Hw_config.default
+
+let () =
+  let spec = Alcop_workloads.Suites.mm_rn50_fc in
+  let budget = 24 in
+  let space = Variants.space Variants.alcop spec in
+  let evaluate = Variants.evaluator ~hw Variants.alcop spec in
+  Format.printf "operator: %a@." Alcop_sched.Op_spec.pp spec;
+  Format.printf "schedule space: %d points; budget: %d trials@."
+    (Array.length space) budget;
+  let exhaustive = Alcop_tune.Tuner.exhaustive ~space ~evaluate in
+  let best = Option.get (Alcop_tune.Tuner.best exhaustive) in
+  Format.printf "exhaustive best: %.0f cycles@.@." best;
+  let methods =
+    [ Alcop_tune.Tuner.Grid; Alcop_tune.Tuner.Xgb;
+      Alcop_tune.Tuner.Analytical_only; Alcop_tune.Tuner.Analytical_xgb ]
+  in
+  Format.printf "%5s" "trial";
+  List.iter
+    (fun m -> Format.printf "%18s" (Alcop_tune.Tuner.method_to_string m))
+    methods;
+  Format.printf "@.";
+  let results =
+    List.map
+      (fun m ->
+        Alcop_tune.Tuner.run ~hw ~spec ~space ~evaluate ~budget ~seed:7 m)
+      methods
+  in
+  for k = 1 to budget do
+    Format.printf "%5d" k;
+    List.iter
+      (fun r ->
+        match Alcop_tune.Tuner.best_within r k with
+        | Some c -> Format.printf "%17.0f%%" (100.0 *. best /. c)
+        | None -> Format.printf "%18s" "-")
+      results;
+    Format.printf "@."
+  done;
+  Format.printf "@.(values: best-in-k-trials as %% of the exhaustive best)@."

@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Alcop_gpusim Alcop_hw Alcop_ir Alcop_perfmodel Alcop_pipeline Alcop_sched Buffer Dtype Format Hashtbl Kernel List Lower Op_spec Schedule Stmt String Tiling

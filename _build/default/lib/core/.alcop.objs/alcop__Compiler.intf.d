@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Alcop_gpusim Alcop_hw Alcop_ir Alcop_perfmodel Alcop_pipeline Alcop_sched Kernel Lower Op_spec Schedule

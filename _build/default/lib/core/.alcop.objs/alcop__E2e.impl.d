@@ -1,0 +1,1 @@
+lib/core/e2e.ml: Alcop_hw Alcop_sched Alcop_workloads List Models Printf Variants Xla_like

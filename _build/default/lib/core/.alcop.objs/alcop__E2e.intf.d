@@ -1,0 +1,1 @@
+lib/core/e2e.mli: Alcop_hw Alcop_sched Alcop_workloads Models

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Alcop_hw Alcop_perfmodel Alcop_sched Alcop_tune Alcop_workloads Array Compiler E2e Float Hashtbl Library_oracle List Models Op_spec Option Printf Suites Tiling Variants

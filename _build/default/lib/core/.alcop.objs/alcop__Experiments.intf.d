@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Alcop_hw Alcop_sched E2e Op_spec Variants

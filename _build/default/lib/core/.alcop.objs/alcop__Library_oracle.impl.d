@@ -1,0 +1,1 @@
+lib/core/library_oracle.ml: Alcop_hw Alcop_perfmodel Alcop_sched Compiler List Op_spec Option Tiling

@@ -1,0 +1,1 @@
+lib/core/library_oracle.mli: Alcop_hw Alcop_perfmodel Alcop_sched Op_spec

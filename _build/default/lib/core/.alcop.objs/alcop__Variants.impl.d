@@ -1,0 +1,1 @@
+lib/core/variants.ml: Alcop_hw Alcop_ir Alcop_perfmodel Alcop_sched Alcop_tune Array Compiler Op_spec Tiling

@@ -1,0 +1,1 @@
+lib/core/variants.mli: Alcop_hw Alcop_perfmodel Alcop_sched Alcop_tune Op_spec

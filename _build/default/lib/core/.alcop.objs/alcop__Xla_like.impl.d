@@ -1,0 +1,1 @@
+lib/core/xla_like.ml: Alcop_gpusim Alcop_hw Alcop_ir Alcop_perfmodel Alcop_sched Compiler Library_oracle List Op_spec Option Tiling

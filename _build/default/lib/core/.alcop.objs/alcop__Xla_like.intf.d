@@ -1,0 +1,1 @@
+lib/core/xla_like.mli: Alcop_hw Alcop_perfmodel Alcop_sched Op_spec

@@ -1,0 +1,180 @@
+(* The end-to-end ALCOP compilation pipeline (paper Fig. 4):
+
+     schedule -> lowering -> pipelining pass -> trace -> timing simulation
+
+   [compile] produces everything downstream consumers need: the pipelined
+   kernel (for inspection and functional execution), the pipeline groups
+   (for the interpreter's async semantics), the event trace, and the
+   simulated kernel latency. A schedule whose resource demands exceed the
+   hardware fails to compile — the tuner sees those as failed trials. *)
+
+open Alcop_ir
+open Alcop_sched
+
+type compiled = {
+  schedule : Schedule.t;
+  params : Alcop_perfmodel.Params.t;
+  lowered : Lower.lowered;
+  kernel : Kernel.t;  (** pipelined *)
+  groups : Alcop_pipeline.Analysis.group list;
+  trace : Alcop_gpusim.Trace.event array;
+  timing : Alcop_gpusim.Timing.kernel_timing;
+  latency_cycles : float;
+      (** kernel plus materialization of non-inlined element-wise stages *)
+}
+
+let latency_us hw c = Alcop_hw.Hw_config.cycles_to_us hw c.latency_cycles
+
+(* Cost of materializing a non-inlined element-wise producer as its own
+   kernel: one read and one write of the tensor over DRAM, plus a launch. *)
+let materialize_cycles (hw : Alcop_hw.Hw_config.t) (lowered : Lower.lowered) =
+  List.fold_left
+    (fun acc (name, _src, _op) ->
+      match Kernel.find_param lowered.Lower.kernel name with
+      | Some b ->
+        let bytes = 2 * Alcop_ir.Buffer.size_bytes b in
+        acc
+        +. Alcop_gpusim.Timing.launch_overhead_cycles
+        +. (float_of_int bytes /. hw.Alcop_hw.Hw_config.dram_bytes_per_cycle)
+      | None -> acc)
+    0.0 lowered.Lower.materialize
+
+(* [extra_regs_per_thread] models compilers that prefetch without cp.async
+   (pre-Ampere double buffering): the in-flight tile occupies registers. *)
+let compile ?(hw = Alcop_hw.Hw_config.default) ?(extra_regs_per_thread = 0)
+    (params : Alcop_perfmodel.Params.t) (spec : Op_spec.t) =
+  let tiling = params.Alcop_perfmodel.Params.tiling in
+  let smem_stages = params.Alcop_perfmodel.Params.smem_stages in
+  let reg_stages = params.Alcop_perfmodel.Params.reg_stages in
+  match
+    Schedule.default_gemm ~smem_stages ~reg_stages
+      ~inner_fuse:params.Alcop_perfmodel.Params.inner_fuse spec tiling
+  with
+  | exception Schedule.Schedule_error e ->
+    Error (Format.asprintf "%a" Schedule.pp_error e)
+  | schedule ->
+    let schedule =
+      Schedule.set_swizzle schedule params.Alcop_perfmodel.Params.swizzle
+    in
+    (match Lower.run schedule with
+     | exception Lower.Lowering_error m -> Error m
+     | lowered ->
+       (match
+          Alcop_pipeline.Pass.run ~hw ~hints:lowered.Lower.hints
+            lowered.Lower.kernel
+        with
+        | Error r -> Error (Format.asprintf "%a" Alcop_pipeline.Analysis.pp_rejection r)
+        | Ok result ->
+          let kernel = result.Alcop_pipeline.Pass.kernel in
+          let groups = Alcop_pipeline.Pass.groups result in
+          let trace = Alcop_gpusim.Trace.extract ~groups kernel in
+          let elem_bytes = Dtype.size_bytes spec.Op_spec.dtype in
+          let smem_per_tb =
+            List.fold_left
+              (fun acc (b : Buffer.t) ->
+                if Buffer.scope_equal b.Buffer.scope Buffer.Shared then
+                  acc + Buffer.size_bytes b
+                else acc)
+              0 (Stmt.allocs kernel.Kernel.body)
+          in
+          let request =
+            { Alcop_gpusim.Timing.hw; trace;
+              total_tbs = Tiling.threadblocks tiling spec;
+              warps_per_tb = Tiling.warps tiling;
+              smem_per_tb;
+              regs_per_thread =
+                Alcop_perfmodel.Params.regs_per_thread params
+                + extra_regs_per_thread;
+              grid_m = spec.Op_spec.m / tiling.Tiling.tb_m;
+              grid_n = spec.Op_spec.n / tiling.Tiling.tb_n;
+              grid_z = spec.Op_spec.batch * tiling.Tiling.split_k;
+              tb_m = tiling.Tiling.tb_m; tb_n = tiling.Tiling.tb_n;
+              tb_k = tiling.Tiling.tb_k; elem_bytes;
+              swizzle = params.Alcop_perfmodel.Params.swizzle;
+              jitter_key = Alcop_perfmodel.Params.key spec.Op_spec.name params;
+              barrier_groups =
+                List.filter_map
+                  (fun (g : Alcop_pipeline.Analysis.group) ->
+                    if g.Alcop_pipeline.Analysis.synchronized then
+                      Some g.Alcop_pipeline.Analysis.id
+                    else None)
+                  groups }
+          in
+          (match Alcop_gpusim.Timing.run request with
+           | Error f ->
+             Error
+               (Format.asprintf "launch failure: %a"
+                  Alcop_gpusim.Occupancy.pp_failure f)
+           | Ok timing ->
+             let latency_cycles =
+               timing.Alcop_gpusim.Timing.total_cycles
+               +. materialize_cycles hw lowered
+               +. Alcop_perfmodel.Reduce_cost.cycles hw spec
+                    ~split_k:tiling.Tiling.split_k
+             in
+             Ok
+               { schedule; params; lowered; kernel; groups; trace; timing;
+                 latency_cycles })))
+
+(* Measurement function for the tuner: simulated cycles, memoized per
+   schedule point. *)
+let evaluator ?(hw = Alcop_hw.Hw_config.default) ?(extra_regs = fun _ -> 0)
+    (spec : Op_spec.t) =
+  let cache = Hashtbl.create 128 in
+  fun (params : Alcop_perfmodel.Params.t) ->
+    let k = Alcop_perfmodel.Params.to_string params in
+    match Hashtbl.find_opt cache k with
+    | Some v -> v
+    | None ->
+      let v =
+        match
+          compile ~hw ~extra_regs_per_thread:(extra_regs params) params spec
+        with
+        | Ok c -> Some c.latency_cycles
+        | Error _ -> None
+      in
+      Hashtbl.replace cache k v;
+      v
+
+(* Functional verification: run the pipelined kernel in the strict
+   interpreter on deterministic inputs and compare against the host
+   reference. Intended for small shapes (tests, examples). *)
+let verify ?(atol = 1e-6) (c : compiled) =
+  let spec = c.schedule.Schedule.spec in
+  let a, b = Alcop_gpusim.Reference.inputs_for spec in
+  let expected = Alcop_gpusim.Reference.gemm spec ~a ~b in
+  (* Materialize non-inlined element-wise producers. *)
+  let tensor_of name =
+    if String.equal name "A" then a
+    else if String.equal name "B" then b
+    else invalid_arg ("verify: unknown source tensor " ^ name)
+  in
+  let inputs =
+    List.map
+      (fun (bf : Buffer.t) ->
+        let name = bf.Buffer.name in
+        match
+          List.find_opt
+            (fun (n, _, _) -> String.equal n name)
+            c.lowered.Lower.materialize
+        with
+        | Some (_, src, op) ->
+          (name, Alcop_gpusim.Tensor.map (Alcop_gpusim.Elemwise_ops.find_exn op)
+                   (tensor_of src))
+        | None -> (name, tensor_of name))
+      c.kernel.Kernel.inputs
+  in
+  let outputs = Alcop_gpusim.Interp.run ~groups:c.groups c.kernel ~inputs in
+  (* Split-K: chain the partial outputs through the reduction kernel. *)
+  let outputs =
+    match c.lowered.Lower.reduce with
+    | None -> outputs
+    | Some reduce -> Alcop_gpusim.Interp.run reduce ~inputs:outputs
+  in
+  let actual =
+    match outputs with
+    | [ (_, t) ] -> t
+    | _ -> invalid_arg "verify: expected exactly one kernel output"
+  in
+  let diff = Alcop_gpusim.Tensor.max_abs_diff actual expected in
+  if diff <= atol then Ok diff else Error diff

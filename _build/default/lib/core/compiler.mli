@@ -1,0 +1,46 @@
+(** The end-to-end ALCOP compilation pipeline (paper Fig. 4):
+    schedule -> lowering -> pipelining pass -> trace -> timing simulation. *)
+
+open Alcop_ir
+open Alcop_sched
+
+type compiled = {
+  schedule : Schedule.t;
+  params : Alcop_perfmodel.Params.t;
+  lowered : Lower.lowered;
+  kernel : Kernel.t;  (** pipelined *)
+  groups : Alcop_pipeline.Analysis.group list;
+  trace : Alcop_gpusim.Trace.event array;
+  timing : Alcop_gpusim.Timing.kernel_timing;
+  latency_cycles : float;
+      (** kernel + materialization of non-inlined element-wise stages +
+          split-K reduction *)
+}
+
+val latency_us : Alcop_hw.Hw_config.t -> compiled -> float
+
+val compile :
+  ?hw:Alcop_hw.Hw_config.t ->
+  ?extra_regs_per_thread:int ->
+  Alcop_perfmodel.Params.t ->
+  Op_spec.t ->
+  (compiled, string) result
+(** Compile one operator under one schedule point. [Error] covers schedule
+    construction failures, pipelining-legality rejections and launch
+    failures (resource exhaustion). [extra_regs_per_thread] models
+    compilers that prefetch without cp.async. *)
+
+val evaluator :
+  ?hw:Alcop_hw.Hw_config.t ->
+  ?extra_regs:(Alcop_perfmodel.Params.t -> int) ->
+  Op_spec.t ->
+  Alcop_perfmodel.Params.t ->
+  float option
+(** Measurement function for the tuner: simulated cycles, memoized per
+    schedule point; [None] = failed to compile. *)
+
+val verify : ?atol:float -> compiled -> (float, float) result
+(** Execute the pipelined kernel (and the split-K reduction, if any) in the
+    strict interpreter on deterministic inputs and compare against the host
+    reference; the payload is the max absolute error either way. Intended
+    for small shapes. *)

@@ -1,0 +1,47 @@
+(* End-to-end model evaluation (paper Sec. V-B, Table III).
+
+   A model's inference latency is the sum of its tensor-contraction
+   operator latencies under a given compiler, plus a fixed non-optimized
+   remainder identical across compilers (softmax, normalization,
+   activations, pooling — operators pipelining does not apply to). The
+   remainder is sized from the model's [overhead_fraction] of the TVM
+   baseline, matching profiler splits. *)
+
+open Alcop_workloads
+
+type report = {
+  model : string;
+  tvm_cycles : float;
+  xla_cycles : float;
+  alcop_cycles : float;
+  speedup_over_tvm : float;
+  speedup_over_xla : float;
+}
+
+let sum_ops ~per_op (m : Models.t) =
+  List.fold_left
+    (fun acc (spec, count) ->
+      match per_op spec with
+      | Some c -> acc +. (float_of_int count *. c)
+      | None ->
+        invalid_arg
+          (Printf.sprintf "E2e: no compilable schedule for %s"
+             spec.Alcop_sched.Op_spec.name))
+    0.0 m.Models.ops
+
+let evaluate ?(hw = Alcop_hw.Hw_config.default) (m : Models.t) =
+  let tvm_gemm = sum_ops ~per_op:(Variants.best_latency ~hw Variants.tvm) m in
+  let alcop_gemm =
+    sum_ops ~per_op:(Variants.best_latency ~hw Variants.alcop) m
+  in
+  let xla_gemm = sum_ops ~per_op:(Xla_like.latency ~hw) m in
+  (* overhead_fraction f of the TVM end-to-end latency is remainder:
+     remainder = f / (1 - f) * tvm_gemm. *)
+  let f = m.Models.overhead_fraction in
+  let remainder = f /. (1.0 -. f) *. tvm_gemm in
+  let tvm_cycles = tvm_gemm +. remainder in
+  let xla_cycles = xla_gemm +. remainder in
+  let alcop_cycles = alcop_gemm +. remainder in
+  { model = m.Models.name; tvm_cycles; xla_cycles; alcop_cycles;
+    speedup_over_tvm = tvm_cycles /. alcop_cycles;
+    speedup_over_xla = xla_cycles /. alcop_cycles }

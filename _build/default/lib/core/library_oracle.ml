@@ -1,0 +1,61 @@
+(* Library-kernel stand-in (paper Sec. V-C, Fig. 11).
+
+   cuBLAS/cuDNN ship a fixed family of hand-written kernel templates, each
+   heavily hand-optimized; dispatch picks the best template for a shape.
+   We model this as a fixed template set (CUTLASS-like tile/stage
+   combinations) compiled through the same pipeline, with a hand-tuning
+   efficiency factor on top — experts squeeze out instruction scheduling
+   and swizzling headroom no compiler reaches. Shapes outside the template
+   sweet spot (e.g. odd attention GEMMs) leave the library with few viable
+   templates, which is when a searching compiler can win. *)
+
+open Alcop_sched
+
+let expert_factor = 0.90
+
+(* (tb_m, tb_n, tb_k, warp_m, warp_n, warp_k, smem_stages, reg_stages) —
+   roughly the CUTLASS kernel zoo: large square tiles for big GEMMs, skinny
+   and small-tile kernels for attention and tail shapes. *)
+let templates = [
+  (256, 128, 32, 64, 64, 16, 3, 2);
+  (128, 256, 32, 64, 64, 16, 3, 2);
+  (128, 128, 32, 64, 64, 16, 3, 2);
+  (128, 128, 64, 64, 64, 32, 3, 2);
+  (128, 64, 32, 64, 32, 16, 4, 2);
+  (128, 64, 64, 64, 32, 32, 3, 2);
+  (64, 128, 32, 32, 64, 16, 4, 2);
+  (64, 64, 64, 32, 32, 32, 4, 2);
+  (64, 64, 32, 32, 32, 16, 4, 2);
+  (64, 64, 32, 32, 32, 16, 2, 2);
+  (64, 32, 32, 32, 16, 16, 4, 2);
+  (32, 64, 64, 16, 32, 32, 4, 2);
+  (32, 32, 64, 16, 16, 32, 4, 2);
+  (16, 128, 64, 16, 64, 32, 3, 2);
+  (16, 64, 64, 16, 32, 32, 3, 2);
+  (16, 32, 64, 16, 16, 32, 4, 2);
+]
+
+let template_points (spec : Op_spec.t) =
+  List.filter_map
+    (fun (tb_m, tb_n, tb_k, warp_m, warp_n, warp_k, smem_stages, reg_stages) ->
+      let tiling = Tiling.make ~tb_m ~tb_n ~tb_k ~warp_m ~warp_n ~warp_k () in
+      match Tiling.validate tiling spec with
+      | Ok () ->
+        Some (Alcop_perfmodel.Params.make ~tiling ~smem_stages ~reg_stages ())
+      | Error _ -> None)
+    templates
+
+(* Best library latency for an operator: best template, times the expert
+   factor. [None] when no template fits the shape at all. *)
+let best_latency ?(hw = Alcop_hw.Hw_config.default) (spec : Op_spec.t) =
+  let evaluate = Compiler.evaluator ~hw spec in
+  let best =
+    List.fold_left
+      (fun acc p ->
+        match evaluate p, acc with
+        | Some c, Some b when c >= b -> acc
+        | Some c, _ -> Some c
+        | None, _ -> acc)
+      None (template_points spec)
+  in
+  Option.map (fun c -> c *. expert_factor) best

@@ -1,0 +1,38 @@
+(** The compilers compared in the paper's evaluation (Sec. V-A): TVM,
+    TVM with manual double-buffering, ALCOP without multi-level and/or
+    multi-stage pipelining, and full ALCOP. All search the same tiling
+    space; they differ in the pipeline depths available and in whether
+    prefetching uses cp.async. *)
+
+open Alcop_sched
+
+type t = {
+  name : string;
+  restriction : Alcop_tune.Space.restriction;
+  cp_async : bool;
+}
+
+val tvm : t
+val tvm_db : t
+val alcop_no_ml_ms : t
+val alcop_no_ml : t
+val alcop : t
+val all : t list
+
+val extra_regs : t -> Op_spec.t -> Alcop_perfmodel.Params.t -> int
+(** Register cost of prefetching without cp.async: the in-flight tile lives
+    in registers between global load and shared store. *)
+
+val space : t -> Op_spec.t -> Alcop_perfmodel.Params.t array
+
+val evaluator :
+  ?hw:Alcop_hw.Hw_config.t -> t -> Op_spec.t ->
+  Alcop_perfmodel.Params.t -> float option
+
+val best_latency : ?hw:Alcop_hw.Hw_config.t -> t -> Op_spec.t -> float option
+(** Best simulated latency under exhaustive schedule search (the paper's
+    evaluation protocol); [None] if nothing in the space launches. *)
+
+val best_point :
+  ?hw:Alcop_hw.Hw_config.t -> t -> Op_spec.t ->
+  (Alcop_perfmodel.Params.t * float) option

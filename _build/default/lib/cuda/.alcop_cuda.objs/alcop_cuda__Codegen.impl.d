@@ -1,0 +1,1 @@
+lib/cuda/codegen.ml: Alcop_ir Alcop_pipeline Array Buffer Dtype Expr Format Kernel List Printf Stdlib Stmt String

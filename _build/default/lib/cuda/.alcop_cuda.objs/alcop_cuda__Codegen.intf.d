@@ -1,0 +1,1 @@
+lib/cuda/codegen.mli: Alcop_ir Alcop_pipeline Kernel

@@ -1,0 +1,258 @@
+(* CUDA source backend.
+
+   Renders a (pipelined) kernel as CUDA C++ built on the Ampere
+   asynchronous-copy machinery — cp.async through cuda::memcpy_async and
+   the cuda::pipeline producer/consumer API — plus mma.sync via the wmma
+   fragment API. This is what ALCOP emits through TVM's CUDA backend; here
+   it is the human-readable rendering of the transformed IR (this
+   repository's execution substrate is the simulator; the emitted source is
+   illustrative and not compiled — see DESIGN.md, section 2).
+
+   Mapping:
+   - grid-parallel loops   -> blockIdx bindings
+   - warp-parallel loops   -> warp-index bindings derived from threadIdx
+   - sequential loops      -> for loops; unrolled ones get #pragma unroll
+   - chunk copies          -> tile_memcpy[_async] helper calls carrying the
+                              flattened element offset of each region corner
+   - pipeline primitives   -> cuda::pipeline calls on the shared-scope
+                              pipeline object
+   - mma                   -> wmma fragment ops *)
+
+open Alcop_ir
+
+let strides_of shape =
+  let dims = Array.of_list shape in
+  let n = Array.length dims in
+  let strides = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * dims.(i + 1)
+  done;
+  strides
+
+type ctx = {
+  buf : Stdlib.Buffer.t;
+  mutable indent : int;
+  buffers : (string * Buffer.t) list;
+}
+
+let line ctx fmt =
+  Format.kasprintf
+    (fun s ->
+      Stdlib.Buffer.add_string ctx.buf (String.make (2 * ctx.indent) ' ');
+      Stdlib.Buffer.add_string ctx.buf s;
+      Stdlib.Buffer.add_char ctx.buf '\n')
+    fmt
+
+let blank ctx = Stdlib.Buffer.add_char ctx.buf '\n'
+
+let buffer_of ctx name =
+  match List.assoc_opt name ctx.buffers with
+  | Some b -> b
+  | None -> invalid_arg ("Codegen: unknown buffer " ^ name)
+
+let c_ident name =
+  let mapped =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+        | _ -> '_')
+      name
+  in
+  if mapped = "" || (mapped.[0] >= '0' && mapped.[0] <= '9') then "k_" ^ mapped
+  else mapped
+
+let ctype = function
+  | Dtype.F16 -> "half"
+  | Dtype.F32 -> "float"
+  | Dtype.I32 -> "int"
+  | Dtype.I8 -> "int8_t"
+
+(* Flattened element offset of a region's corner: sum of slice offsets times
+   row-major strides. Expr's printed syntax is C-compatible for the
+   non-negative operands our kernels use. *)
+let corner_offset ctx (r : Stmt.region) =
+  let b = buffer_of ctx r.Stmt.buffer in
+  let strides = strides_of b.Buffer.shape in
+  let terms =
+    List.mapi
+      (fun d (s : Stmt.slice) -> Expr.mul s.Stmt.offset (Expr.const strides.(d)))
+      r.Stmt.slices
+  in
+  Expr.simplify (List.fold_left Expr.add Expr.zero terms)
+
+(* Rows x cols of the (squeezed) 2D tail of a region, with the row stride
+   ("leading dimension") of its buffer. *)
+let tile_geometry ctx (r : Stmt.region) =
+  let b = buffer_of ctx r.Stmt.buffer in
+  let strides = strides_of b.Buffer.shape in
+  let dims =
+    List.filteri (fun i (s : Stmt.slice) -> ignore i; s.Stmt.len > 1) r.Stmt.slices
+  in
+  let lens = List.map (fun (s : Stmt.slice) -> s.Stmt.len) dims in
+  (* leading dimension: stride of the second-to-last varying axis *)
+  let rec last_two = function
+    | [ _; _ ] as l -> l
+    | _ :: tl -> last_two tl
+    | [] -> []
+  in
+  match lens with
+  | [] -> (1, 1, 1)
+  | [ c ] -> (1, c, 1)
+  | _ ->
+    (match last_two lens with
+     | [ rows; cols ] ->
+       (* stride of the rows axis: the varying axis followed by exactly one
+          more varying axis *)
+       let idx_of_rows =
+         let rec find i = function
+           | (s : Stmt.slice) :: tl ->
+             let rest_varying =
+               List.length (List.filter (fun (x : Stmt.slice) -> x.Stmt.len > 1) tl)
+             in
+             if s.Stmt.len > 1 && rest_varying = 1 then i else find (i + 1) tl
+           | [] -> 0
+         in
+         find 0 r.Stmt.slices
+       in
+       (rows, cols, strides.(idx_of_rows))
+     | _ -> (1, 1, 1))
+
+let ptr ctx (r : Stmt.region) =
+  let off = corner_offset ctx r in
+  if Expr.equal off Expr.zero then r.Stmt.buffer
+  else Format.asprintf "%s + %a" r.Stmt.buffer Expr.pp off
+
+let emit_copy ctx ~(kind : Stmt.copy_kind) ~dst ~src ~fused =
+  let rows, cols, ld_src = tile_geometry ctx src in
+  let _, _, ld_dst = tile_geometry ctx dst in
+  let fn =
+    match kind with
+    | Stmt.Async_copy -> "tile_memcpy_async"
+    | Stmt.Sync_copy -> "tile_memcpy"
+  in
+  let fuse_arg = match fused with None -> "" | Some op -> ", f_" ^ op in
+  line ctx "%s(%s, %s, /*rows=*/%d, /*cols=*/%d, /*ld_dst=*/%d, /*ld_src=*/%d%s);"
+    fn (ptr ctx dst) (ptr ctx src) rows cols ld_dst ld_src fuse_arg
+
+let binding_expr = function
+  | Stmt.Block_x -> "blockIdx.x"
+  | Stmt.Block_y -> "blockIdx.y"
+  | Stmt.Block_z -> "blockIdx.z"
+  | Stmt.Warp_x -> "(threadIdx.x / 32)"
+  | Stmt.Warp_y -> "threadIdx.y"
+
+let rec emit ctx stmt =
+  match stmt with
+  | Stmt.Seq ss -> List.iter (emit ctx) ss
+  | Stmt.Alloc { buffer; body } ->
+    let dims =
+      String.concat ""
+        (List.map (fun d -> Printf.sprintf "[%d]" d) buffer.Buffer.shape)
+    in
+    (match buffer.Buffer.scope with
+     | Buffer.Shared ->
+       line ctx "__shared__ %s %s%s;" (ctype buffer.Buffer.dtype)
+         buffer.Buffer.name dims
+     | Buffer.Register ->
+       (* per-warp fragments: the leading warp-grid dims are implicit in
+          the warp's identity *)
+       let local_dims =
+         String.concat ""
+           (List.map (fun d -> Printf.sprintf "[%d]" d) buffer.Buffer.shape)
+       in
+       line ctx "%s %s%s;  // register fragments" (ctype buffer.Buffer.dtype)
+         buffer.Buffer.name local_dims
+     | Buffer.Global ->
+       line ctx "// global scratch %s%s (kernel parameter)" buffer.Buffer.name
+         dims);
+    emit ctx body
+  | Stmt.For { var; extent; kind; body } ->
+    (match kind with
+     | Stmt.Parallel b ->
+       line ctx "const int %s = %s;  // extent %s" var (binding_expr b)
+         (Expr.to_string extent);
+       line ctx "{";
+       ctx.indent <- ctx.indent + 1;
+       emit ctx body;
+       ctx.indent <- ctx.indent - 1;
+       line ctx "}"
+     | Stmt.Sequential | Stmt.Unrolled ->
+       if kind = Stmt.Unrolled then line ctx "#pragma unroll";
+       line ctx "for (int %s = 0; %s < %s; ++%s) {" var var
+         (Expr.to_string extent) var;
+       ctx.indent <- ctx.indent + 1;
+       emit ctx body;
+       ctx.indent <- ctx.indent - 1;
+       line ctx "}")
+  | Stmt.If { cond; then_ } ->
+    line ctx "if (%s %s %s) {" (Expr.to_string cond.Stmt.lhs)
+      (Stmt.cmp_to_string cond.Stmt.cmp)
+      (Expr.to_string cond.Stmt.rhs);
+    ctx.indent <- ctx.indent + 1;
+    emit ctx then_;
+    ctx.indent <- ctx.indent - 1;
+    line ctx "}"
+  | Stmt.Copy { kind; dst; src; fused } -> emit_copy ctx ~kind ~dst ~src ~fused
+  | Stmt.Fill { dst; value } ->
+    line ctx "wmma_fill(%s, %g);" (ptr ctx dst) value
+  | Stmt.Mma { c; a; b } ->
+    let m, n, _ = tile_geometry ctx c in
+    let _, k, _ = tile_geometry ctx a in
+    line ctx "wmma_mma_sync<%d, %d, %d>(%s, %s, %s);" m n k (ptr ctx c)
+      (ptr ctx a) (ptr ctx b)
+  | Stmt.Unop { dst; src; op } ->
+    line ctx "tile_apply(%s, %s, f_%s);" (ptr ctx dst) (ptr ctx src) op
+  | Stmt.Accum { dst; src } ->
+    line ctx "tile_accumulate(%s, %s);" (ptr ctx dst) (ptr ctx src)
+  | Stmt.Sync s ->
+    (match s with
+     | Stmt.Barrier -> line ctx "__syncthreads();"
+     | Stmt.Producer_acquire g -> line ctx "%s.producer_acquire();" (c_ident g)
+     | Stmt.Producer_commit g -> line ctx "%s.producer_commit();" (c_ident g)
+     | Stmt.Consumer_wait g ->
+       line ctx "%s.consumer_wait();" (c_ident g);
+       line ctx "__syncthreads();"
+     | Stmt.Consumer_release g -> line ctx "%s.consumer_release();" (c_ident g))
+
+let kernel ?(groups = []) (k : Kernel.t) =
+  let buffers =
+    List.map (fun (b : Buffer.t) -> (b.Buffer.name, b)) (Kernel.all_buffers k)
+  in
+  let ctx = { buf = Stdlib.Buffer.create 4096; indent = 0; buffers } in
+  line ctx "// Generated by ALCOP (OCaml reproduction) — illustrative CUDA";
+  line ctx "// rendering of the pipelined tensor IR; see DESIGN.md.";
+  line ctx "#include <cuda/pipeline>";
+  line ctx "#include <mma.h>";
+  blank ctx;
+  let param (b : Buffer.t) ~const =
+    Printf.sprintf "%s%s* __restrict__ %s"
+      (if const then "const " else "")
+      (ctype b.Buffer.dtype) b.Buffer.name
+  in
+  let params =
+    List.map (param ~const:true) k.Kernel.inputs
+    @ List.map (param ~const:false) k.Kernel.outputs
+  in
+  line ctx "__global__ void %s(%s) {" (c_ident k.Kernel.name)
+    (String.concat ", " params);
+  ctx.indent <- 1;
+  List.iter
+    (fun (g : Alcop_pipeline.Analysis.group) ->
+      if g.Alcop_pipeline.Analysis.synchronized then begin
+        line ctx
+          "__shared__ cuda::pipeline_shared_state<cuda::thread_scope_block, \
+           %d> %s_state;"
+          g.Alcop_pipeline.Analysis.stages
+          (c_ident g.Alcop_pipeline.Analysis.id);
+        line ctx
+          "auto %s = cuda::make_pipeline(cooperative_groups::this_thread_block(), &%s_state);"
+          (c_ident g.Alcop_pipeline.Analysis.id)
+          (c_ident g.Alcop_pipeline.Analysis.id)
+      end)
+    groups;
+  if groups <> [] then blank ctx;
+  emit ctx k.Kernel.body;
+  ctx.indent <- 0;
+  line ctx "}";
+  Stdlib.Buffer.contents ctx.buf

@@ -1,0 +1,10 @@
+(** CUDA source backend: renders a (pipelined) kernel as human-readable
+    CUDA C++ over cp.async / cuda::pipeline / wmma — the form ALCOP emits
+    through TVM's CUDA backend. Illustrative output; this repository's
+    execution substrate is the simulator (DESIGN.md, section 2). *)
+
+open Alcop_ir
+
+val kernel : ?groups:Alcop_pipeline.Analysis.group list -> Kernel.t -> string
+(** Render one kernel. Pass the pipelining pass's groups so shared-scope
+    pipelines get their cuda::pipeline object declarations. *)

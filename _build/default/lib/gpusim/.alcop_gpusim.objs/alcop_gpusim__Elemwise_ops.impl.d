@@ -1,0 +1,1 @@
+lib/gpusim/elemwise_ops.ml: Alcop_ir Float Fun List

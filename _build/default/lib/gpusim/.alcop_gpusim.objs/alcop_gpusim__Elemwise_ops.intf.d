@@ -1,0 +1,1 @@
+lib/gpusim/elemwise_ops.mli:

@@ -1,0 +1,1 @@
+lib/gpusim/interp.ml: Alcop_ir Alcop_pipeline Array Buffer Elemwise_ops Expr Format Hashtbl Kernel List Printf Queue Stmt String Tensor

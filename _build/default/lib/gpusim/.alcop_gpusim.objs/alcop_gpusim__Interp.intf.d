@@ -1,0 +1,1 @@
+lib/gpusim/interp.mli: Alcop_ir Alcop_pipeline Kernel Tensor

@@ -1,0 +1,1 @@
+lib/gpusim/locality.ml: Alcop_hw Float

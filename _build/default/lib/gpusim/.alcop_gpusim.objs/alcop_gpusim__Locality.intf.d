@@ -1,0 +1,1 @@
+lib/gpusim/locality.mli: Alcop_hw

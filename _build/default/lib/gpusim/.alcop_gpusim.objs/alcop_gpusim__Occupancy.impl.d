@@ -1,0 +1,1 @@
+lib/gpusim/occupancy.ml: Alcop_hw Format

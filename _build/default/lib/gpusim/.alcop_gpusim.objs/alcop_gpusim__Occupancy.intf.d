@@ -1,0 +1,1 @@
+lib/gpusim/occupancy.mli: Alcop_hw Format

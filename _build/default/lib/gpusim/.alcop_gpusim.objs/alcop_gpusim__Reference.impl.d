@@ -1,0 +1,1 @@
+lib/gpusim/reference.ml: Alcop_sched Array Elemwise_ops Hashtbl Op_spec Tensor

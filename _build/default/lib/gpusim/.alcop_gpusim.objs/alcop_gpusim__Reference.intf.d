@@ -1,0 +1,1 @@
+lib/gpusim/reference.mli: Alcop_sched Op_spec Tensor

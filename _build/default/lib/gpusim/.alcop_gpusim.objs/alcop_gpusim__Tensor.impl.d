@@ -1,0 +1,1 @@
+lib/gpusim/tensor.ml: Alcop_ir Array Buffer Dtype Float Format List String

@@ -1,0 +1,1 @@
+lib/gpusim/tensor.mli: Alcop_ir Buffer Dtype Format

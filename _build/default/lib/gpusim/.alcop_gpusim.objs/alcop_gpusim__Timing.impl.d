@@ -1,0 +1,1 @@
+lib/gpusim/timing.ml: Alcop_hw Array Float Hashtbl List Locality Occupancy Queue Trace

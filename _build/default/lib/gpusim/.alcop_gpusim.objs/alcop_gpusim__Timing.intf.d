@@ -1,0 +1,1 @@
+lib/gpusim/timing.mli: Alcop_hw Occupancy Trace

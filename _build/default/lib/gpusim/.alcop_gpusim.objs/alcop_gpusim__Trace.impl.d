@@ -1,0 +1,1 @@
+lib/gpusim/trace.ml: Alcop_ir Alcop_pipeline Array Buffer Dtype Expr Format Hashtbl Kernel List Option Stmt String

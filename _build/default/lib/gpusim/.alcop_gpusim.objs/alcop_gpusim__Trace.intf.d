@@ -1,0 +1,1 @@
+lib/gpusim/trace.mli: Alcop_ir Alcop_pipeline Format Kernel

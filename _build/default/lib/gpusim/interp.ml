@@ -1,0 +1,358 @@
+(* Functional interpreter for the statement IR.
+
+   Executes kernels on real data. Two modes:
+
+   - [Eager]: every copy lands immediately; parallel loops run sequentially
+     (their iterations write disjoint data). This executes the unpipelined
+     input IR and gives the reference behaviour.
+
+   - [Strict]: asynchronous copies into scope-synchronized pipeline groups
+     (shared memory on Ampere) follow the hardware's commit/wait semantics.
+     An issued copy is staged invisibly; it only lands in visible memory
+     when a consumer_wait retires its commit group. Copies outside an
+     acquire window, waits without a committed group, releases before
+     waits, and pipeline over-subscription all raise. A transformed kernel
+     that misplaces or omits synchronization therefore either raises or
+     produces numerically wrong output — this is how the repository
+     "runs the generated code on the GPU". *)
+
+open Alcop_ir
+
+exception Runtime_error of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Runtime_error m)) fmt
+
+type mode =
+  | Eager
+  | Strict
+
+type storage = {
+  buffer : Buffer.t;
+  data : float array;
+  strides : int array;
+}
+
+type write = {
+  target : storage;
+  flat : int;
+  value : float;
+}
+
+type pipe_state = {
+  group : Alcop_pipeline.Analysis.group;
+  mutable acquired : bool;
+  mutable current : write list;
+  pending : write list Queue.t;
+  mutable committed : int;
+  mutable released : int;
+  mutable waited : int;
+}
+
+type state = {
+  mode : mode;
+  memory : (string, storage) Hashtbl.t;
+  env : (string, int) Hashtbl.t;
+  pipes : (string, pipe_state) Hashtbl.t;
+  group_of_buffer : string -> pipe_state option;
+  (* Race detection for parallel loops: the interpreter runs parallel
+     iterations sequentially, so two iterations writing the same cell would
+     silently produce an order-dependent result instead of the
+     nondeterminism real hardware gives. We record, per storage cell, the
+     parallel-coordinate tuple that last wrote it; a write under different
+     coordinates is a race. Sequential-loop rewrites by the same
+     coordinates are legitimate (e.g. the K loop restaging shared memory). *)
+  check_races : bool;
+  mutable parallel_coords : (string * int) list;  (** innermost first *)
+  owners : (string, (int, (string * int) list) Hashtbl.t) Hashtbl.t;
+}
+
+let storage_of_buffer (b : Buffer.t) =
+  { buffer = b; data = Array.make (Buffer.num_elements b) 0.0;
+    strides = Tensor.strides_of b.Buffer.shape }
+
+let storage_of_tensor (b : Buffer.t) (t : Tensor.t) =
+  if t.Tensor.shape <> b.Buffer.shape then
+    fail "input %s has shape [%s] but kernel expects [%s]" b.Buffer.name
+      (String.concat "," (List.map string_of_int t.Tensor.shape))
+      (String.concat "," (List.map string_of_int b.Buffer.shape));
+  { buffer = b; data = Array.copy t.Tensor.data; strides = t.Tensor.strides }
+
+let record_writes st (target : storage) offs =
+  if st.check_races then begin
+    let table =
+      match Hashtbl.find_opt st.owners target.buffer.Buffer.name with
+      | Some t -> t
+      | None ->
+        let t = Hashtbl.create 64 in
+        Hashtbl.replace st.owners target.buffer.Buffer.name t;
+        t
+    in
+    Array.iter
+      (fun o ->
+        match Hashtbl.find_opt table o with
+        | Some coords when coords <> st.parallel_coords ->
+          fail
+            "data race on %s: element %d written under parallel coordinates              (%s) and (%s)"
+            target.buffer.Buffer.name o
+            (String.concat ", "
+               (List.map (fun (v, i) -> Printf.sprintf "%s=%d" v i) coords))
+            (String.concat ", "
+               (List.map
+                  (fun (v, i) -> Printf.sprintf "%s=%d" v i)
+                  st.parallel_coords))
+        | _ -> Hashtbl.replace table o st.parallel_coords)
+      offs
+  end
+
+let lookup st name =
+  match Hashtbl.find_opt st.memory name with
+  | Some s -> s
+  | None -> fail "reference to unallocated buffer %s" name
+
+let eval_expr st e =
+  Expr.eval (fun v -> Hashtbl.find_opt st.env v) e
+
+(* Flat element offsets of a region, row-major over its slices, with bounds
+   checking. The enumeration order is what makes copies between regions of
+   different rank (an extra length-1 stage dimension) well defined. *)
+let region_offsets st (r : Stmt.region) =
+  let s = lookup st r.Stmt.buffer in
+  let dims = Array.of_list s.buffer.Buffer.shape in
+  let slices = Array.of_list r.Stmt.slices in
+  let rank = Array.length slices in
+  if rank <> Array.length dims then
+    fail "region on %s has rank %d, buffer has rank %d" r.Stmt.buffer rank
+      (Array.length dims);
+  let offs = Array.make rank 0 in
+  let lens = Array.make rank 0 in
+  let total = ref 1 in
+  for d = 0 to rank - 1 do
+    let sl = slices.(d) in
+    let o = eval_expr st sl.Stmt.offset in
+    if o < 0 || o + sl.Stmt.len > dims.(d) then
+      fail "out-of-bounds access on %s: dim %d, offset %d, len %d, extent %d"
+        r.Stmt.buffer d o sl.Stmt.len dims.(d);
+    offs.(d) <- o;
+    lens.(d) <- sl.Stmt.len;
+    total := !total * sl.Stmt.len
+  done;
+  let result = Array.make !total 0 in
+  let idx = Array.make rank 0 in
+  let rec enumerate d pos base =
+    if d = rank then begin
+      result.(!pos) <- base;
+      incr pos
+    end
+    else
+      for i = 0 to lens.(d) - 1 do
+        idx.(d) <- i;
+        enumerate (d + 1) pos (base + ((offs.(d) + i) * s.strides.(d)))
+      done
+  in
+  let pos = ref 0 in
+  enumerate 0 pos 0;
+  (s, result)
+
+let apply_op fused values =
+  match fused with
+  | None -> values
+  | Some name ->
+    let f = Elemwise_ops.find_exn name in
+    Array.map f values
+
+let exec_copy st ~(kind : Stmt.copy_kind) ~dst ~src ~fused =
+  let src_storage, src_offs = region_offsets st src in
+  let dst_storage, dst_offs = region_offsets st dst in
+  if Array.length src_offs <> Array.length dst_offs then
+    fail "copy size mismatch: %s (%d) <- %s (%d)" dst.Stmt.buffer
+      (Array.length dst_offs) src.Stmt.buffer (Array.length src_offs);
+  let values =
+    apply_op fused (Array.map (fun o -> src_storage.data.(o)) src_offs)
+  in
+  let staged =
+    match st.mode, kind with
+    | Strict, Stmt.Async_copy -> st.group_of_buffer dst.Stmt.buffer
+    | (Eager | Strict), _ -> None
+  in
+  match staged with
+  | Some pipe when pipe.group.Alcop_pipeline.Analysis.synchronized ->
+    if not pipe.acquired then
+      fail "async copy into %s outside a producer_acquire window"
+        dst.Stmt.buffer;
+    let writes =
+      Array.to_list
+        (Array.mapi
+           (fun i o -> { target = dst_storage; flat = o; value = values.(i) })
+           dst_offs)
+    in
+    record_writes st dst_storage dst_offs;
+    pipe.current <- pipe.current @ writes
+  | Some _ | None ->
+    record_writes st dst_storage dst_offs;
+    Array.iteri (fun i o -> dst_storage.data.(o) <- values.(i)) dst_offs
+
+let exec_sync st (s : Stmt.sync) =
+  let pipe gid =
+    match Hashtbl.find_opt st.pipes gid with
+    | Some p -> p
+    | None -> fail "synchronization on unknown pipeline %s" gid
+  in
+  if st.mode = Strict then
+    match s with
+    | Stmt.Barrier -> ()
+    | Stmt.Producer_acquire gid ->
+      let p = pipe gid in
+      if p.committed - p.released >= p.group.Alcop_pipeline.Analysis.stages then
+        fail
+          "pipeline %s over-subscribed: producer_acquire with %d stages in \
+           flight of %d" gid (p.committed - p.released)
+          p.group.Alcop_pipeline.Analysis.stages;
+      p.acquired <- true
+    | Stmt.Producer_commit gid ->
+      let p = pipe gid in
+      Queue.push p.current p.pending;
+      p.current <- [];
+      p.committed <- p.committed + 1;
+      p.acquired <- false
+    | Stmt.Consumer_wait gid ->
+      let p = pipe gid in
+      (match Queue.take_opt p.pending with
+       | None -> fail "consumer_wait on %s with no committed group (deadlock)" gid
+       | Some writes ->
+         List.iter (fun w -> w.target.data.(w.flat) <- w.value) writes;
+         p.waited <- p.waited + 1)
+    | Stmt.Consumer_release gid ->
+      let p = pipe gid in
+      p.released <- p.released + 1;
+      if p.released > p.waited then
+        fail "consumer_release on %s before the matching consumer_wait" gid
+
+let exec_mma st ~c ~a ~b =
+  let c_st, c_offs = region_offsets st c in
+  record_writes st c_st c_offs;
+  let a_st, a_offs = region_offsets st a in
+  let b_st, b_offs = region_offsets st b in
+  match Stmt.squeeze_lens c, Stmt.squeeze_lens a, Stmt.squeeze_lens b with
+  | [ m; n ], [ _; k ], [ _; _ ] ->
+    for i = 0 to m - 1 do
+      for j = 0 to n - 1 do
+        let acc = ref c_st.data.(c_offs.((i * n) + j)) in
+        for kk = 0 to k - 1 do
+          acc :=
+            !acc
+            +. (a_st.data.(a_offs.((i * k) + kk))
+                *. b_st.data.(b_offs.((j * k) + kk)))
+        done;
+        c_st.data.(c_offs.((i * n) + j)) <- !acc
+      done
+    done
+  | _ -> fail "mma operands are not (squeezed) rank-2 regions"
+
+(* A new threadblock instance begins when its pipelined buffers are
+   re-allocated; the pipeline objects restart with it. *)
+let reset_pipe_for st buffer_name =
+  match st.group_of_buffer buffer_name with
+  | None -> ()
+  | Some p ->
+    p.acquired <- false;
+    p.current <- [];
+    Queue.clear p.pending;
+    p.committed <- 0;
+    p.released <- 0;
+    p.waited <- 0
+
+let rec exec st stmt =
+  match stmt with
+  | Stmt.Seq ss -> List.iter (exec st) ss
+  | Stmt.For { var; extent; kind; body } ->
+    let n = eval_expr st extent in
+    let saved = Hashtbl.find_opt st.env var in
+    let parallel = match kind with Stmt.Parallel _ -> true | _ -> false in
+    let saved_coords = st.parallel_coords in
+    for i = 0 to n - 1 do
+      Hashtbl.replace st.env var i;
+      if parallel then st.parallel_coords <- (var, i) :: saved_coords;
+      exec st body
+    done;
+    st.parallel_coords <- saved_coords;
+    (match saved with
+     | Some v -> Hashtbl.replace st.env var v
+     | None -> Hashtbl.remove st.env var)
+  | Stmt.Alloc { buffer; body } ->
+    Hashtbl.replace st.memory buffer.Buffer.name (storage_of_buffer buffer);
+    Hashtbl.remove st.owners buffer.Buffer.name;
+    reset_pipe_for st buffer.Buffer.name;
+    exec st body;
+    Hashtbl.remove st.memory buffer.Buffer.name
+  | Stmt.If { cond; then_ } ->
+    let l = eval_expr st cond.Stmt.lhs in
+    let r = eval_expr st cond.Stmt.rhs in
+    let holds =
+      match cond.Stmt.cmp with
+      | Stmt.Eq -> l = r
+      | Stmt.Ne -> l <> r
+      | Stmt.Lt -> l < r
+      | Stmt.Le -> l <= r
+    in
+    if holds then exec st then_
+  | Stmt.Copy { kind; dst; src; fused } -> exec_copy st ~kind ~dst ~src ~fused
+  | Stmt.Fill { dst; value } ->
+    let s, offs = region_offsets st dst in
+    record_writes st s offs;
+    Array.iter (fun o -> s.data.(o) <- value) offs
+  | Stmt.Mma { c; a; b } -> exec_mma st ~c ~a ~b
+  | Stmt.Unop { dst; src; op } ->
+    exec_copy st ~kind:Stmt.Sync_copy ~dst ~src ~fused:(Some op)
+  | Stmt.Accum { dst; src } ->
+    let src_storage, src_offs = region_offsets st src in
+    let dst_storage, dst_offs = region_offsets st dst in
+    if Array.length src_offs <> Array.length dst_offs then
+      fail "accum size mismatch: %s += %s" dst.Stmt.buffer src.Stmt.buffer;
+    record_writes st dst_storage dst_offs;
+    Array.iteri
+      (fun i o -> dst_storage.data.(o) <- dst_storage.data.(o) +. src_storage.data.(src_offs.(i)))
+      dst_offs
+  | Stmt.Sync s -> exec_sync st s
+
+let run ?(mode = Strict) ?(check_races = true) ?(groups = [])
+    (kernel : Kernel.t) ~(inputs : (string * Tensor.t) list) =
+  let memory = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Buffer.t) ->
+      match List.assoc_opt b.Buffer.name inputs with
+      | Some t -> Hashtbl.replace memory b.Buffer.name (storage_of_tensor b t)
+      | None -> fail "missing input tensor %s" b.Buffer.name)
+    kernel.Kernel.inputs;
+  List.iter
+    (fun (b : Buffer.t) ->
+      Hashtbl.replace memory b.Buffer.name (storage_of_buffer b))
+    kernel.Kernel.outputs;
+  let pipes = Hashtbl.create 4 in
+  List.iter
+    (fun (g : Alcop_pipeline.Analysis.group) ->
+      Hashtbl.replace pipes g.Alcop_pipeline.Analysis.id
+        { group = g; acquired = false; current = []; pending = Queue.create ();
+          committed = 0; released = 0; waited = 0 })
+    groups;
+  let buffer_to_pipe = Hashtbl.create 8 in
+  List.iter
+    (fun (g : Alcop_pipeline.Analysis.group) ->
+      List.iter
+        (fun name ->
+          Hashtbl.replace buffer_to_pipe name
+            (Hashtbl.find pipes g.Alcop_pipeline.Analysis.id))
+        (Alcop_pipeline.Analysis.member_names g))
+    groups;
+  let st =
+    { mode; memory; env = Hashtbl.create 16; pipes;
+      group_of_buffer = Hashtbl.find_opt buffer_to_pipe; check_races;
+      parallel_coords = []; owners = Hashtbl.create 8 }
+  in
+  exec st kernel.Kernel.body;
+  List.map
+    (fun (b : Buffer.t) ->
+      let s = lookup st b.Buffer.name in
+      ( b.Buffer.name,
+        { Tensor.shape = b.Buffer.shape; strides = s.strides; data = s.data;
+          dtype = b.Buffer.dtype } ))
+    kernel.Kernel.outputs

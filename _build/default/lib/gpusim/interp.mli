@@ -1,0 +1,34 @@
+(** Functional interpreter for the statement IR: executes kernels on real
+    data.
+
+    In [Strict] mode, asynchronous copies into scope-synchronized pipeline
+    groups follow the hardware commit/wait semantics: staged copies only
+    become visible when a consumer_wait retires their commit group, and
+    protocol violations (copies outside an acquire window, waits without a
+    committed group, releases before waits, pipeline over-subscription)
+    raise {!Runtime_error}. A transformed kernel with wrong or missing
+    synchronization either raises or computes the wrong output. *)
+
+open Alcop_ir
+
+exception Runtime_error of string
+
+type mode =
+  | Eager   (** copies land immediately; for unpipelined reference runs *)
+  | Strict  (** hardware asynchronous-copy semantics *)
+
+val run :
+  ?mode:mode ->
+  ?check_races:bool ->
+  ?groups:Alcop_pipeline.Analysis.group list ->
+  Kernel.t ->
+  inputs:(string * Tensor.t) list ->
+  (string * Tensor.t) list
+(** Execute a kernel. [groups] must be the pipeline groups of the
+    pipelining pass when running transformed kernels in [Strict] mode.
+    [check_races] (default true) detects two parallel-loop iterations
+    writing the same cell — nondeterminism on real hardware that
+    sequential interpretation would otherwise hide. Returns one tensor per
+    kernel output.
+    @raise Runtime_error on missing inputs, out-of-bounds accesses, data
+    races or synchronization protocol violations. *)

@@ -1,0 +1,46 @@
+(* Cache-locality model for GEMM-shaped kernels.
+
+   GPU LLC is shared by all SMs (paper Sec. IV-B): threadblocks resident at
+   the same time re-use each other's A and B tiles, so DRAM traffic is the
+   *unique* working set of a threadblock batch, not the sum of all loads.
+   We estimate, for a batch of R co-resident threadblocks laid out
+   row-major over the (batch, M-tiles, N-tiles) grid, how many distinct
+   M-tiles and N-tiles they touch; the DRAM miss rate of shared-memory
+   loads is unique-bytes / total-bytes, degraded to 1 when the batch's
+   working set exceeds the LLC. *)
+
+type t = {
+  miss_rate : float;       (** fraction of global-load bytes paid in DRAM *)
+  batch_workset_bytes : int;
+  fits_llc : bool;
+}
+
+let compute (hw : Alcop_hw.Hw_config.t) ~grid_m ~grid_n ~grid_z ~tb_m ~tb_n
+    ~tb_k ~elem_bytes ~resident_tbs =
+  let total_tbs = grid_m * grid_n * grid_z in
+  let r = min resident_tbs total_tbs in
+  if r <= 0 then { miss_rate = 1.0; batch_workset_bytes = 0; fits_llc = true }
+  else begin
+    (* Distinct tiles touched by r consecutive row-major (z, i, j) indices;
+       at most one partial row of the grid matters. *)
+    let per_z = grid_m * grid_n in
+    let distinct_z = min grid_z ((r + per_z - 1) / per_z) in
+    let r_in_z = min r per_z in
+    let distinct_j = min grid_n r_in_z in
+    let distinct_i = min grid_m ((r_in_z + grid_n - 1) / grid_n) in
+    (* Per K-iteration bytes: total issued vs unique. *)
+    let total_bytes = r * (tb_m + tb_n) * tb_k * elem_bytes in
+    let unique_bytes =
+      distinct_z * ((distinct_i * tb_m) + (distinct_j * tb_n)) * tb_k * elem_bytes
+    in
+    (* Working set held across the K loop for reuse: unique A and B tile
+       rows of the batch for one K-slice, times a small number of pipeline
+       stages in flight. A coarse capacity check against the LLC. *)
+    let batch_workset_bytes = unique_bytes * 4 in
+    let fits_llc = batch_workset_bytes <= hw.Alcop_hw.Hw_config.llc_bytes in
+    let miss_rate =
+      if not fits_llc then 1.0
+      else Float.min 1.0 (float_of_int unique_bytes /. float_of_int total_bytes)
+    in
+    { miss_rate; batch_workset_bytes; fits_llc }
+  end

@@ -1,0 +1,20 @@
+(** Cache-locality model for GEMM-shaped kernels.
+
+    The LLC is shared by all SMs: co-resident threadblocks re-use each
+    other's A and B tiles, so DRAM traffic is the unique working set of a
+    threadblock batch rather than the sum of all loads (paper Sec. IV-B). *)
+
+type t = {
+  miss_rate : float;  (** fraction of global-load bytes paid in DRAM *)
+  batch_workset_bytes : int;
+  fits_llc : bool;
+}
+
+val compute :
+  Alcop_hw.Hw_config.t ->
+  grid_m:int -> grid_n:int -> grid_z:int ->
+  tb_m:int -> tb_n:int -> tb_k:int ->
+  elem_bytes:int -> resident_tbs:int ->
+  t
+(** Estimate the DRAM miss rate of shared-memory loads for a batch of
+    [resident_tbs] threadblocks laid out row-major over the grid. *)

@@ -1,0 +1,62 @@
+(* Threadblock residency: how many threadblocks one SM can host, limited by
+   shared memory, register file, thread count and the hardware cap. This is
+   the paper's "maximum number of threadblocks per SM is limited by the
+   size of shared memory and register files" (Sec. IV-A); pipelining
+   multiplies the shared-memory tile by the stage count, which is exactly
+   the pipelining-versus-occupancy trade-off the performance model must
+   capture. *)
+
+type t = {
+  tbs_per_sm : int;
+  limiter : string;  (** which resource bounds residency *)
+  threads_per_tb : int;
+  smem_per_tb : int;
+  regs_per_thread : int;
+}
+
+type failure = {
+  resource : string;
+  needed : int;
+  available : int;
+}
+
+let pp_failure fmt f =
+  Format.fprintf fmt "%s: threadblock needs %d, hardware provides %d"
+    f.resource f.needed f.available
+
+(* Kernels that exceed a per-threadblock resource bound do not compile /
+   launch; the tuner treats these points as "compile fail" (paper Fig. 12). *)
+let compute (hw : Alcop_hw.Hw_config.t) ~smem_per_tb ~warps_per_tb
+    ~regs_per_thread =
+  let threads_per_tb = warps_per_tb * hw.Alcop_hw.Hw_config.threads_per_warp in
+  let fail resource needed available = Error { resource; needed; available } in
+  if smem_per_tb > hw.Alcop_hw.Hw_config.smem_bytes_per_tb_max then
+    fail "shared memory per threadblock" smem_per_tb
+      hw.Alcop_hw.Hw_config.smem_bytes_per_tb_max
+  else if regs_per_thread > hw.Alcop_hw.Hw_config.registers_per_thread_max then
+    fail "registers per thread" regs_per_thread
+      hw.Alcop_hw.Hw_config.registers_per_thread_max
+  else if threads_per_tb > 1024 then fail "threads per threadblock" threads_per_tb 1024
+  else begin
+    let by_smem =
+      if smem_per_tb = 0 then hw.Alcop_hw.Hw_config.max_tbs_per_sm
+      else hw.Alcop_hw.Hw_config.smem_bytes_per_sm / smem_per_tb
+    in
+    let by_regs =
+      hw.Alcop_hw.Hw_config.registers_per_sm / (regs_per_thread * threads_per_tb)
+    in
+    let by_threads = hw.Alcop_hw.Hw_config.max_threads_per_sm / threads_per_tb in
+    let by_cap = hw.Alcop_hw.Hw_config.max_tbs_per_sm in
+    let tbs_per_sm = min (min by_smem by_regs) (min by_threads by_cap) in
+    if tbs_per_sm < 1 then
+      fail "SM resources for one threadblock" 1 0
+    else begin
+      let limiter =
+        if tbs_per_sm = by_smem then "shared memory"
+        else if tbs_per_sm = by_regs then "registers"
+        else if tbs_per_sm = by_threads then "threads"
+        else "threadblock cap"
+      in
+      Ok { tbs_per_sm; limiter; threads_per_tb; smem_per_tb; regs_per_thread }
+    end
+  end

@@ -1,0 +1,30 @@
+(** Threadblock residency: how many threadblocks one SM can host, limited
+    by shared memory, register file, thread count and the hardware cap.
+    Pipelining multiplies the shared-memory tile by the stage count, which
+    is the pipelining-versus-occupancy trade-off the performance model must
+    capture (paper Sec. IV-A). *)
+
+type t = {
+  tbs_per_sm : int;
+  limiter : string;
+  threads_per_tb : int;
+  smem_per_tb : int;
+  regs_per_thread : int;
+}
+
+type failure = {
+  resource : string;
+  needed : int;
+  available : int;
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val compute :
+  Alcop_hw.Hw_config.t ->
+  smem_per_tb:int ->
+  warps_per_tb:int ->
+  regs_per_thread:int ->
+  (t, failure) result
+(** [Error] when one threadblock exceeds a per-threadblock hardware bound —
+    such schedules do not launch (the tuner's "compile fail"). *)

@@ -1,0 +1,113 @@
+(* Reference implementations computed directly on host tensors. The
+   functional interpreter's results are checked against these. *)
+
+open Alcop_sched
+
+let apply_opt op t =
+  match op with
+  | None -> t
+  | Some name -> Tensor.map (Elemwise_ops.find_exn name) t
+
+(* C[b,i,j] = sum_k A[b,i,k] * B[b,j,k], with optional element-wise ops on
+   the inputs and the output, matching Op_spec's semantics. *)
+let gemm (spec : Op_spec.t) ~(a : Tensor.t) ~(b : Tensor.t) =
+  let a = apply_opt spec.Op_spec.a_op a in
+  let b = apply_opt spec.Op_spec.b_op b in
+  let batch = spec.Op_spec.batch in
+  let m = spec.Op_spec.m and n = spec.Op_spec.n and k = spec.Op_spec.k in
+  let batched = batch > 1 in
+  let c = Tensor.zeros ~dtype:spec.Op_spec.dtype (Op_spec.c_shape spec) in
+  let idx3 z i j = if batched then [| z; i; j |] else [| i; j |] in
+  for z = 0 to batch - 1 do
+    for i = 0 to m - 1 do
+      for j = 0 to n - 1 do
+        let acc = ref 0.0 in
+        for kk = 0 to k - 1 do
+          acc :=
+            !acc +. (Tensor.get a (idx3 z i kk) *. Tensor.get b (idx3 z j kk))
+        done;
+        Tensor.set c (idx3 z i j) !acc
+      done
+    done
+  done;
+  apply_opt spec.Op_spec.epilogue c
+
+(* --- Convolution through implicit GEMM --- *)
+
+(* im2col: [n, ci, h, w] image -> [n*oh*ow, ci*kh*kw] matrix whose GEMM
+   against the [co, ci*kh*kw] weight matrix equals the convolution. Padding
+   reads as zero. Row index = ((n*oh)+oy)*ow+ox; column index =
+   (c*kh+ky)*kw+kx — the weight flattening must match. *)
+let im2col (c : Op_spec.conv_shape) (image : Tensor.t) =
+  let oh = Op_spec.conv_out_dim ~dim:c.Op_spec.ch ~kdim:c.Op_spec.ckh
+      ~stride:c.Op_spec.stride ~pad:c.Op_spec.pad in
+  let ow = Op_spec.conv_out_dim ~dim:c.Op_spec.cw ~kdim:c.Op_spec.ckw
+      ~stride:c.Op_spec.stride ~pad:c.Op_spec.pad in
+  let m = c.Op_spec.cn * oh * ow in
+  let k = c.Op_spec.ci * c.Op_spec.ckh * c.Op_spec.ckw in
+  Tensor.init [ m; k ] (fun idx ->
+      let row = idx.(0) and col = idx.(1) in
+      let n = row / (oh * ow) in
+      let oy = row mod (oh * ow) / ow in
+      let ox = row mod ow in
+      let ch = col / (c.Op_spec.ckh * c.Op_spec.ckw) in
+      let ky = col mod (c.Op_spec.ckh * c.Op_spec.ckw) / c.Op_spec.ckw in
+      let kx = col mod c.Op_spec.ckw in
+      let y = (oy * c.Op_spec.stride) - c.Op_spec.pad + ky in
+      let x = (ox * c.Op_spec.stride) - c.Op_spec.pad + kx in
+      if y < 0 || y >= c.Op_spec.ch || x < 0 || x >= c.Op_spec.cw then 0.0
+      else Tensor.get image [| n; ch; y; x |])
+
+(* Weights [co, ci, kh, kw] flattened to the GEMM's B matrix [co, k]. *)
+let flatten_weights (c : Op_spec.conv_shape) (w : Tensor.t) =
+  let k = c.Op_spec.ci * c.Op_spec.ckh * c.Op_spec.ckw in
+  Tensor.init [ c.Op_spec.co; k ] (fun idx ->
+      let co = idx.(0) and col = idx.(1) in
+      let ch = col / (c.Op_spec.ckh * c.Op_spec.ckw) in
+      let ky = col mod (c.Op_spec.ckh * c.Op_spec.ckw) / c.Op_spec.ckw in
+      let kx = col mod c.Op_spec.ckw in
+      Tensor.get w [| co; ch; ky; kx |])
+
+(* Direct convolution, producing the output in the GEMM layout
+   [n*oh*ow, co] so it compares against the kernel's C tensor. *)
+let conv2d_direct (c : Op_spec.conv_shape) ~(image : Tensor.t)
+    ~(weights : Tensor.t) =
+  let oh = Op_spec.conv_out_dim ~dim:c.Op_spec.ch ~kdim:c.Op_spec.ckh
+      ~stride:c.Op_spec.stride ~pad:c.Op_spec.pad in
+  let ow = Op_spec.conv_out_dim ~dim:c.Op_spec.cw ~kdim:c.Op_spec.ckw
+      ~stride:c.Op_spec.stride ~pad:c.Op_spec.pad in
+  let m = c.Op_spec.cn * oh * ow in
+  Tensor.init [ m; c.Op_spec.co ] (fun idx ->
+      let row = idx.(0) and co = idx.(1) in
+      let n = row / (oh * ow) in
+      let oy = row mod (oh * ow) / ow in
+      let ox = row mod ow in
+      let acc = ref 0.0 in
+      for ch = 0 to c.Op_spec.ci - 1 do
+        for ky = 0 to c.Op_spec.ckh - 1 do
+          for kx = 0 to c.Op_spec.ckw - 1 do
+            let y = (oy * c.Op_spec.stride) - c.Op_spec.pad + ky in
+            let x = (ox * c.Op_spec.stride) - c.Op_spec.pad + kx in
+            if y >= 0 && y < c.Op_spec.ch && x >= 0 && x < c.Op_spec.cw then
+              acc :=
+                !acc
+                +. (Tensor.get image [| n; ch; y; x |]
+                    *. Tensor.get weights [| co; ch; ky; kx |])
+          done
+        done
+      done;
+      !acc)
+
+(* Deterministic input pair for an operator; seeds differ per tensor and per
+   operator name so distinct experiments see distinct data. *)
+let inputs_for (spec : Op_spec.t) =
+  let seed_of tag = Hashtbl.hash (spec.Op_spec.name, tag) in
+  let a =
+    Tensor.random ~dtype:spec.Op_spec.dtype ~seed:(seed_of "A")
+      (Op_spec.a_shape spec)
+  in
+  let b =
+    Tensor.random ~dtype:spec.Op_spec.dtype ~seed:(seed_of "B")
+      (Op_spec.b_shape spec)
+  in
+  (a, b)

@@ -1,0 +1,100 @@
+(* Dense row-major host tensors used by the functional interpreter and the
+   reference implementations. Values are held as float64 regardless of the
+   declared dtype; dtype drives byte accounting only. *)
+
+open Alcop_ir
+
+type t = {
+  shape : int list;
+  strides : int array;
+  data : float array;
+  dtype : Dtype.t;
+}
+
+let num_elements shape = List.fold_left ( * ) 1 shape
+
+let strides_of shape =
+  let dims = Array.of_list shape in
+  let n = Array.length dims in
+  let strides = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * dims.(i + 1)
+  done;
+  strides
+
+let create ?(dtype = Dtype.F16) shape value =
+  if shape = [] || List.exists (fun d -> d <= 0) shape then
+    invalid_arg "Tensor.create: bad shape";
+  { shape; strides = strides_of shape;
+    data = Array.make (num_elements shape) value; dtype }
+
+let zeros ?dtype shape = create ?dtype shape 0.0
+
+let init ?(dtype = Dtype.F16) shape f =
+  let dims = Array.of_list shape in
+  let strides = strides_of shape in
+  let n = num_elements shape in
+  let idx = Array.make (Array.length dims) 0 in
+  let data =
+    Array.init n (fun flat ->
+        let rem = ref flat in
+        Array.iteri
+          (fun d s ->
+            idx.(d) <- !rem / s;
+            rem := !rem mod s)
+          strides;
+        f (Array.copy idx))
+  in
+  { shape; strides; data; dtype }
+
+(* Deterministic pseudo-random tensor in [-1, 1), seeded per tensor so tests
+   and benches are reproducible. *)
+let random ?(dtype = Dtype.F16) ~seed shape =
+  let state = ref (seed land 0x3FFFFFFF) in
+  let next () =
+    (* xorshift-ish LCG; quality is irrelevant, determinism is not *)
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    (float_of_int !state /. 536870912.0) -. 1.0
+  in
+  let n = num_elements shape in
+  { shape; strides = strides_of shape; data = Array.init n (fun _ -> next ());
+    dtype }
+
+let get t idx =
+  let flat = ref 0 in
+  Array.iteri (fun d i -> flat := !flat + (i * t.strides.(d))) idx;
+  t.data.(!flat)
+
+let set t idx v =
+  let flat = ref 0 in
+  Array.iteri (fun d i -> flat := !flat + (i * t.strides.(d))) idx;
+  t.data.(!flat) <- v
+
+let of_buffer (b : Buffer.t) =
+  zeros ~dtype:b.Buffer.dtype b.Buffer.shape
+
+let map f t = { t with data = Array.map f t.data }
+
+let max_abs_diff a b =
+  if a.shape <> b.shape then invalid_arg "Tensor.max_abs_diff: shape mismatch";
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i x -> worst := Float.max !worst (Float.abs (x -. b.data.(i))))
+    a.data;
+  !worst
+
+let allclose ?(atol = 1e-6) ?(rtol = 1e-6) a b =
+  if a.shape <> b.shape then false
+  else
+    let ok = ref true in
+    Array.iteri
+      (fun i x ->
+        let y = b.data.(i) in
+        if Float.abs (x -. y) > atol +. (rtol *. Float.abs y) then ok := false)
+      a.data;
+    !ok
+
+let pp fmt t =
+  Format.fprintf fmt "tensor[%s] %a (%d elements)"
+    (String.concat "x" (List.map string_of_int t.shape))
+    Dtype.pp t.dtype (Array.length t.data)

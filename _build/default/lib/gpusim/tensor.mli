@@ -1,0 +1,31 @@
+(** Dense row-major host tensors for the functional interpreter and
+    reference implementations. Values are float64; dtype drives byte
+    accounting only. *)
+
+open Alcop_ir
+
+type t = {
+  shape : int list;
+  strides : int array;
+  data : float array;
+  dtype : Dtype.t;
+}
+
+val num_elements : int list -> int
+val strides_of : int list -> int array
+
+val create : ?dtype:Dtype.t -> int list -> float -> t
+val zeros : ?dtype:Dtype.t -> int list -> t
+val init : ?dtype:Dtype.t -> int list -> (int array -> float) -> t
+
+val random : ?dtype:Dtype.t -> seed:int -> int list -> t
+(** Deterministic pseudo-random values in [-1, 1). *)
+
+val get : t -> int array -> float
+val set : t -> int array -> float -> unit
+val of_buffer : Buffer.t -> t
+val map : (float -> float) -> t -> t
+
+val max_abs_diff : t -> t -> float
+val allclose : ?atol:float -> ?rtol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

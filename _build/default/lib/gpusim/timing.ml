@@ -1,0 +1,320 @@
+(* Discrete-event timing simulator.
+
+   One "wave" simulates the co-resident threadblocks of one SM replaying
+   the kernel's event trace, contending for four resources: DRAM bandwidth
+   (device-wide, divided by active SMs), LLC bandwidth (likewise), the SM's
+   shared-memory throughput and the SM's tensor cores. Kernel latency is
+   wave latency times the number of threadblock waves (the paper's
+   threadblock-batch model, Sec. IV-A), plus the partial tail wave and a
+   launch overhead.
+
+   Blocking rules:
+   - loads never block at issue; their completion times are assigned from
+     the relevant bandwidth servers plus a round-trip latency;
+   - a compute event blocks on all outstanding synchronous loads (the
+     scoreboard) and on explicit pipeline waits that precede it;
+   - a barrier blocks on every outstanding load of the threadblock;
+   - Wait_oldest blocks until the oldest committed batch of its pipeline
+     group has landed; Acquire/Release/Commit are bookkeeping.
+
+   This simulator is deliberately richer than the analytical model of paper
+   Table I (cache locality, wave quantization, bank conflicts, issue
+   overhead, launch overhead, deterministic residual perturbation), so that
+   learned cost models retain an edge over the analytical model alone
+   (paper Sec. IV-C). *)
+
+type config = {
+  hw : Alcop_hw.Hw_config.t;
+  residents : int;
+  active_sms : int;
+  warps_per_tb : int;
+  miss_rate : float;
+  smem_penalty : float;
+  issue_overhead : float;
+  barrier_groups : string list;
+      (** scope-synchronized pipeline groups: their waits are hoisting
+          barriers like [Barrier] itself *)
+}
+
+type server = { mutable next_free : float; mutable busy : float }
+
+let server () = { next_free = 0.0; busy = 0.0 }
+
+let serve srv ~now ~cost =
+  let start = Float.max now srv.next_free in
+  let finish = start +. cost in
+  srv.next_free <- finish;
+  srv.busy <- srv.busy +. cost;
+  finish
+
+type pipe_acct = {
+  mutable open_batch : float;
+  batches : float Queue.t;
+}
+
+type tb = {
+  mutable time : float;
+  mutable cursor : int;
+  mutable sync_recent : float;
+      (** completion of synchronous loads issued since the last compute *)
+  mutable sync_due : float;
+      (** completion a compute event must wait for: synchronous loads up to
+          the previous compute. The one-iteration lookahead models the
+          instruction scheduler hoisting unrolled register loads above the
+          preceding iteration's math (implicit register double-buffering of
+          real compiled kernels), without which unpipelined baselines are
+          unrealistically slow. *)
+  mutable all_outstanding : float;
+  mutable at_boundary : bool;
+      (** a barrier or synchronized wait was just crossed: the next compute
+          cannot benefit from hoisted loads (nothing moves above a barrier) *)
+  pipes : (string, pipe_acct) Hashtbl.t;
+}
+
+type wave_result = {
+  cycles : float;
+  compute_busy : float;
+  dram_busy : float;
+  llc_busy : float;
+  smem_busy : float;
+}
+
+let pipe_of tb gid =
+  match Hashtbl.find_opt tb.pipes gid with
+  | Some p -> p
+  | None ->
+    let p = { open_batch = 0.0; batches = Queue.create () } in
+    Hashtbl.replace tb.pipes gid p;
+    p
+
+let simulate_wave (cfg : config) (trace : Trace.event array) =
+  let hw = cfg.hw in
+  let active = float_of_int (max 1 cfg.active_sms) in
+  let dram = server () and llc = server () and smem = server ()
+  and compute = server () in
+  let dram_rate = hw.Alcop_hw.Hw_config.dram_bytes_per_cycle /. active in
+  let llc_rate = hw.Alcop_hw.Hw_config.llc_bytes_per_cycle /. active in
+  let smem_rate = hw.Alcop_hw.Hw_config.smem_bytes_per_cycle_per_sm in
+  let total_warps = cfg.residents * cfg.warps_per_tb in
+  (* Four scheduler partitions per SM: tensor cores reach peak only with at
+     least four resident warps. *)
+  let util = Float.min 1.0 (float_of_int total_warps /. 4.0) in
+  let compute_rate =
+    float_of_int hw.Alcop_hw.Hw_config.tensor_core_flops_per_cycle *. util
+  in
+  let load_latency =
+    hw.Alcop_hw.Hw_config.llc_latency
+    +. (cfg.miss_rate
+        *. (hw.Alcop_hw.Hw_config.dram_latency -. hw.Alcop_hw.Hw_config.llc_latency))
+  in
+  let tbs =
+    Array.init cfg.residents (fun _ ->
+        { time = 0.0; cursor = 0; sync_recent = 0.0; sync_due = 0.0;
+          all_outstanding = 0.0; at_boundary = false; pipes = Hashtbl.create 4 })
+  in
+  let n = Array.length trace in
+  let step tb =
+    let now = tb.time +. cfg.issue_overhead in
+    (match trace.(tb.cursor) with
+     | Trace.Load { level; bytes; async; group } ->
+       let b = float_of_int bytes in
+       let completion =
+         match level with
+         | Trace.From_global ->
+           let l = serve llc ~now ~cost:(b /. llc_rate) in
+           let d = serve dram ~now ~cost:(b *. cfg.miss_rate /. dram_rate) in
+           Float.max l d +. load_latency
+         | Trace.From_shared ->
+           serve smem ~now ~cost:(b *. cfg.smem_penalty /. smem_rate)
+           +. hw.Alcop_hw.Hw_config.smem_latency
+       in
+       tb.all_outstanding <- Float.max tb.all_outstanding completion;
+       if async then begin
+         match group with
+         | Some gid ->
+           let p = pipe_of tb gid in
+           p.open_batch <- Float.max p.open_batch completion
+         | None -> tb.sync_recent <- Float.max tb.sync_recent completion
+       end
+       else tb.sync_recent <- Float.max tb.sync_recent completion;
+       tb.time <- now
+     | Trace.Store { bytes } ->
+       let completion =
+         serve dram ~now ~cost:(float_of_int bytes /. dram_rate)
+         +. hw.Alcop_hw.Hw_config.dram_write_latency
+       in
+       tb.all_outstanding <- Float.max tb.all_outstanding completion;
+       tb.time <- now
+     | Trace.Commit gid ->
+       let p = pipe_of tb gid in
+       Queue.push p.open_batch p.batches;
+       p.open_batch <- 0.0;
+       tb.time <- now
+     | Trace.Wait_oldest gid ->
+       let p = pipe_of tb gid in
+       let ready = match Queue.take_opt p.batches with Some c -> c | None -> 0.0 in
+       if List.mem gid cfg.barrier_groups then tb.at_boundary <- true;
+       tb.time <- Float.max now ready
+     | Trace.Acquire _ | Trace.Release _ ->
+       (* Stage-slot accounting has no timing effect in a lockstep
+          threadblock model: releases precede acquires in program order. *)
+       tb.time <- now
+     | Trace.Barrier ->
+       tb.at_boundary <- true;
+       tb.time <- Float.max now tb.all_outstanding
+     | Trace.Compute { flops } ->
+       if tb.at_boundary then begin
+         (* loads issued since the boundary could not be hoisted above it *)
+         tb.sync_due <- Float.max tb.sync_due tb.sync_recent;
+         tb.sync_recent <- 0.0;
+         tb.at_boundary <- false
+       end;
+       let start = Float.max now tb.sync_due in
+       tb.sync_due <- Float.max tb.sync_due tb.sync_recent;
+       tb.sync_recent <- 0.0;
+       tb.time <- serve compute ~now:start ~cost:(float_of_int flops /. compute_rate));
+    tb.cursor <- tb.cursor + 1;
+    if tb.cursor >= n then tb.time <- Float.max tb.time tb.all_outstanding
+  in
+  (* Advance the earliest threadblock one event at a time so server queues
+     interleave in global time order. *)
+  let rec drive () =
+    let best = ref (-1) in
+    Array.iteri
+      (fun i tb ->
+        if tb.cursor < n && (!best < 0 || tb.time < tbs.(!best).time) then
+          best := i)
+      tbs;
+    if !best >= 0 then begin
+      step tbs.(!best);
+      drive ()
+    end
+  in
+  if n > 0 then drive ();
+  let cycles = Array.fold_left (fun acc tb -> Float.max acc tb.time) 0.0 tbs in
+  { cycles; compute_busy = compute.busy; dram_busy = dram.busy;
+    llc_busy = llc.busy; smem_busy = smem.busy }
+
+(* --- Whole-kernel latency --- *)
+
+type request = {
+  hw : Alcop_hw.Hw_config.t;
+  trace : Trace.event array;
+  total_tbs : int;
+  warps_per_tb : int;
+  smem_per_tb : int;
+  regs_per_thread : int;
+  grid_m : int;
+  grid_n : int;
+  grid_z : int;
+  tb_m : int;
+  tb_n : int;
+  tb_k : int;
+  elem_bytes : int;
+  swizzle : bool;
+  jitter_key : int;
+  barrier_groups : string list;
+}
+
+type kernel_timing = {
+  total_cycles : float;
+  microseconds : float;
+  n_waves : int;
+  tbs_per_sm : int;
+  occupancy_limiter : string;
+  wave_cycles : float;
+  tail_cycles : float;
+  miss_rate : float;
+  compute_utilization : float;  (** busy fraction of tensor cores, full wave *)
+}
+
+let launch_overhead_cycles = 2200.0
+
+(* Deterministic residual: hardware effects outside the model (clock
+   behaviour, instruction scheduling, partition camping) folded into a
+   +-3% multiplier keyed by the schedule. *)
+let jitter key =
+  let h = Hashtbl.hash (key, 0x5DEECE66D) land 0xFFFF in
+  1.0 +. (0.06 *. ((float_of_int h /. 65535.0) -. 0.5))
+
+let bank_conflict_penalty ~swizzle ~tb_k ~elem_bytes =
+  if swizzle then 1.0
+  else begin
+    (* Without swizzling, power-of-two row strides land warps on the same
+       banks; worst when the row stride is a multiple of the 128-byte bank
+       window. *)
+    let row = tb_k * elem_bytes in
+    if row mod 128 = 0 then 3.0 else 2.0
+  end
+
+let run (req : request) =
+  let hw = req.hw in
+  match
+    Occupancy.compute hw ~smem_per_tb:req.smem_per_tb
+      ~warps_per_tb:req.warps_per_tb ~regs_per_thread:req.regs_per_thread
+  with
+  | Error f -> Error f
+  | Ok occ ->
+    let slots = occ.Occupancy.tbs_per_sm * hw.Alcop_hw.Hw_config.num_sms in
+    let full_waves = req.total_tbs / slots in
+    let rem = req.total_tbs mod slots in
+    let wave_cfg residents active =
+      let loc =
+        Locality.compute hw ~grid_m:req.grid_m ~grid_n:req.grid_n
+          ~grid_z:req.grid_z ~tb_m:req.tb_m ~tb_n:req.tb_n ~tb_k:req.tb_k
+          ~elem_bytes:req.elem_bytes ~resident_tbs:(residents * active)
+      in
+      ( { hw; residents; active_sms = active; warps_per_tb = req.warps_per_tb;
+          miss_rate = loc.Locality.miss_rate;
+          smem_penalty =
+            bank_conflict_penalty ~swizzle:req.swizzle ~tb_k:req.tb_k
+              ~elem_bytes:req.elem_bytes;
+          issue_overhead = 4.0;
+          barrier_groups = req.barrier_groups },
+        loc )
+    in
+    let full_result =
+      if full_waves > 0 then begin
+        let cfg, _ = wave_cfg occ.Occupancy.tbs_per_sm hw.Alcop_hw.Hw_config.num_sms in
+        Some (cfg, simulate_wave cfg req.trace)
+      end
+      else None
+    in
+    let tail_result =
+      if rem > 0 then begin
+        let active = min hw.Alcop_hw.Hw_config.num_sms rem in
+        let residents = (rem + active - 1) / active in
+        let cfg, _ = wave_cfg residents active in
+        Some (cfg, simulate_wave cfg req.trace)
+      end
+      else None
+    in
+    let wave_cycles =
+      match full_result with Some (_, r) -> r.cycles | None -> 0.0
+    in
+    let tail_cycles =
+      match tail_result with Some (_, r) -> r.cycles | None -> 0.0
+    in
+    let body = (float_of_int full_waves *. wave_cycles) +. tail_cycles in
+    let total_cycles =
+      ((body +. launch_overhead_cycles) *. jitter req.jitter_key)
+    in
+    let compute_utilization =
+      match full_result, tail_result with
+      | Some (_, r), _ | None, Some (_, r) ->
+        if r.cycles > 0.0 then Float.min 1.0 (r.compute_busy /. r.cycles)
+        else 0.0
+      | None, None -> 0.0
+    in
+    let n_waves = full_waves + (if rem > 0 then 1 else 0) in
+    let miss_rate =
+      match full_result, tail_result with
+      | Some (cfg, _), _ | None, Some (cfg, _) -> cfg.miss_rate
+      | None, None -> 0.0
+    in
+    Ok
+      { total_cycles;
+        microseconds = Alcop_hw.Hw_config.cycles_to_us hw total_cycles;
+        n_waves; tbs_per_sm = occ.Occupancy.tbs_per_sm;
+        occupancy_limiter = occ.Occupancy.limiter; wave_cycles; tail_cycles;
+        miss_rate; compute_utilization }

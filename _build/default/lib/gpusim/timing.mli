@@ -1,0 +1,78 @@
+(** Discrete-event timing simulator.
+
+    One "wave" simulates the co-resident threadblocks of one SM replaying
+    the kernel's event trace while contending for DRAM bandwidth, LLC
+    bandwidth, shared-memory throughput and the tensor cores. Kernel
+    latency is wave latency times the number of threadblock waves (the
+    paper's threadblock-batch model) plus the partial tail wave and launch
+    overhead.
+
+    Deliberately richer than the analytical model of paper Table I — cache
+    locality, wave quantization, bank conflicts, issue/launch overhead and
+    a deterministic residual perturbation — so learned cost models retain
+    an edge over the analytical model alone (paper Sec. IV-C). *)
+
+type config = {
+  hw : Alcop_hw.Hw_config.t;
+  residents : int;       (** threadblocks resident on the simulated SM *)
+  active_sms : int;      (** SMs sharing device bandwidth *)
+  warps_per_tb : int;
+  miss_rate : float;     (** fraction of global-load bytes paid in DRAM *)
+  smem_penalty : float;  (** bank-conflict multiplier *)
+  issue_overhead : float;
+  barrier_groups : string list;
+      (** scope-synchronized pipeline groups whose waits act as hoisting
+          barriers, like [Barrier] itself *)
+}
+
+type wave_result = {
+  cycles : float;
+  compute_busy : float;
+  dram_busy : float;
+  llc_busy : float;
+  smem_busy : float;
+}
+
+val simulate_wave : config -> Trace.event array -> wave_result
+
+type request = {
+  hw : Alcop_hw.Hw_config.t;
+  trace : Trace.event array;
+  total_tbs : int;
+  warps_per_tb : int;
+  smem_per_tb : int;
+  regs_per_thread : int;
+  grid_m : int;
+  grid_n : int;
+  grid_z : int;
+  tb_m : int;
+  tb_n : int;
+  tb_k : int;
+  elem_bytes : int;
+  swizzle : bool;
+  jitter_key : int;
+  barrier_groups : string list;
+}
+
+type kernel_timing = {
+  total_cycles : float;
+  microseconds : float;
+  n_waves : int;
+  tbs_per_sm : int;
+  occupancy_limiter : string;
+  wave_cycles : float;
+  tail_cycles : float;
+  miss_rate : float;
+  compute_utilization : float;
+}
+
+val launch_overhead_cycles : float
+
+val jitter : int -> float
+(** Deterministic residual multiplier in [0.97, 1.03], keyed by schedule. *)
+
+val bank_conflict_penalty : swizzle:bool -> tb_k:int -> elem_bytes:int -> float
+
+val run : request -> (kernel_timing, Occupancy.failure) result
+(** Simulate a whole kernel launch. [Error] when the threadblock exceeds
+    per-threadblock hardware resources (the schedule "fails to compile"). *)

@@ -1,0 +1,258 @@
+(* Per-threadblock event traces extracted from kernel IR.
+
+   The timing simulator does not interpret data; it replays the sequence of
+   loads, computes and synchronization points one threadblock executes.
+   Because every threadblock runs the same program, the extractor walks the
+   program of one representative threadblock (grid loop variables pinned to
+   zero) and aggregates warp-parallel loops (the warps of a threadblock
+   march in lockstep through the homogeneous GEMM body, so their per-event
+   bytes/FLOPs are summed).
+
+   Synchronization of scope-synchronized (shared-memory) pipelines comes
+   directly from the IR's producer/consumer primitives. Register-level
+   pipelines have no explicit primitives — the hardware scoreboard stalls
+   the consumer instead — so the extractor synthesizes the equivalent
+   commit/wait structure: loads issued in one iteration of the pipeline
+   loop form a batch, and a compute event waits until all batches except
+   the youngest [stages-1] have completed. *)
+
+open Alcop_ir
+
+type level =
+  | From_global
+  | From_shared
+
+type event =
+  | Load of { level : level; bytes : int; async : bool; group : string option }
+  | Store of { bytes : int }
+  | Commit of string
+  | Wait_oldest of string
+  | Acquire of { group : string; stages : int }
+  | Release of string
+  | Barrier
+  | Compute of { flops : int }
+
+let pp_event fmt = function
+  | Load { level; bytes; async; group } ->
+    Format.fprintf fmt "load[%s] %dB%s%s"
+      (match level with From_global -> "global" | From_shared -> "shared")
+      bytes
+      (if async then " async" else "")
+      (match group with None -> "" | Some g -> " @" ^ g)
+  | Store { bytes } -> Format.fprintf fmt "store %dB" bytes
+  | Commit g -> Format.fprintf fmt "commit @%s" g
+  | Wait_oldest g -> Format.fprintf fmt "wait @%s" g
+  | Acquire { group; stages } -> Format.fprintf fmt "acquire @%s (%d)" group stages
+  | Release g -> Format.fprintf fmt "release @%s" g
+  | Barrier -> Format.fprintf fmt "barrier"
+  | Compute { flops } -> Format.fprintf fmt "compute %d flops" flops
+
+(* Mutable bookkeeping of one unsynchronized (register) pipeline group
+   during extraction. *)
+type soft_pipe = {
+  sp_group : Alcop_pipeline.Analysis.group;
+  mutable open_loads : bool;
+  mutable batches : int;
+  mutable waits : int;
+}
+
+type ctx = {
+  kernel : Kernel.t;
+  env : (string, int) Hashtbl.t;
+  buffers : (string * Buffer.t) list;
+  group_of : string -> Alcop_pipeline.Analysis.group option;
+  soft : (string, soft_pipe) Hashtbl.t;
+  stages_of : string -> int;
+  mutable warp_mult : int;
+  mutable events : event list;  (** reversed *)
+}
+
+let emit ctx e = ctx.events <- e :: ctx.events
+
+let buffer_of ctx name =
+  match List.assoc_opt name ctx.buffers with
+  | Some b -> b
+  | None -> invalid_arg ("Trace: unknown buffer " ^ name)
+
+let eval ctx e = Expr.eval (fun v -> Hashtbl.find_opt ctx.env v) e
+
+let bytes_of_region ctx (r : Stmt.region) =
+  let b = buffer_of ctx r.Stmt.buffer in
+  Stmt.region_elems r * Dtype.size_bytes b.Buffer.dtype
+
+(* Close the open batch of every register pipeline that accumulated loads. *)
+let flush_soft_commits ctx =
+  Hashtbl.iter
+    (fun _ sp ->
+      if sp.open_loads then begin
+        emit ctx (Commit sp.sp_group.Alcop_pipeline.Analysis.id);
+        sp.batches <- sp.batches + 1;
+        sp.open_loads <- false
+      end)
+    ctx.soft
+
+(* Before a compute event: retire register-pipeline batches down to the
+   pipeline depth, mirroring the hardware scoreboard stall on the operands
+   loaded [stages-1] iterations ago. *)
+let soft_waits_before_compute ctx =
+  flush_soft_commits ctx;
+  Hashtbl.iter
+    (fun _ sp ->
+      let depth = sp.sp_group.Alcop_pipeline.Analysis.stages - 1 in
+      while sp.waits < sp.batches - depth do
+        emit ctx (Wait_oldest sp.sp_group.Alcop_pipeline.Analysis.id);
+        sp.waits <- sp.waits + 1
+      done)
+    ctx.soft
+
+let rec walk ctx stmt =
+  match stmt with
+  | Stmt.Seq ss -> List.iter (walk ctx) ss
+  | Stmt.Alloc { body; _ } -> walk ctx body
+  | Stmt.For { var; extent; kind; body } ->
+    (match kind with
+     | Stmt.Parallel (Stmt.Block_x | Stmt.Block_y | Stmt.Block_z) ->
+       Hashtbl.replace ctx.env var 0;
+       walk ctx body;
+       Hashtbl.remove ctx.env var
+     | Stmt.Parallel (Stmt.Warp_x | Stmt.Warp_y) ->
+       let n = eval ctx extent in
+       let saved = ctx.warp_mult in
+       ctx.warp_mult <- ctx.warp_mult * n;
+       Hashtbl.replace ctx.env var 0;
+       walk ctx body;
+       Hashtbl.remove ctx.env var;
+       ctx.warp_mult <- saved
+     | Stmt.Sequential | Stmt.Unrolled ->
+       let n = eval ctx extent in
+       for i = 0 to n - 1 do
+         Hashtbl.replace ctx.env var i;
+         walk ctx body;
+         (* An iteration boundary closes open register-pipeline batches
+            (e.g. each prologue-loop iteration loads one chunk). *)
+         flush_soft_commits ctx
+       done;
+       Hashtbl.remove ctx.env var)
+  | Stmt.If { cond; then_ } ->
+    let l = eval ctx cond.Stmt.lhs and r = eval ctx cond.Stmt.rhs in
+    let holds =
+      match cond.Stmt.cmp with
+      | Stmt.Eq -> l = r
+      | Stmt.Ne -> l <> r
+      | Stmt.Lt -> l < r
+      | Stmt.Le -> l <= r
+    in
+    if holds then walk ctx then_
+  | Stmt.Copy { kind; dst; src; _ } ->
+    let dst_buf = buffer_of ctx dst.Stmt.buffer in
+    let bytes = bytes_of_region ctx src * ctx.warp_mult in
+    (match dst_buf.Buffer.scope with
+     | Buffer.Global -> emit ctx (Store { bytes })
+     | Buffer.Shared | Buffer.Register ->
+       let src_buf = buffer_of ctx src.Stmt.buffer in
+       let level =
+         match src_buf.Buffer.scope with
+         | Buffer.Global -> From_global
+         | Buffer.Shared | Buffer.Register -> From_shared
+       in
+       let async = kind = Stmt.Async_copy in
+       let group = ctx.group_of dst.Stmt.buffer in
+       let gid =
+         Option.map (fun g -> g.Alcop_pipeline.Analysis.id) group
+       in
+       emit ctx (Load { level; bytes; async; group = gid });
+       (match group with
+        | Some g when not g.Alcop_pipeline.Analysis.synchronized ->
+          let sp = Hashtbl.find ctx.soft g.Alcop_pipeline.Analysis.id in
+          sp.open_loads <- true
+        | Some _ | None -> ()))
+  | Stmt.Fill _ -> ()
+  | Stmt.Mma { c; a; _ } ->
+    soft_waits_before_compute ctx;
+    (match Stmt.squeeze_lens c, Stmt.squeeze_lens a with
+     | [ m; n ], [ _; k ] ->
+       emit ctx (Compute { flops = 2 * m * n * k * ctx.warp_mult })
+     | _ -> invalid_arg "Trace: malformed mma operands")
+  | Stmt.Unop { dst; _ } ->
+    (* Element-wise transforms ride along with copies in our kernels; a
+       stand-alone unop is costed as CUDA-core work via its output size. *)
+    let bytes = bytes_of_region ctx dst * ctx.warp_mult in
+    emit ctx (Compute { flops = bytes })
+  | Stmt.Accum { dst; src } ->
+    (* read both operands, write the destination *)
+    let dst_buf = buffer_of ctx dst.Stmt.buffer in
+    let bytes = bytes_of_region ctx src * ctx.warp_mult in
+    (match dst_buf.Buffer.scope with
+     | Buffer.Global ->
+       emit ctx (Load { level = From_global; bytes; async = false; group = None });
+       emit ctx (Store { bytes })
+     | Buffer.Shared | Buffer.Register ->
+       emit ctx (Load { level = From_shared; bytes; async = false; group = None }))
+  | Stmt.Sync s ->
+    (match s with
+     | Stmt.Barrier -> emit ctx Barrier
+     | Stmt.Producer_acquire g ->
+       emit ctx (Acquire { group = g; stages = ctx.stages_of g })
+     | Stmt.Producer_commit g -> emit ctx (Commit g)
+     | Stmt.Consumer_wait g -> emit ctx (Wait_oldest g)
+     | Stmt.Consumer_release g -> emit ctx (Release g))
+
+let extract ~(groups : Alcop_pipeline.Analysis.group list) (kernel : Kernel.t) =
+  let buffers =
+    List.map (fun (b : Buffer.t) -> (b.Buffer.name, b)) (Kernel.all_buffers kernel)
+  in
+  let by_buffer = Hashtbl.create 8 in
+  List.iter
+    (fun (g : Alcop_pipeline.Analysis.group) ->
+      List.iter
+        (fun n -> Hashtbl.replace by_buffer n g)
+        (Alcop_pipeline.Analysis.member_names g))
+    groups;
+  let soft = Hashtbl.create 4 in
+  List.iter
+    (fun (g : Alcop_pipeline.Analysis.group) ->
+      if not g.Alcop_pipeline.Analysis.synchronized then
+        Hashtbl.replace soft g.Alcop_pipeline.Analysis.id
+          { sp_group = g; open_loads = false; batches = 0; waits = 0 })
+    groups;
+  let stages_of gid =
+    match
+      List.find_opt
+        (fun (g : Alcop_pipeline.Analysis.group) ->
+          String.equal g.Alcop_pipeline.Analysis.id gid)
+        groups
+    with
+    | Some g -> g.Alcop_pipeline.Analysis.stages
+    | None -> 2
+  in
+  let ctx =
+    { kernel; env = Hashtbl.create 16; buffers;
+      group_of = Hashtbl.find_opt by_buffer; soft; stages_of; warp_mult = 1;
+      events = [] }
+  in
+  walk ctx kernel.Kernel.body;
+  Array.of_list (List.rev ctx.events)
+
+(* Aggregate statistics of a trace; used by tests and reporting. *)
+type stats = {
+  global_load_bytes : int;
+  shared_load_bytes : int;
+  store_bytes : int;
+  flops : int;
+  n_events : int;
+}
+
+let stats_of trace =
+  Array.fold_left
+    (fun acc e ->
+      match e with
+      | Load { level = From_global; bytes; _ } ->
+        { acc with global_load_bytes = acc.global_load_bytes + bytes }
+      | Load { level = From_shared; bytes; _ } ->
+        { acc with shared_load_bytes = acc.shared_load_bytes + bytes }
+      | Store { bytes } -> { acc with store_bytes = acc.store_bytes + bytes }
+      | Compute { flops } -> { acc with flops = acc.flops + flops }
+      | Commit _ | Wait_oldest _ | Acquire _ | Release _ | Barrier -> acc)
+    { global_load_bytes = 0; shared_load_bytes = 0; store_bytes = 0; flops = 0;
+      n_events = Array.length trace }
+    trace

@@ -1,0 +1,47 @@
+(** Per-threadblock event traces extracted from kernel IR.
+
+    The timing simulator replays the sequence of loads, computes and
+    synchronization points one threadblock executes. Grid loop variables are
+    pinned to zero (every threadblock runs the same program) and
+    warp-parallel loops are aggregated (event bytes/FLOPs are summed across
+    the warps of a threadblock).
+
+    Scope-synchronized pipelines take their commit/wait structure directly
+    from the IR's primitives; register-level pipelines have no explicit
+    primitives — the hardware scoreboard stalls the consumer — so the
+    extractor synthesizes the equivalent batches: a compute event waits
+    until all batches except the youngest [stages-1] have completed. *)
+
+open Alcop_ir
+
+type level =
+  | From_global
+  | From_shared
+
+type event =
+  | Load of { level : level; bytes : int; async : bool; group : string option }
+  | Store of { bytes : int }
+  | Commit of string
+  | Wait_oldest of string
+  | Acquire of { group : string; stages : int }
+  | Release of string
+  | Barrier
+  | Compute of { flops : int }
+
+val pp_event : Format.formatter -> event -> unit
+
+val extract :
+  groups:Alcop_pipeline.Analysis.group list -> Kernel.t -> event array
+(** Extract the trace of one representative threadblock. [groups] must be
+    the pipeline groups the pass reported for this kernel (empty for
+    unpipelined kernels). *)
+
+type stats = {
+  global_load_bytes : int;
+  shared_load_bytes : int;
+  store_bytes : int;
+  flops : int;
+  n_events : int;
+}
+
+val stats_of : event array -> stats

@@ -1,0 +1,1 @@
+lib/hw/hw_config.ml: Alcop_ir List

@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Buffer Expr Format Kernel List Option Stmt String

@@ -1,0 +1,266 @@
+(* Statement IR.
+
+   A kernel is the program of one threadblock, wrapped in [For] loops bound
+   to grid / warp dimensions. Data movement is expressed at chunk
+   granularity ([Copy] moves a rectangular region between buffers), which is
+   the granularity the pipelining pass reasons at (paper Fig. 7).
+
+   Synchronization follows the CUDA pipeline API of Ampere: a pipelined
+   buffer is guarded by producer_acquire / producer_commit around its
+   loading code and consumer_wait / consumer_release around its using code
+   (paper Sec. III-B, step 5). [Barrier] is a plain block-wide
+   __syncthreads, which is what the unpipelined input IR uses. *)
+
+type slice = {
+  offset : Expr.t;
+  len : int;
+}
+
+type region = {
+  buffer : string;
+  slices : slice list;
+}
+
+type loop_binding =
+  | Block_x
+  | Block_y
+  | Block_z
+  | Warp_x
+  | Warp_y
+
+type loop_kind =
+  | Sequential
+  | Parallel of loop_binding
+  | Unrolled
+
+type copy_kind =
+  | Sync_copy
+  | Async_copy
+
+type sync =
+  | Barrier
+  | Producer_acquire of string
+  | Producer_commit of string
+  | Consumer_wait of string
+  | Consumer_release of string
+
+type cmp =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+
+type cond = {
+  lhs : Expr.t;
+  cmp : cmp;
+  rhs : Expr.t;
+}
+
+type t =
+  | Seq of t list
+  | For of { var : string; extent : Expr.t; kind : loop_kind; body : t }
+  | Alloc of { buffer : Buffer.t; body : t }
+  | If of { cond : cond; then_ : t }
+  | Copy of { kind : copy_kind; dst : region; src : region; fused : string option }
+  | Fill of { dst : region; value : float }
+  | Mma of { c : region; a : region; b : region }
+  | Unop of { dst : region; src : region; op : string }
+  | Accum of { dst : region; src : region }
+      (** dst += src elementwise; the reduction step of split-K kernels *)
+  | Sync of sync
+
+(* --- Construction helpers --- *)
+
+let slice offset len = { offset; len }
+
+let region buffer slices = { buffer; slices }
+
+let point_slice offset = { offset; len = 1 }
+
+let full_region (b : Buffer.t) =
+  { buffer = b.Buffer.name;
+    slices = List.map (fun d -> { offset = Expr.zero; len = d }) b.Buffer.shape }
+
+let seq stmts =
+  let rec flatten acc = function
+    | [] -> List.rev acc
+    | Seq inner :: rest -> flatten (List.rev_append (flatten [] inner) acc) rest
+    | s :: rest -> flatten (s :: acc) rest
+  in
+  match flatten [] stmts with
+  | [ s ] -> s
+  | ss -> Seq ss
+
+let for_ ?(kind = Sequential) var extent body = For { var; extent; kind; body }
+
+let copy ?(kind = Sync_copy) ?fused ~dst ~src () = Copy { kind; dst; src; fused }
+
+let alloc buffer body = Alloc { buffer; body }
+
+(* --- Region utilities --- *)
+
+let region_lens r = List.map (fun s -> s.len) r.slices
+
+let region_elems r = List.fold_left (fun acc s -> acc * s.len) 1 r.slices
+
+(* Shapes of copy source and destination must agree after dropping
+   length-one dimensions; the pipelining pass inserts a length-one stage
+   dimension on one side only. *)
+let squeeze_lens r = List.filter (fun l -> l <> 1) (region_lens r)
+
+let copy_shapes_compatible ~dst ~src =
+  region_elems dst = region_elems src && squeeze_lens dst = squeeze_lens src
+
+let slice_equal a b = Expr.equal a.offset b.offset && a.len = b.len
+
+let region_equal a b =
+  String.equal a.buffer b.buffer
+  && List.length a.slices = List.length b.slices
+  && List.for_all2 slice_equal a.slices b.slices
+
+(* --- Traversal --- *)
+
+let rec iter f stmt =
+  f stmt;
+  match stmt with
+  | Seq ss -> List.iter (iter f) ss
+  | For { body; _ } | Alloc { body; _ } | If { then_ = body; _ } -> iter f body
+  | Copy _ | Fill _ | Mma _ | Unop _ | Accum _ | Sync _ -> ()
+
+let rec map_children f = function
+  | Seq ss -> Seq (List.map f ss)
+  | For r -> For { r with body = f r.body }
+  | Alloc r -> Alloc { r with body = f r.body }
+  | If r -> If { r with then_ = f r.then_ }
+  | (Copy _ | Fill _ | Mma _ | Unop _ | Accum _ | Sync _) as leaf -> leaf
+
+and map f stmt = f (map_children (map f) stmt)
+
+let rec fold f acc stmt =
+  let acc = f acc stmt in
+  match stmt with
+  | Seq ss -> List.fold_left (fold f) acc ss
+  | For { body; _ } | Alloc { body; _ } | If { then_ = body; _ } ->
+    fold f acc body
+  | Copy _ | Fill _ | Mma _ | Unop _ | Accum _ | Sync _ -> acc
+
+let allocs stmt =
+  List.rev
+    (fold
+       (fun acc s -> match s with Alloc { buffer; _ } -> buffer :: acc | _ -> acc)
+       [] stmt)
+
+let find_alloc stmt name =
+  List.find_opt (fun b -> String.equal b.Buffer.name name) (allocs stmt)
+
+let loop_vars stmt =
+  List.rev
+    (fold
+       (fun acc s -> match s with For { var; _ } -> var :: acc | _ -> acc)
+       [] stmt)
+
+(* Substitute an index variable throughout all expressions of a statement. *)
+let subst_var name replacement stmt =
+  let in_expr e = Expr.subst name replacement e in
+  let in_slice s = { s with offset = in_expr s.offset } in
+  let in_region r = { r with slices = List.map in_slice r.slices } in
+  let in_cond c = { c with lhs = in_expr c.lhs; rhs = in_expr c.rhs } in
+  let rewrite = function
+    | Copy c -> Copy { c with dst = in_region c.dst; src = in_region c.src }
+    | Fill f -> Fill { f with dst = in_region f.dst }
+    | Mma m -> Mma { c = in_region m.c; a = in_region m.a; b = in_region m.b }
+    | Unop u -> Unop { u with dst = in_region u.dst; src = in_region u.src }
+    | Accum a -> Accum { dst = in_region a.dst; src = in_region a.src }
+    | For r -> For { r with extent = in_expr r.extent }
+    | If r -> If { r with cond = in_cond r.cond }
+    | (Seq _ | Alloc _ | Sync _) as s -> s
+  in
+  map rewrite stmt
+
+(* --- Statistics used by tests and the simulator --- *)
+
+let count pred stmt = fold (fun acc s -> if pred s then acc + 1 else acc) 0 stmt
+
+let count_copies ?kind stmt =
+  count
+    (function
+      | Copy c -> (match kind with None -> true | Some k -> c.kind = k)
+      | _ -> false)
+    stmt
+
+let count_syncs stmt = count (function Sync _ -> true | _ -> false) stmt
+
+let count_mmas stmt = count (function Mma _ -> true | _ -> false) stmt
+
+(* --- Pretty printing (paper Fig. 7 style) --- *)
+
+let binding_to_string = function
+  | Block_x -> "blockIdx.x"
+  | Block_y -> "blockIdx.y"
+  | Block_z -> "blockIdx.z"
+  | Warp_x -> "warpIdx.x"
+  | Warp_y -> "warpIdx.y"
+
+let cmp_to_string = function
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+
+let pp_slice fmt s =
+  if s.len = 1 then Format.fprintf fmt "%a" Expr.pp s.offset
+  else if Expr.equal s.offset Expr.zero then Format.fprintf fmt "0:%d" s.len
+  else Format.fprintf fmt "%a:+%d" Expr.pp s.offset s.len
+
+let pp_region fmt r =
+  Format.fprintf fmt "%s[%a]" r.buffer
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       pp_slice)
+    r.slices
+
+let pp_cond fmt c =
+  Format.fprintf fmt "%a %s %a" Expr.pp c.lhs (cmp_to_string c.cmp) Expr.pp c.rhs
+
+let rec pp fmt stmt =
+  match stmt with
+  | Seq ss ->
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_cut fmt ())
+      pp fmt ss
+  | For { var; extent; kind; body } ->
+    let prefix =
+      match kind with
+      | Sequential -> ""
+      | Parallel b -> Printf.sprintf " @%s" (binding_to_string b)
+      | Unrolled -> " unroll"
+    in
+    Format.fprintf fmt "@[<v 2>for%s %s in 0 .. %a:@,%a@]" prefix var Expr.pp
+      extent pp body
+  | Alloc { buffer; body } ->
+    Format.fprintf fmt "@[<v>alloc %a@,%a@]" Buffer.pp buffer pp body
+  | If { cond; then_ } ->
+    Format.fprintf fmt "@[<v 2>if %a:@,%a@]" pp_cond cond pp then_
+  | Copy { kind; dst; src; fused } ->
+    let name =
+      match kind with Sync_copy -> "memcpy" | Async_copy -> "async_memcpy"
+    in
+    let fused_str = match fused with None -> "" | Some f -> " with " ^ f in
+    Format.fprintf fmt "%s(%a, %a)%s" name pp_region dst pp_region src fused_str
+  | Fill { dst; value } ->
+    Format.fprintf fmt "fill(%a, %g)" pp_region dst value
+  | Mma { c; a; b } ->
+    Format.fprintf fmt "mma(%a += %a * %a)" pp_region c pp_region a pp_region b
+  | Unop { dst; src; op } ->
+    Format.fprintf fmt "%s(%a, %a)" op pp_region dst pp_region src
+  | Accum { dst; src } ->
+    Format.fprintf fmt "accum(%a += %a)" pp_region dst pp_region src
+  | Sync s ->
+    (match s with
+     | Barrier -> Format.pp_print_string fmt "__syncthreads()"
+     | Producer_acquire b -> Format.fprintf fmt "%s.producer_acquire()" b
+     | Producer_commit b -> Format.fprintf fmt "%s.producer_commit()" b
+     | Consumer_wait b -> Format.fprintf fmt "%s.consumer_wait()" b
+     | Consumer_release b -> Format.fprintf fmt "%s.consumer_release()" b)
+
+let to_string stmt = Format.asprintf "@[<v>%a@]" pp stmt

@@ -1,0 +1,205 @@
+(* Structural validation of kernels.
+
+   The pipelining pass relies on well-formed input (paper Sec. II calls this
+   the "safety check of the preceding module"); the checks here are run on
+   both the lowered input IR and the pipelined output IR in tests, so a
+   transformation bug that produces malformed programs is caught before the
+   interpreter ever runs. Dynamic properties (indices in bounds, data races
+   on asynchronous copies) are checked by the interpreter instead. *)
+
+type error = {
+  context : string;
+  message : string;
+}
+
+let error context fmt = Format.kasprintf (fun message -> { context; message }) fmt
+
+let pp_error fmt e = Format.fprintf fmt "[%s] %s" e.context e.message
+
+exception Invalid of error list
+
+type env = {
+  buffers : (string * Buffer.t) list;
+  loop_vars : string list;
+}
+
+let find_buffer env name = List.assoc_opt name env.buffers
+
+let check_region env ~context errs (r : Stmt.region) =
+  match find_buffer env r.Stmt.buffer with
+  | None ->
+    error context "region references undeclared buffer %s" r.Stmt.buffer :: errs
+  | Some b ->
+    let errs =
+      if List.length r.Stmt.slices <> Buffer.rank b then
+        error context "region on %s has rank %d but buffer has rank %d"
+          r.Stmt.buffer
+          (List.length r.Stmt.slices)
+          (Buffer.rank b)
+        :: errs
+      else
+        List.fold_left2
+          (fun errs (s : Stmt.slice) dim ->
+            if s.Stmt.len <= 0 then
+              error context "region on %s has non-positive slice length %d"
+                r.Stmt.buffer s.Stmt.len
+              :: errs
+            else if s.Stmt.len > dim then
+              error context "region on %s has slice length %d > dimension %d"
+                r.Stmt.buffer s.Stmt.len dim
+              :: errs
+            else errs)
+          errs r.Stmt.slices b.Buffer.shape
+    in
+    let check_var errs v =
+      if List.mem v env.loop_vars then errs
+      else
+        error context "region on %s uses unbound variable %s" r.Stmt.buffer v
+        :: errs
+    in
+    List.fold_left
+      (fun errs (s : Stmt.slice) ->
+        List.fold_left check_var errs (Expr.free_vars s.Stmt.offset))
+      errs r.Stmt.slices
+
+let region_scope env (r : Stmt.region) =
+  Option.map (fun b -> b.Buffer.scope) (find_buffer env r.Stmt.buffer)
+
+let rec check_stmt env errs stmt =
+  match stmt with
+  | Stmt.Seq ss -> List.fold_left (check_stmt env) errs ss
+  | Stmt.For { var; extent; body; _ } ->
+    let errs =
+      if List.mem var env.loop_vars then
+        error "for" "loop variable %s shadows an enclosing binding" var :: errs
+      else errs
+    in
+    let errs =
+      List.fold_left
+        (fun errs v ->
+          if List.mem v env.loop_vars then errs
+          else error "for" "extent of loop %s uses unbound variable %s" var v :: errs)
+        errs (Expr.free_vars extent)
+    in
+    check_stmt { env with loop_vars = var :: env.loop_vars } errs body
+  | Stmt.Alloc { buffer; body } ->
+    let errs =
+      if List.mem_assoc buffer.Buffer.name env.buffers then
+        error "alloc" "buffer %s is declared twice" buffer.Buffer.name :: errs
+      else errs
+    in
+    check_stmt
+      { env with buffers = (buffer.Buffer.name, buffer) :: env.buffers }
+      errs body
+  | Stmt.If { cond; then_ } ->
+    let errs =
+      List.fold_left
+        (fun errs v ->
+          if List.mem v env.loop_vars then errs
+          else error "if" "condition uses unbound variable %s" v :: errs)
+        errs
+        (Expr.free_vars cond.Stmt.lhs @ Expr.free_vars cond.Stmt.rhs)
+    in
+    check_stmt env errs then_
+  | Stmt.Copy { kind; dst; src; fused } ->
+    let errs = check_region env ~context:"copy" errs dst in
+    let errs = check_region env ~context:"copy" errs src in
+    let errs =
+      if
+        find_buffer env dst.Stmt.buffer <> None
+        && find_buffer env src.Stmt.buffer <> None
+        && not (Stmt.copy_shapes_compatible ~dst ~src)
+      then
+        error "copy" "incompatible shapes: %s <- %s" dst.Stmt.buffer
+          src.Stmt.buffer
+        :: errs
+      else errs
+    in
+    let errs =
+      match kind, fused with
+      | Stmt.Async_copy, Some f ->
+        (* Paper Fig. 5: a fused element-wise op forces the copy to be
+           synchronous; an async copy cannot carry computation. *)
+        error "copy" "asynchronous copy cannot carry fused op %s" f :: errs
+      | _ -> errs
+    in
+    (match kind, region_scope env dst with
+     | Stmt.Async_copy, Some (Buffer.Shared | Buffer.Register)
+     | Stmt.Async_copy, None -> errs
+     | Stmt.Async_copy, Some Buffer.Global ->
+       (* cp.async writes shared memory; register "async" copies are
+          ordinary loads issued early by software pipelining. Global
+          destinations cannot be produced asynchronously. *)
+       error "copy" "asynchronous copy destination %s is in global scope"
+         dst.Stmt.buffer
+       :: errs
+     | Stmt.Sync_copy, _ -> errs)
+  | Stmt.Fill { dst; _ } -> check_region env ~context:"fill" errs dst
+  | Stmt.Mma { c; a; b } ->
+    let errs = check_region env ~context:"mma" errs c in
+    let errs = check_region env ~context:"mma" errs a in
+    let errs = check_region env ~context:"mma" errs b in
+    let scope_ok r =
+      match region_scope env r with
+      | Some Buffer.Register | None -> true
+      | Some (Buffer.Global | Buffer.Shared) -> false
+    in
+    let errs =
+      List.fold_left
+        (fun errs r ->
+          if scope_ok r then errs
+          else
+            error "mma" "operand %s must live in register scope" r.Stmt.buffer
+            :: errs)
+        errs [ c; a; b ]
+    in
+    (* Shape check: c[m,n] += a[m,k] * b[n,k] on squeezed shapes. *)
+    (match Stmt.squeeze_lens c, Stmt.squeeze_lens a, Stmt.squeeze_lens b with
+     | [ m; n ], [ m'; k ], [ n'; k' ] when m = m' && n = n' && k = k' -> errs
+     | [ m; n ], [ m'; k ], [ n'; k' ] ->
+       error "mma" "shape mismatch: c[%d,%d] += a[%d,%d] * b[%d,%d]" m n m' k n' k'
+       :: errs
+     | _ ->
+       error "mma" "operands must be (squeezed) rank-2 regions" :: errs)
+  | Stmt.Unop { dst; src; _ } ->
+    let errs = check_region env ~context:"unop" errs dst in
+    let errs = check_region env ~context:"unop" errs src in
+    if
+      find_buffer env dst.Stmt.buffer <> None
+      && find_buffer env src.Stmt.buffer <> None
+      && not (Stmt.copy_shapes_compatible ~dst ~src)
+    then
+      error "unop" "incompatible shapes: %s <- %s" dst.Stmt.buffer src.Stmt.buffer
+      :: errs
+    else errs
+  | Stmt.Accum { dst; src } ->
+    let errs = check_region env ~context:"accum" errs dst in
+    let errs = check_region env ~context:"accum" errs src in
+    if
+      find_buffer env dst.Stmt.buffer <> None
+      && find_buffer env src.Stmt.buffer <> None
+      && not (Stmt.copy_shapes_compatible ~dst ~src)
+    then
+      error "accum" "incompatible shapes: %s += %s" dst.Stmt.buffer
+        src.Stmt.buffer
+      :: errs
+    else errs
+  | Stmt.Sync _ -> errs
+
+let check (k : Kernel.t) =
+  let env =
+    { buffers =
+        List.map (fun (b : Buffer.t) -> (b.Buffer.name, b)) (Kernel.params k);
+      loop_vars = [] }
+  in
+  match List.rev (check_stmt env [] k.Kernel.body) with
+  | [] -> Ok ()
+  | errs -> Error errs
+
+let check_exn k =
+  match check k with
+  | Ok () -> ()
+  | Error errs -> raise (Invalid errs)
+
+let errors_to_string errs =
+  String.concat "\n" (List.map (fun e -> Format.asprintf "%a" pp_error e) errs)

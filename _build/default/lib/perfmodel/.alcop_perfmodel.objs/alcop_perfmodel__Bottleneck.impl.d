@@ -1,0 +1,1 @@
+lib/perfmodel/bottleneck.ml: Alcop_gpusim Alcop_hw Alcop_ir Alcop_sched Float Op_spec Params Tiling

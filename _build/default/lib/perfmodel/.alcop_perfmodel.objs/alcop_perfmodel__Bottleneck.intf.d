@@ -1,0 +1,1 @@
+lib/perfmodel/bottleneck.mli: Alcop_hw Alcop_sched Op_spec Params

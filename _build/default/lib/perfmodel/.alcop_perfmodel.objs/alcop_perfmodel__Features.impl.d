@@ -1,0 +1,1 @@
+lib/perfmodel/features.ml: Alcop_gpusim Alcop_hw Alcop_ir Alcop_sched Float List Op_spec Params Tiling

@@ -1,0 +1,1 @@
+lib/perfmodel/features.mli: Alcop_hw Alcop_sched Op_spec Params

@@ -1,0 +1,1 @@
+lib/perfmodel/model.mli: Alcop_gpusim Alcop_hw Alcop_sched Op_spec Params

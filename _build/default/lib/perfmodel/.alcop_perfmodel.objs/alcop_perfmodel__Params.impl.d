@@ -1,0 +1,1 @@
+lib/perfmodel/params.ml: Alcop_sched Format Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/perfmodel/params.mli: Alcop_sched Format

@@ -1,0 +1,1 @@
+lib/perfmodel/reduce_cost.ml: Alcop_hw Alcop_ir Alcop_sched Op_spec

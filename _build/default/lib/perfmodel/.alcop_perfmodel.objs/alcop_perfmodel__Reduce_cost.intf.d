@@ -1,0 +1,1 @@
+lib/perfmodel/reduce_cost.mli: Alcop_hw Alcop_sched Op_spec

@@ -1,0 +1,10 @@
+(** The bottleneck-based baseline performance model of paper Sec. V-D: the
+    maximum of computation, shared-memory and device-memory time at full
+    utilization. Aggregates compute into one unit (occupancy-blind) and
+    ignores latency hiding (stage-count-blind) — the paper's two criticisms. *)
+
+open Alcop_sched
+
+val predict_cycles :
+  Alcop_hw.Hw_config.t -> Op_spec.t -> Params.t -> float option
+(** [None] only when a single threadblock exceeds hardware bounds. *)

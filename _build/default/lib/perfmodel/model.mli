@@ -1,0 +1,42 @@
+(** The pipeline-aware analytical performance model — paper Table I.
+
+    All times in SM cycles. Shares the simulator's occupancy and locality
+    calculations but is deliberately coarser than the event simulator; the
+    difference is what the learned cost model captures (paper Sec. IV-C). *)
+
+open Alcop_sched
+
+type prediction = {
+  cycles : float;
+  t_threadblk : float;
+  t_init : float;
+  t_main_loop : float;
+  t_epilogue : float;
+  t_smem_load : float;
+  t_smem_use : float;
+  t_reg_load : float;
+  t_compute : float;
+  n_batches : int;
+  tbs_per_sm : int;
+  smem_bound : bool;  (** main loop limited by loading, not compute *)
+}
+
+type failure = Alcop_gpusim.Occupancy.failure
+
+val pipeline_latency :
+  t_load:float -> t_use:float -> n_loop:int -> n_pipe:int -> n_mplx:int ->
+  float * bool
+(** Table I's "Pipeline Latency Model" (Fig. 9): loop latency and whether
+    loading is the bottleneck. *)
+
+val pipeline_latency_bw :
+  t_load_latency:float -> t_load_bw:float -> t_use:float -> n_loop:int ->
+  n_pipe:int -> n_mplx:int -> float * bool
+(** The same rule with the load split into a hideable latency part and a
+    bandwidth-service part that floors the steady state: no stage count or
+    multiplexing hides aggregate bandwidth demand. *)
+
+val predict : Alcop_hw.Hw_config.t -> Op_spec.t -> Params.t -> (prediction, failure) result
+
+val predict_cycles : Alcop_hw.Hw_config.t -> Op_spec.t -> Params.t -> float option
+(** [None] when the schedule cannot launch. *)

@@ -1,0 +1,41 @@
+(* The schedule parameters both analytical models consume: the tuner's
+   search space is exactly the cross product of these. *)
+
+type t = {
+  tiling : Alcop_sched.Tiling.t;
+  smem_stages : int;  (** 1 = no shared-memory pipelining *)
+  reg_stages : int;   (** 1 = no register pipelining *)
+  swizzle : bool;
+  inner_fuse : bool;  (** inner-pipeline fusion (paper Fig. 3d vs 3c) *)
+}
+
+let make ?(swizzle = true) ?(inner_fuse = true) ~tiling ~smem_stages ~reg_stages
+    () =
+  if smem_stages < 1 || reg_stages < 1 then
+    invalid_arg "Params.make: stage counts must be >= 1";
+  { tiling; smem_stages; reg_stages; swizzle; inner_fuse }
+
+let smem_bytes_per_tb t elem_bytes =
+  Alcop_sched.Tiling.smem_tile_bytes t.tiling elem_bytes * max 1 t.smem_stages
+
+let regs_per_thread t =
+  Alcop_sched.Tiling.registers_per_thread t.tiling ~reg_stages:t.reg_stages
+
+let to_string t =
+  Printf.sprintf "%s smem_stages=%d reg_stages=%d%s%s"
+    (Alcop_sched.Tiling.to_string t.tiling)
+    t.smem_stages t.reg_stages
+    (if t.swizzle then "" else " noswizzle")
+    (if t.inner_fuse then "" else " nofuse")
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let equal (a : t) (b : t) =
+  Alcop_sched.Tiling.equal a.tiling b.tiling
+  && a.smem_stages = b.smem_stages
+  && a.reg_stages = b.reg_stages
+  && a.swizzle = b.swizzle
+  && a.inner_fuse = b.inner_fuse
+
+(* A stable integer key for hashing / deterministic perturbation. *)
+let key spec_name t = Hashtbl.hash (spec_name, to_string t)

@@ -1,0 +1,27 @@
+(** The schedule parameters both analytical models consume; the tuner's
+    search space is the cross product of these. *)
+
+type t = {
+  tiling : Alcop_sched.Tiling.t;
+  smem_stages : int;  (** 1 = no shared-memory pipelining *)
+  reg_stages : int;   (** 1 = no register pipelining *)
+  swizzle : bool;
+  inner_fuse : bool;  (** inner-pipeline fusion (paper Fig. 3d vs 3c) *)
+}
+
+val make :
+  ?swizzle:bool -> ?inner_fuse:bool -> tiling:Alcop_sched.Tiling.t ->
+  smem_stages:int -> reg_stages:int -> unit -> t
+(** @raise Invalid_argument if a stage count is below 1. *)
+
+val smem_bytes_per_tb : t -> int -> int
+(** Shared memory one threadblock allocates: tile bytes times stages. *)
+
+val regs_per_thread : t -> int
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+val key : string -> t -> int
+(** Stable integer key for deterministic perturbation, per operator. *)

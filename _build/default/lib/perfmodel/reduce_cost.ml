@@ -1,0 +1,22 @@
+(* Cost of the split-K reduction kernel: a bandwidth-bound streaming pass
+   that reads the [split_k] partial outputs, sums them, and writes C. Used
+   by both the analytical model and the compiler's timing path so the two
+   stay consistent. *)
+
+open Alcop_sched
+
+let launch_overhead_cycles = 2200.0
+
+let cycles (hw : Alcop_hw.Hw_config.t) (spec : Op_spec.t) ~split_k =
+  if split_k <= 1 then 0.0
+  else begin
+    let elem = Alcop_ir.Dtype.size_bytes spec.Op_spec.dtype in
+    let output_bytes =
+      spec.Op_spec.batch * spec.Op_spec.m * spec.Op_spec.n * elem
+    in
+    (* read split_k partials, write one output *)
+    let traffic = float_of_int ((split_k + 1) * output_bytes) in
+    launch_overhead_cycles
+    +. (traffic /. hw.Alcop_hw.Hw_config.dram_bytes_per_cycle)
+    +. hw.Alcop_hw.Hw_config.dram_latency
+  end

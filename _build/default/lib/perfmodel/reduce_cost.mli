@@ -1,0 +1,8 @@
+(** Cost of the split-K reduction kernel (a bandwidth-bound streaming pass
+    over the partial outputs); shared by the analytical model and the
+    compiler's timing path. *)
+
+open Alcop_sched
+
+val cycles : Alcop_hw.Hw_config.t -> Op_spec.t -> split_k:int -> float
+(** 0 when [split_k <= 1]. *)

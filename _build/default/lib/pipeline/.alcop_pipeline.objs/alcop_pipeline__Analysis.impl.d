@@ -1,0 +1,1 @@
+lib/pipeline/analysis.ml: Alcop_hw Alcop_ir Buffer Expr Format Hashtbl Hints Kernel List Printf Stmt String

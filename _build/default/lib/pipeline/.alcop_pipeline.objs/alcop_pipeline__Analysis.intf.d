@@ -1,0 +1,1 @@
+lib/pipeline/analysis.mli: Alcop_hw Alcop_ir Buffer Expr Format Hints Kernel Stmt

@@ -1,0 +1,1 @@
+lib/pipeline/hints.ml: Format List String

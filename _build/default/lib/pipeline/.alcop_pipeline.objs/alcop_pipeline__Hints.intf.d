@@ -1,0 +1,1 @@
+lib/pipeline/hints.mli: Format

@@ -1,0 +1,1 @@
+lib/pipeline/pass.ml: Alcop_ir Analysis Format Kernel Transform Validate

@@ -1,0 +1,1 @@
+lib/pipeline/pass.mli: Alcop_hw Alcop_ir Analysis Hints Kernel Result

@@ -1,0 +1,1 @@
+lib/pipeline/transform.ml: Alcop_ir Analysis Buffer Expr Kernel List Option Stmt String

@@ -1,0 +1,1 @@
+lib/pipeline/transform.mli: Alcop_ir Analysis Kernel Stmt

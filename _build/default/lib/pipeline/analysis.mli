@@ -1,0 +1,62 @@
+(** Analysis phase of the pipelining program transformation (paper
+    Sec. III-A) plus re-verification of the legality rules of Sec. II-A. *)
+
+open Alcop_ir
+
+type rejection = {
+  buffer : string;
+  rule : int;  (** which of the paper's three rules failed; 0 = structural *)
+  reason : string;
+}
+
+exception Rejected of rejection
+
+val pp_rejection : Format.formatter -> rejection -> unit
+
+type frame = {
+  var : string;
+  extent : Expr.t;
+  kind : Stmt.loop_kind;
+}
+
+type copy_site = {
+  dst : Stmt.region;
+  src : Stmt.region;
+  fused : string option;
+  stack : frame list;  (** enclosing loops, innermost first *)
+}
+
+type buffer_info = {
+  buffer : Buffer.t;
+  hint : Hints.hint;
+  site : copy_site;
+  loop_var : string;   (** the sequential load-and-use loop (step 3) *)
+  loop_extent : int;
+  producer : string;   (** source buffer of the producing copy (step 2) *)
+}
+
+type group = {
+  id : string;
+  scope : Buffer.scope;
+  loop_var : string;
+  loop_extent : int;
+  loop_depth : int;
+  stages : int;
+  members : buffer_info list;
+  synchronized : bool;
+      (** scope-based barriers: guarded by the four-primitive protocol *)
+  outer : string option;
+      (** id of the group whose buffers produce this group's data *)
+  fused : bool;  (** inner-pipeline fusion with [outer] (paper Fig. 3d) *)
+}
+
+type t = { groups : group list (** outermost first *) }
+
+val find_group : t -> string -> group option
+val group_of_buffer : t -> string -> group option
+val member_names : group -> string list
+val is_pipelined : t -> string -> bool
+
+val run : hw:Alcop_hw.Hw_config.t -> hints:Hints.t -> Kernel.t -> t
+(** @raise Rejected when a hinted buffer fails one of the paper's three
+    legality rules or a structural precondition. *)

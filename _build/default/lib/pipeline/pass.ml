@@ -1,0 +1,28 @@
+(* The complete pipelining pass: analysis followed by transformation.
+
+   This is the compiler pass a user of the library calls; it corresponds to
+   the "pipelining program transformation" box of the ALCOP architecture
+   (paper Fig. 4). *)
+
+open Alcop_ir
+
+type result = {
+  kernel : Kernel.t;
+  analysis : Analysis.t;
+}
+
+let groups r = r.analysis.Analysis.groups
+
+let run ~hw ~hints kernel =
+  match Analysis.run ~hw ~hints kernel with
+  | analysis ->
+    let kernel = Transform.run analysis kernel in
+    Validate.check_exn kernel;
+    Ok { kernel; analysis }
+  | exception Analysis.Rejected rejection -> Error rejection
+
+let run_exn ~hw ~hints kernel =
+  match run ~hw ~hints kernel with
+  | Ok r -> r
+  | Error rejection ->
+    invalid_arg (Format.asprintf "%a" Analysis.pp_rejection rejection)

@@ -1,0 +1,21 @@
+(** Transformation phase of the pipelining pass (paper Sec. III-B): buffer
+    expansion, index shifting, buffer rolling / out-of-bound wrapping,
+    prologue injection and synchronization injection, with multi-level
+    inner-pipeline fusion (paper Fig. 3d). *)
+
+open Alcop_ir
+
+val run : Analysis.t -> Kernel.t -> Kernel.t
+(** Rewrite every load-and-use loop identified by the analysis into its
+    pipelined form. The input kernel must be the one the analysis ran on. *)
+
+(**/**)
+
+(* Exposed for white-box unit tests. *)
+
+val rewrite_loop_body : Analysis.t -> Analysis.group -> Stmt.t -> Stmt.t
+val build_prologue : Analysis.t -> Analysis.group -> Stmt.t -> Stmt.t
+val inject_sync : Analysis.group -> fused_inner:bool -> Stmt.t -> Stmt.t
+val boundary_wait : Analysis.group -> Analysis.group -> Stmt.t
+val expand_allocs : Analysis.t -> Stmt.t -> Stmt.t
+val prologue_var_of : string -> string

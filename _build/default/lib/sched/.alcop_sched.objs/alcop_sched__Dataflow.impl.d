@@ -1,0 +1,1 @@
+lib/sched/dataflow.ml: Alcop_ir Buffer Dtype Format List Op_spec Printf String

@@ -1,0 +1,1 @@
+lib/sched/dataflow.mli: Alcop_ir Buffer Dtype Format Op_spec

@@ -1,0 +1,1 @@
+lib/sched/lower.ml: Alcop_ir Alcop_pipeline Buffer Dataflow Expr Format Kernel List Op_spec Schedule Stmt String Tiling Validate

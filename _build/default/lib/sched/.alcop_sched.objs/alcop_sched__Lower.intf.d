@@ -1,0 +1,1 @@
+lib/sched/lower.mli: Alcop_ir Alcop_pipeline Kernel Schedule

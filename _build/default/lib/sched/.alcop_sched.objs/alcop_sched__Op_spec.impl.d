@@ -1,0 +1,1 @@
+lib/sched/op_spec.ml: Alcop_ir Dtype Format

@@ -1,0 +1,1 @@
+lib/sched/op_spec.mli: Alcop_ir Dtype Format

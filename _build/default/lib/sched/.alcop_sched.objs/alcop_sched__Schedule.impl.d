@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Alcop_hw Alcop_ir Alcop_pipeline Buffer Dataflow Format List Op_spec Printf Tiling

@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Alcop_hw Alcop_ir Alcop_pipeline Buffer Dataflow Format Op_spec Tiling

@@ -1,0 +1,1 @@
+lib/sched/tiling.ml: Format Op_spec Printf

@@ -1,0 +1,1 @@
+lib/sched/tiling.mli: Format Op_spec

@@ -1,0 +1,332 @@
+(* Lowering: schedule -> input IR (paper Fig. 7, left).
+
+   The emitted loop nest is the canonical tensor-core GEMM structure:
+
+     for bi @blockIdx.y, bj @blockIdx.x (and bz @blockIdx.z when batched):
+       alloc A_sh, B_sh (shared), A_reg, B_reg, C_reg (register)
+       for wi, wj @warp: fill C_reg = 0
+       for ko:                         -- sequential K loop over TB tiles
+         memcpy A_sh <- A tile; memcpy B_sh <- B tile; __syncthreads
+         for ki:                       -- sequential K loop over warp tiles
+           for wi, wj @warp:
+             memcpy A_reg <- A_sh chunk; memcpy B_reg <- B_sh chunk
+             mma C_reg += A_reg * B_reg
+         __syncthreads
+       for wi, wj @warp: memcpy C tile <- C_reg   -- epilogue
+
+   All copies are synchronous and guarded by plain barriers; turning the
+   load-and-use loops into pipelines is the job of the pipelining pass.
+
+   Element-wise input producers that were not inlined remain materialized
+   global tensors; [materialize] reports them so the runtime computes them
+   before the kernel (a separate kernel launch, costed by the timing
+   simulator). *)
+
+open Alcop_ir
+
+exception Lowering_error of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Lowering_error m)) fmt
+
+type lowered = {
+  kernel : Kernel.t;
+  hints : Alcop_pipeline.Hints.t;
+  materialize : (string * string * string) list;
+      (** (tensor, source, op): global tensors to compute before launch *)
+  reduce : Kernel.t option;
+      (** split-K epilogue: sums the partial-output workspace into C and
+          applies the epilogue op; [None] when split_k = 1 *)
+  schedule : Schedule.t;
+}
+
+(* One GEMM operand's cache chain: shared stage then register stage. *)
+type operand = {
+  root : string;  (** global tensor feeding the chain *)
+  sh_name : string;
+  sh_fused : string option;
+  reg_name : string;
+  reg_fused : string option;
+}
+
+let analyze_operand graph operand_name =
+  let chain, root = Dataflow.cache_chain graph operand_name in
+  match chain with
+  | [ sh; reg ] ->
+    let get name =
+      match (Dataflow.find_exn graph name).Dataflow.kind with
+      | Dataflow.Cache_read { scope; fused; _ } -> (scope, fused)
+      | _ -> fail "stage %s is not a cache read" name
+    in
+    let sh_scope, sh_fused = get sh in
+    let reg_scope, reg_fused = get reg in
+    if not (Buffer.scope_equal sh_scope Buffer.Shared) then
+      fail "stage %s must be in shared scope" sh;
+    if not (Buffer.scope_equal reg_scope Buffer.Register) then
+      fail "stage %s must be in register scope" reg;
+    { root; sh_name = sh; sh_fused; reg_name = reg; reg_fused }
+  | _ ->
+    fail
+      "operand %s needs a two-level cache chain (shared then register); got \
+       [%s]" operand_name (String.concat "; " chain)
+
+let run (sched : Schedule.t) =
+  let spec = sched.Schedule.spec in
+  let tiling =
+    match sched.Schedule.tiling with
+    | Some t -> t
+    | None -> fail "schedule for %s is not tiled" spec.Op_spec.name
+  in
+  let graph = sched.Schedule.graph in
+  let gemm = Dataflow.find_exn graph graph.Dataflow.output in
+  let a_op_name, b_op_name =
+    match gemm.Dataflow.kind with
+    | Dataflow.Gemm { a; b } -> (a, b)
+    | _ -> fail "output stage %s is not a GEMM" gemm.Dataflow.name
+  in
+  let a = analyze_operand graph a_op_name in
+  let b = analyze_operand graph b_op_name in
+  let { Tiling.tb_m; tb_n; tb_k; warp_m; warp_n; warp_k; split_k } = tiling in
+  let nwi = Tiling.warps_m tiling in
+  let nwj = Tiling.warps_n tiling in
+  let n_ko = Tiling.k_iters tiling spec in
+  let n_ki = Tiling.ki_iters tiling in
+  let batched = spec.Op_spec.batch > 1 in
+  let dtype = spec.Op_spec.dtype in
+  (* Buffers. *)
+  let root_stage name = Dataflow.find_exn graph name in
+  let input_buffer name =
+    Buffer.make ~name ~scope:Buffer.Global ~dtype
+      ~shape:(root_stage name).Dataflow.shape
+  in
+  let a_in = input_buffer a.root in
+  let b_in = input_buffer b.root in
+  let c_out =
+    Buffer.make ~name:graph.Dataflow.output ~scope:Buffer.Global ~dtype
+      ~shape:(Op_spec.c_shape spec)
+  in
+  let a_sh =
+    Buffer.make ~name:a.sh_name ~scope:Buffer.Shared ~dtype
+      ~shape:[ tb_m; tb_k ]
+  in
+  let b_sh =
+    Buffer.make ~name:b.sh_name ~scope:Buffer.Shared ~dtype
+      ~shape:[ tb_n; tb_k ]
+  in
+  let a_reg =
+    Buffer.make ~name:a.reg_name ~scope:Buffer.Register ~dtype
+      ~shape:[ nwi; nwj; warp_m; warp_k ]
+  in
+  let b_reg =
+    Buffer.make ~name:b.reg_name ~scope:Buffer.Register ~dtype
+      ~shape:[ nwi; nwj; warp_n; warp_k ]
+  in
+  let c_reg_name = graph.Dataflow.output ^ "_reg" in
+  let c_reg =
+    Buffer.make ~name:c_reg_name ~scope:Buffer.Register ~dtype
+      ~shape:[ nwi; nwj; warp_m; warp_n ]
+  in
+  (* Index expressions. *)
+  let bz = Expr.var "bz" in
+  let bi = Expr.var "bi" in
+  let bj = Expr.var "bj" in
+  let wi = Expr.var "wi" in
+  let wj = Expr.var "wj" in
+  let ko = Expr.var "ko" in
+  let ki = Expr.var "ki" in
+  let sk = Expr.var "sk" in
+  let sl off len = Stmt.slice off len in
+  let scaled v c = Expr.mul v (Expr.const c) in
+  let with_batch slices = if batched then Stmt.point_slice bz :: slices else slices in
+  (* Global tile regions. With split-K, threadblock [sk] owns K iterations
+     [sk*n_ko, (sk+1)*n_ko). *)
+  let k_index =
+    if split_k > 1 then Expr.add (Expr.mul sk (Expr.const n_ko)) ko else ko
+  in
+  let a_tile =
+    Stmt.region a.root
+      (with_batch [ sl (scaled bi tb_m) tb_m; sl (scaled k_index tb_k) tb_k ])
+  in
+  let b_tile =
+    Stmt.region b.root
+      (with_batch [ sl (scaled bj tb_n) tb_n; sl (scaled k_index tb_k) tb_k ])
+  in
+  let partial_name = graph.Dataflow.output ^ "_partial" in
+  let c_target = if split_k > 1 then partial_name else graph.Dataflow.output in
+  let with_split slices =
+    if split_k > 1 then Stmt.point_slice sk :: slices else slices
+  in
+  let c_tile =
+    Stmt.region c_target
+      (with_split
+         (with_batch
+            [ sl (Expr.add (scaled bi tb_m) (scaled wi warp_m)) warp_m;
+              sl (Expr.add (scaled bj tb_n) (scaled wj warp_n)) warp_n ]))
+  in
+  (* Per-warp fragment regions. *)
+  let frag name rows cols =
+    Stmt.region name
+      [ Stmt.point_slice wi; Stmt.point_slice wj; sl Expr.zero rows;
+        sl Expr.zero cols ]
+  in
+  let warp_loops body =
+    Stmt.for_ ~kind:(Stmt.Parallel Stmt.Warp_y) "wi" (Expr.const nwi)
+      (Stmt.for_ ~kind:(Stmt.Parallel Stmt.Warp_x) "wj" (Expr.const nwj) body)
+  in
+  let fill =
+    warp_loops (Stmt.Fill { dst = frag c_reg_name warp_m warp_n; value = 0.0 })
+  in
+  let copy_a_sh =
+    Stmt.copy ?fused:a.sh_fused
+      ~dst:(Stmt.region a.sh_name [ sl Expr.zero tb_m; sl Expr.zero tb_k ])
+      ~src:a_tile ()
+  in
+  let copy_b_sh =
+    Stmt.copy ?fused:b.sh_fused
+      ~dst:(Stmt.region b.sh_name [ sl Expr.zero tb_n; sl Expr.zero tb_k ])
+      ~src:b_tile ()
+  in
+  let copy_a_reg =
+    Stmt.copy ?fused:a.reg_fused
+      ~dst:(frag a.reg_name warp_m warp_k)
+      ~src:
+        (Stmt.region a.sh_name
+           [ sl (scaled wi warp_m) warp_m; sl (scaled ki warp_k) warp_k ])
+      ()
+  in
+  let copy_b_reg =
+    Stmt.copy ?fused:b.reg_fused
+      ~dst:(frag b.reg_name warp_n warp_k)
+      ~src:
+        (Stmt.region b.sh_name
+           [ sl (scaled wj warp_n) warp_n; sl (scaled ki warp_k) warp_k ])
+      ()
+  in
+  let mma =
+    Stmt.Mma
+      { c = frag c_reg_name warp_m warp_n;
+        a = frag a.reg_name warp_m warp_k;
+        b = frag b.reg_name warp_n warp_k }
+  in
+  let ki_loop =
+    Stmt.for_ "ki" (Expr.const n_ki)
+      (warp_loops (Stmt.seq [ copy_a_reg; copy_b_reg; mma ]))
+  in
+  let ko_loop =
+    Stmt.for_ "ko" (Expr.const n_ko)
+      (Stmt.seq
+         [ copy_a_sh; copy_b_sh; Stmt.Sync Stmt.Barrier; ki_loop;
+           Stmt.Sync Stmt.Barrier ])
+  in
+  let epilogue_fused = if split_k > 1 then None else spec.Op_spec.epilogue in
+  let epilogue =
+    warp_loops
+      (Stmt.copy ?fused:epilogue_fused ~dst:c_tile
+         ~src:(frag c_reg_name warp_m warp_n) ())
+  in
+  let tb_body =
+    List.fold_right Stmt.alloc
+      [ a_sh; b_sh; a_reg; b_reg; c_reg ]
+      (Stmt.seq [ fill; ko_loop; epilogue ])
+  in
+  let grid =
+    let with_bz body =
+      if batched then
+        Stmt.for_ ~kind:(Stmt.Parallel Stmt.Block_z) "bz"
+          (Expr.const spec.Op_spec.batch) body
+      else body
+    in
+    let with_sk body =
+      if split_k > 1 then
+        Stmt.for_ ~kind:(Stmt.Parallel Stmt.Block_z) "sk"
+          (Expr.const split_k) body
+      else body
+    in
+    with_sk
+      (with_bz
+         (Stmt.for_ ~kind:(Stmt.Parallel Stmt.Block_y) "bi"
+            (Expr.const (spec.Op_spec.m / tb_m))
+            (Stmt.for_ ~kind:(Stmt.Parallel Stmt.Block_x) "bj"
+               (Expr.const (spec.Op_spec.n / tb_n))
+               tb_body)))
+  in
+  let c_partial =
+    Buffer.make ~name:partial_name ~scope:Buffer.Global ~dtype
+      ~shape:(split_k :: Op_spec.c_shape spec)
+  in
+  let main_outputs = if split_k > 1 then [ c_partial ] else [ c_out ] in
+  let kernel =
+    Kernel.make ~name:spec.Op_spec.name ~inputs:[ a_in; b_in ]
+      ~outputs:main_outputs ~body:grid
+  in
+  (* The split-K reduction kernel: per output tile, initialize from the
+     first partial, accumulate the rest, then apply the epilogue op. *)
+  let reduce =
+    if split_k = 1 then None
+    else begin
+      let s = Expr.var "s" in
+      let tile_region name ~lead =
+        Stmt.region name
+          (lead
+           @ with_batch
+               [ sl (scaled bi tb_m) tb_m; sl (scaled bj tb_n) tb_n ])
+      in
+      let c_region = tile_region graph.Dataflow.output ~lead:[] in
+      let partial_at idx = tile_region partial_name ~lead:[ Stmt.point_slice idx ] in
+      let body =
+        Stmt.seq
+          ([ Stmt.copy ~dst:c_region ~src:(partial_at Expr.zero) ();
+             Stmt.for_ "s"
+               (Expr.const (split_k - 1))
+               (Stmt.Accum
+                  { dst = c_region;
+                    src = partial_at (Expr.add s Expr.one) }) ]
+           @
+           match spec.Op_spec.epilogue with
+           | Some op -> [ Stmt.Unop { dst = c_region; src = c_region; op } ]
+           | None -> [])
+      in
+      let grid =
+        let with_bz body =
+          if batched then
+            Stmt.for_ ~kind:(Stmt.Parallel Stmt.Block_z) "bz"
+              (Expr.const spec.Op_spec.batch) body
+          else body
+        in
+        with_bz
+          (Stmt.for_ ~kind:(Stmt.Parallel Stmt.Block_y) "bi"
+             (Expr.const (spec.Op_spec.m / tb_m))
+             (Stmt.for_ ~kind:(Stmt.Parallel Stmt.Block_x) "bj"
+                (Expr.const (spec.Op_spec.n / tb_n))
+                body))
+      in
+      Some
+        (Kernel.make
+           ~name:(spec.Op_spec.name ^ "_reduce")
+           ~inputs:[ c_partial ] ~outputs:[ c_out ] ~body:grid)
+    end
+  in
+  (match Validate.check kernel with
+   | Ok () -> ()
+   | Error errs -> fail "lowered kernel is invalid:\n%s" (Validate.errors_to_string errs));
+  (match reduce with
+   | Some k ->
+     (match Validate.check k with
+      | Ok () -> ()
+      | Error errs ->
+        fail "reduce kernel is invalid:\n%s" (Validate.errors_to_string errs))
+   | None -> ());
+  let materialize =
+    List.filter_map
+      (fun (s : Dataflow.stage) ->
+        match s.Dataflow.kind with
+        | Dataflow.Elemwise { src; op } ->
+          (* Only materialize stages that actually feed the kernel. *)
+          if String.equal s.Dataflow.name a.root
+             || String.equal s.Dataflow.name b.root
+          then Some (s.Dataflow.name, src, op)
+          else None
+        | _ -> None)
+      graph.Dataflow.stages
+  in
+  { kernel; hints = sched.Schedule.pipeline_hints; materialize; reduce;
+    schedule = sched }

@@ -1,0 +1,23 @@
+(** Lowering: schedule -> input IR (paper Fig. 7, left): the canonical
+    tensor-core GEMM loop nest with synchronous copies and plain barriers.
+    Turning load-and-use loops into pipelines is the pipelining pass's job. *)
+
+open Alcop_ir
+
+exception Lowering_error of string
+
+type lowered = {
+  kernel : Kernel.t;
+  hints : Alcop_pipeline.Hints.t;
+  materialize : (string * string * string) list;
+      (** (tensor, source, op): non-inlined element-wise producers that must
+          be computed into global tensors before the kernel runs *)
+  reduce : Kernel.t option;
+      (** split-K epilogue kernel: sums the partial-output workspace into C
+          and applies the epilogue op; [None] when [split_k = 1] *)
+  schedule : Schedule.t;
+}
+
+val run : Schedule.t -> lowered
+(** @raise Lowering_error when the schedule lacks tiling or the canonical
+    two-level cache structure. *)

@@ -1,0 +1,92 @@
+(* Operator specifications.
+
+   Every pipelining-applicable operator of the paper (MatMul, batched
+   MatMul, Conv2D) is expressed as a (possibly batched) GEMM:
+   C[b, i, j] = sum_k A[b, i, k] * B[b, j, k]. Conv2D is lowered through
+   implicit GEMM (im2col): the workload layer materializes the im2col view
+   so the kernel itself is a GEMM, which is also how the paper's tensor-core
+   convolutions are scheduled.
+
+   Optional element-wise producers on the inputs ([a_op] / [b_op], e.g. a
+   datatype cast as in paper Fig. 5) and an epilogue op on the output allow
+   exercising the inlining-versus-pipelining ordering study. *)
+
+open Alcop_ir
+
+type conv_shape = {
+  cn : int;       (* batch of images *)
+  ci : int;       (* input channels *)
+  ch : int;       (* input height *)
+  cw : int;       (* input width *)
+  co : int;       (* output channels *)
+  ckh : int;      (* kernel height *)
+  ckw : int;      (* kernel width *)
+  stride : int;
+  pad : int;
+}
+
+type kind =
+  | Matmul
+  | Batched_matmul
+  | Conv2d of conv_shape
+
+type t = {
+  name : string;
+  kind : kind;
+  batch : int;
+  m : int;
+  n : int;
+  k : int;
+  dtype : Dtype.t;
+  a_op : string option;
+  b_op : string option;
+  epilogue : string option;
+}
+
+let check t =
+  if t.batch < 1 || t.m < 1 || t.n < 1 || t.k < 1 then
+    invalid_arg ("Op_spec: non-positive dimension in " ^ t.name);
+  t
+
+let matmul ?(dtype = Dtype.F16) ?a_op ?b_op ?epilogue ~name ~m ~n ~k () =
+  check { name; kind = Matmul; batch = 1; m; n; k; dtype; a_op; b_op; epilogue }
+
+let batched_matmul ?(dtype = Dtype.F16) ?a_op ?b_op ?epilogue ~name ~batch ~m
+    ~n ~k () =
+  check
+    { name; kind = Batched_matmul; batch; m; n; k; dtype; a_op; b_op; epilogue }
+
+let conv_out_dim ~dim ~kdim ~stride ~pad = ((dim + (2 * pad) - kdim) / stride) + 1
+
+let conv2d ?(dtype = Dtype.F16) ?epilogue ~name (c : conv_shape) =
+  let oh = conv_out_dim ~dim:c.ch ~kdim:c.ckh ~stride:c.stride ~pad:c.pad in
+  let ow = conv_out_dim ~dim:c.cw ~kdim:c.ckw ~stride:c.stride ~pad:c.pad in
+  (* Implicit GEMM: M = N*OH*OW (pixels), N = OC, K = IC*KH*KW. *)
+  check
+    { name; kind = Conv2d c; batch = 1;
+      m = c.cn * oh * ow; n = c.co; k = c.ci * c.ckh * c.ckw;
+      dtype; a_op = None; b_op = None; epilogue }
+
+let flops t = 2 * t.batch * t.m * t.n * t.k
+
+(* Global-memory footprint of inputs plus output, in elements. *)
+let footprint_elements t = t.batch * ((t.m * t.k) + (t.n * t.k) + (t.m * t.n))
+
+let footprint_bytes t = footprint_elements t * Dtype.size_bytes t.dtype
+
+(* Arithmetic intensity in FLOPs per byte; low intensity means the operator
+   is bandwidth-bound and pipelining has little to hide behind. *)
+let arithmetic_intensity t = float_of_int (flops t) /. float_of_int (footprint_bytes t)
+
+let a_shape t = if t.batch > 1 then [ t.batch; t.m; t.k ] else [ t.m; t.k ]
+let b_shape t = if t.batch > 1 then [ t.batch; t.n; t.k ] else [ t.n; t.k ]
+let c_shape t = if t.batch > 1 then [ t.batch; t.m; t.n ] else [ t.m; t.n ]
+
+let kind_to_string = function
+  | Matmul -> "matmul"
+  | Batched_matmul -> "bmm"
+  | Conv2d _ -> "conv2d"
+
+let pp fmt t =
+  Format.fprintf fmt "%s(%s: b=%d m=%d n=%d k=%d %a)" (kind_to_string t.kind)
+    t.name t.batch t.m t.n t.k Dtype.pp t.dtype

@@ -1,0 +1,1 @@
+lib/tune/anneal.ml: Array Hashtbl List Random Space

@@ -1,0 +1,1 @@
+lib/tune/anneal.mli: Random Space

@@ -1,0 +1,1 @@
+lib/tune/gbt.ml: Array Float List Option Tree

@@ -1,0 +1,1 @@
+lib/tune/gbt.mli: Tree

@@ -1,0 +1,1 @@
+lib/tune/space.ml: Alcop_perfmodel Alcop_sched Array Hashtbl List Op_spec Random Tiling

@@ -1,0 +1,1 @@
+lib/tune/space.mli: Alcop_perfmodel Alcop_sched Hashtbl Op_spec Random

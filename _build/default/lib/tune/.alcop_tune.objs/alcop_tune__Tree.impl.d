@@ -1,0 +1,1 @@
+lib/tune/tree.ml: Array Fun List

@@ -1,0 +1,1 @@
+lib/tune/tuner.ml: Alcop_perfmodel Anneal Array Float Fun Gbt Hashtbl List Option Random Space Tree

@@ -1,0 +1,1 @@
+lib/tune/tuner.mli: Alcop_hw Alcop_perfmodel Alcop_sched

@@ -1,0 +1,1 @@
+lib/tune/tuning_log.ml: Alcop_perfmodel Alcop_sched Array Char Fun Printf Stdlib String Tuner

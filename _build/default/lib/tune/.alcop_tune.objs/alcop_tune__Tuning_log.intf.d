@@ -1,0 +1,1 @@
+lib/tune/tuning_log.mli: Alcop_perfmodel Tuner

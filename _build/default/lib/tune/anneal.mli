@@ -1,0 +1,23 @@
+(** Simulated-annealing candidate proposal over the schedule space, in the
+    role of TVM's sampler (paper Table II). *)
+
+type config = {
+  n_chains : int;
+  n_steps : int;
+  t_start : float;
+  t_end : float;
+}
+
+val default_config : config
+
+val propose :
+  ?config:config ->
+  Random.State.t ->
+  Space.indexed ->
+  score:(int -> float) ->
+  exclude:(int -> bool) ->
+  batch:int ->
+  int list
+(** Run annealing chains maximizing [score]; return up to [batch] distinct
+    non-excluded indices, best-scored first, topped up randomly if chains
+    found too few. *)

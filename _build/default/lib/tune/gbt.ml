@@ -1,0 +1,69 @@
+(* Gradient-boosted regression trees with squared loss: the learned cost
+   model of the ML-based tuner (the paper's XGBoost role). Boosting on
+   squared loss fits each tree to the residuals of the current ensemble,
+   which also gives the analytical pre-training of Sec. IV-C for free:
+   [fit ~init:prior] continues boosting from a prior ensemble, so a model
+   pre-trained on analytical predictions is fine-tuned by fitting measured
+   residuals. *)
+
+type t = {
+  base : float;
+  learning_rate : float;
+  trees : Tree.t list;  (** in boosting order *)
+}
+
+type config = {
+  n_rounds : int;
+  learning_rate : float;
+  tree : Tree.config;
+}
+
+let default_config =
+  { n_rounds = 40; learning_rate = 0.3; tree = Tree.default_config }
+
+let constant v = { base = v; learning_rate = 0.3; trees = [] }
+
+let predict (t : t) x =
+  List.fold_left
+    (fun acc tree -> acc +. (t.learning_rate *. Tree.predict tree x))
+    t.base t.trees
+
+let fit ?(config = default_config) ?init (features : float array array)
+    (targets : float array) =
+  let n = Array.length features in
+  if n = 0 then Option.value init ~default:(constant 0.0)
+  else begin
+    let start =
+      match init with
+      | Some m -> { m with learning_rate = m.learning_rate }
+      | None ->
+        let mu = Array.fold_left ( +. ) 0.0 targets /. float_of_int n in
+        { base = mu; learning_rate = config.learning_rate; trees = [] }
+    in
+    (* Note: when continuing from a prior, the prior's learning rate is
+       kept so its trees' contributions stay calibrated; new trees use the
+       same rate. *)
+    let current = Array.init n (fun i -> predict start features.(i)) in
+    let rec boost (model : t) round =
+      if round = config.n_rounds then model
+      else begin
+        let residuals = Array.init n (fun i -> targets.(i) -. current.(i)) in
+        let max_abs =
+          Array.fold_left (fun a r -> Float.max a (Float.abs r)) 0.0 residuals
+        in
+        if max_abs < 1e-9 then model
+        else begin
+          let tree = Tree.fit ~config:config.tree features residuals in
+          Array.iteri
+            (fun i x ->
+              current.(i) <-
+                current.(i) +. (model.learning_rate *. Tree.predict tree x))
+            features;
+          boost { model with trees = model.trees @ [ tree ] } (round + 1)
+        end
+      end
+    in
+    boost start 0
+  end
+
+let n_trees t = List.length t.trees

@@ -1,0 +1,22 @@
+(** Gradient-boosted regression trees with squared loss — the learned cost
+    model (the paper's XGBoost role). [fit ~init:prior] continues boosting
+    from a prior ensemble: a model pre-trained on analytical predictions is
+    fine-tuned by fitting measured residuals (paper Sec. IV-C). *)
+
+type t = {
+  base : float;
+  learning_rate : float;
+  trees : Tree.t list;
+}
+
+type config = {
+  n_rounds : int;
+  learning_rate : float;
+  tree : Tree.config;
+}
+
+val default_config : config
+val constant : float -> t
+val predict : t -> float array -> float
+val fit : ?config:config -> ?init:t -> float array array -> float array -> t
+val n_trees : t -> int

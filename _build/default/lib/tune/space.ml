@@ -1,0 +1,152 @@
+(* The schedule search space: valid (tiling, stage-count) combinations for
+   an operator. Tile candidates are divisors of the problem dimensions
+   (like TVM's split-factor enumeration), warp tiles are MMA-granule
+   aligned, and resource-impossible points are kept out of the space while
+   resource-*tight* points stay in (they may fail to launch — the paper's
+   "compile fail" markers in Fig. 12 come from exactly those). *)
+
+open Alcop_sched
+
+type restriction = {
+  smem_stage_options : int list;
+  reg_stage_options : int list;
+}
+
+let full = { smem_stage_options = [ 1; 2; 3; 4 ]; reg_stage_options = [ 1; 2 ] }
+
+(* Ablations of Sec. V-A. *)
+let no_multilevel = { full with reg_stage_options = [ 1 ] }
+let no_multilevel_no_multistage =
+  { smem_stage_options = [ 1; 2 ]; reg_stage_options = [ 1 ] }
+let no_pipelining = { smem_stage_options = [ 1 ]; reg_stage_options = [ 1 ] }
+
+let divisors_in candidates n = List.filter (fun d -> n mod d = 0) candidates
+
+let tb_candidates = [ 16; 32; 64; 128; 256 ]
+let tbk_candidates = [ 16; 32; 64 ]
+let warp_candidates = [ 16; 32; 64; 128 ]
+let warpk_candidates = [ 16; 32 ]
+let split_candidates = [ 1; 2; 4 ]
+
+(* Split-K only makes sense when the plain grid is too small to occupy the
+   device; enumerating it everywhere would bloat the space with pointless
+   points. *)
+let split_options (spec : Op_spec.t) ~tb_m ~tb_n ~tb_k =
+  let grid = spec.Op_spec.batch * (spec.Op_spec.m / tb_m) * (spec.Op_spec.n / tb_n) in
+  let k_iters = spec.Op_spec.k / tb_k in
+  List.filter
+    (fun s -> s = 1 || (grid < 216 && k_iters mod s = 0 && k_iters / s >= 2))
+    split_candidates
+
+let enumerate ?(restriction = full) (spec : Op_spec.t) =
+  let tb_ms = divisors_in tb_candidates spec.Op_spec.m in
+  let tb_ns = divisors_in tb_candidates spec.Op_spec.n in
+  let tb_ks = divisors_in tbk_candidates spec.Op_spec.k in
+  let points = ref [] in
+  List.iter
+    (fun tb_m ->
+      List.iter
+        (fun tb_n ->
+          List.iter
+            (fun tb_k ->
+              let warp_ms = divisors_in warp_candidates tb_m in
+              let warp_ns = divisors_in warp_candidates tb_n in
+              let warp_ks = divisors_in warpk_candidates tb_k in
+              List.iter
+                (fun warp_m ->
+                  List.iter
+                    (fun warp_n ->
+                      List.iter
+                        (fun warp_k ->
+                          List.iter
+                            (fun split_k ->
+                              let tiling =
+                                Tiling.make ~split_k ~tb_m ~tb_n ~tb_k ~warp_m
+                                  ~warp_n ~warp_k ()
+                              in
+                              let warps = Tiling.warps tiling in
+                              if
+                                warps >= 1 && warps <= 16
+                                && Tiling.validate tiling spec = Ok ()
+                              then
+                                List.iter
+                                  (fun smem_stages ->
+                                    List.iter
+                                      (fun reg_stages ->
+                                        points :=
+                                          Alcop_perfmodel.Params.make ~tiling
+                                            ~smem_stages ~reg_stages ()
+                                          :: !points)
+                                      restriction.reg_stage_options)
+                                  restriction.smem_stage_options)
+                            (split_options spec ~tb_m ~tb_n ~tb_k))
+                        warp_ks)
+                    warp_ns)
+                warp_ms)
+            tb_ks)
+        tb_ns)
+    tb_ms;
+  Array.of_list (List.rev !points)
+
+(* Neighbour structure for simulated annealing: points at knob distance one.
+   Precomputed lazily from the knob encoding. *)
+type indexed = {
+  points : Alcop_perfmodel.Params.t array;
+  index_of : (string, int) Hashtbl.t;
+}
+
+let index points =
+  let index_of = Hashtbl.create (Array.length points) in
+  Array.iteri
+    (fun i p -> Hashtbl.replace index_of (Alcop_perfmodel.Params.to_string p) i)
+    points;
+  { points; index_of }
+
+let knob_values (p : Alcop_perfmodel.Params.t) =
+  let t = p.Alcop_perfmodel.Params.tiling in
+  [| t.Tiling.tb_m; t.Tiling.tb_n; t.Tiling.tb_k; t.Tiling.warp_m;
+     t.Tiling.warp_n; t.Tiling.warp_k; p.Alcop_perfmodel.Params.smem_stages;
+     p.Alcop_perfmodel.Params.reg_stages; t.Tiling.split_k |]
+
+let of_knobs (p : Alcop_perfmodel.Params.t) knobs =
+  let tiling =
+    Tiling.make ~tb_m:knobs.(0) ~tb_n:knobs.(1) ~tb_k:knobs.(2)
+      ~warp_m:knobs.(3) ~warp_n:knobs.(4) ~warp_k:knobs.(5)
+      ~split_k:knobs.(8) ()
+  in
+  Alcop_perfmodel.Params.make ~swizzle:p.Alcop_perfmodel.Params.swizzle ~tiling
+    ~smem_stages:knobs.(6) ~reg_stages:knobs.(7) ()
+
+(* A random knob-neighbour of [i] that exists in the space; falls back to a
+   uniformly random point when no neighbour move is found quickly. *)
+let neighbour (idx : indexed) rng i =
+  let p = idx.points.(i) in
+  let knobs = knob_values p in
+  let axis_options = [|
+    [ 16; 32; 64; 128; 256 ]; [ 16; 32; 64; 128; 256 ]; [ 16; 32; 64 ];
+    [ 16; 32; 64; 128 ]; [ 16; 32; 64; 128 ]; [ 16; 32 ];
+    [ 1; 2; 3; 4 ]; [ 1; 2 ]; [ 1; 2; 4 ];
+  |] in
+  let rec attempt tries =
+    if tries = 0 then Random.State.int rng (Array.length idx.points)
+    else begin
+      let axis = Random.State.int rng 9 in
+      let options = axis_options.(axis) in
+      let v = List.nth options (Random.State.int rng (List.length options)) in
+      if v = knobs.(axis) then attempt (tries - 1)
+      else begin
+        let knobs' = Array.copy knobs in
+        knobs'.(axis) <- v;
+        match of_knobs p knobs' with
+        | candidate ->
+          (match
+             Hashtbl.find_opt idx.index_of
+               (Alcop_perfmodel.Params.to_string candidate)
+           with
+           | Some j -> j
+           | None -> attempt (tries - 1))
+        | exception Invalid_argument _ -> attempt (tries - 1)
+      end
+    end
+  in
+  attempt 12

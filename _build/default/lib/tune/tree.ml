@@ -1,0 +1,112 @@
+(* CART-style regression trees: the weak learners of the gradient-boosted
+   cost model (our stand-in for XGBoost). Splits minimize weighted variance
+   of the target; thresholds are subsampled midpoints of the sorted unique
+   feature values. *)
+
+type t =
+  | Leaf of float
+  | Node of {
+      feature : int;
+      threshold : float;
+      left : t;   (** feature value <= threshold *)
+      right : t;
+    }
+
+type config = {
+  max_depth : int;
+  min_samples_leaf : int;
+  max_thresholds : int;  (** candidate split thresholds per feature *)
+}
+
+let default_config = { max_depth = 5; min_samples_leaf = 2; max_thresholds = 16 }
+
+let mean values idxs =
+  if idxs = [] then 0.0
+  else begin
+    let sum = List.fold_left (fun acc i -> acc +. values.(i)) 0.0 idxs in
+    sum /. float_of_int (List.length idxs)
+  end
+
+let sse values idxs =
+  let mu = mean values idxs in
+  List.fold_left
+    (fun acc i ->
+      let d = values.(i) -. mu in
+      acc +. (d *. d))
+    0.0 idxs
+
+let candidate_thresholds cfg column idxs =
+  let values =
+    List.sort_uniq compare (List.map (fun i -> column i) idxs)
+  in
+  match values with
+  | [] | [ _ ] -> []
+  | _ ->
+    let midpoints =
+      let rec mids = function
+        | a :: (b :: _ as rest) -> ((a +. b) /. 2.0) :: mids rest
+        | [ _ ] | [] -> []
+      in
+      mids values
+    in
+    let n = List.length midpoints in
+    if n <= cfg.max_thresholds then midpoints
+    else begin
+      let arr = Array.of_list midpoints in
+      List.init cfg.max_thresholds (fun i -> arr.(i * n / cfg.max_thresholds))
+    end
+
+let fit ?(config = default_config) (features : float array array)
+    (targets : float array) =
+  let n_features =
+    if Array.length features = 0 then 0 else Array.length features.(0)
+  in
+  let rec grow idxs depth =
+    let node_sse = sse targets idxs in
+    if
+      depth >= config.max_depth
+      || List.length idxs < 2 * config.min_samples_leaf
+      || node_sse < 1e-12
+    then Leaf (mean targets idxs)
+    else begin
+      let best = ref None in
+      for f = 0 to n_features - 1 do
+        let column i = features.(i).(f) in
+        List.iter
+          (fun thr ->
+            let l, r = List.partition (fun i -> column i <= thr) idxs in
+            if
+              List.length l >= config.min_samples_leaf
+              && List.length r >= config.min_samples_leaf
+            then begin
+              let score = sse targets l +. sse targets r in
+              match !best with
+              | Some (s, _, _, _, _) when s <= score -> ()
+              | _ -> best := Some (score, f, thr, l, r)
+            end)
+          (candidate_thresholds config column idxs)
+      done;
+      match !best with
+      | Some (score, f, thr, l, r) when score < node_sse -. 1e-12 ->
+        Node
+          { feature = f; threshold = thr; left = grow l (depth + 1);
+            right = grow r (depth + 1) }
+      | Some _ | None -> Leaf (mean targets idxs)
+    end
+  in
+  if Array.length features = 0 then Leaf 0.0
+  else grow (List.init (Array.length features) Fun.id) 0
+
+let rec predict t x =
+  match t with
+  | Leaf v -> v
+  | Node { feature; threshold; left; right } ->
+    if x.(feature) <= threshold then predict left x else predict right x
+
+let rec depth = function
+  | Leaf _ -> 0
+  | Node { left; right; _ } -> 1 + max (depth left) (depth right)
+
+let rec n_leaves = function
+  | Leaf _ -> 1
+  | Node { left; right; _ } -> n_leaves left + n_leaves right

@@ -1,0 +1,26 @@
+(** CART-style regression trees: the weak learners of the gradient-boosted
+    cost model. *)
+
+type t =
+  | Leaf of float
+  | Node of {
+      feature : int;
+      threshold : float;
+      left : t;   (** feature value <= threshold *)
+      right : t;
+    }
+
+type config = {
+  max_depth : int;
+  min_samples_leaf : int;
+  max_thresholds : int;
+}
+
+val default_config : config
+
+val fit : ?config:config -> float array array -> float array -> t
+(** Variance-minimizing splits over subsampled midpoint thresholds. *)
+
+val predict : t -> float array -> float
+val depth : t -> int
+val n_leaves : t -> int

@@ -1,0 +1,220 @@
+(* Schedule tuning methods — paper Table II and Sec. V-E.
+
+   - [Grid]: an evenly strided sweep of the space; no learning.
+   - [Xgb]: TVM's default: a gradient-boosted-trees cost model fit to the
+     measured trials, with simulated annealing proposing each batch.
+   - [Analytical_only]: rank the whole space by the analytical model of
+     Table I; measure in rank order.
+   - [Analytical_xgb] (ALCOP): pre-train the boosted model on analytical
+     predictions over the space, then run the Xgb workflow; new boosting
+     rounds fit measured residuals on top of the analytical prior.
+
+   [evaluate] is the "hardware measurement" — in this repository, the
+   event-driven timing simulator. [None] means the schedule failed to
+   compile or launch (e.g. out of shared memory). *)
+
+type method_ =
+  | Grid
+  | Xgb
+  | Analytical_only
+  | Analytical_xgb
+
+let method_to_string = function
+  | Grid -> "grid-search"
+  | Xgb -> "XGB"
+  | Analytical_only -> "analytical-only"
+  | Analytical_xgb -> "analytical+XGB"
+
+type trial = {
+  index : int;
+  params : Alcop_perfmodel.Params.t;
+  cost : float option;  (** measured cycles; None = failed to compile *)
+}
+
+type result = {
+  trials : trial array;  (** in measurement order *)
+  space_size : int;
+}
+
+let best_within (r : result) k =
+  let best = ref None in
+  Array.iteri
+    (fun i t ->
+      if i < k then
+        match t.cost with
+        | Some c ->
+          (match !best with
+           | Some b when b <= c -> ()
+           | _ -> best := Some c)
+        | None -> ())
+    r.trials;
+  !best
+
+let best (r : result) = best_within r (Array.length r.trials)
+
+(* Target encoding for the learned model: higher is better, scale-free. *)
+let failure_target = -40.0
+
+let target_of_cost = function
+  | Some c when c > 0.0 -> -.Float.log c
+  | Some _ | None -> failure_target
+
+let exhaustive ~(space : Alcop_perfmodel.Params.t array) ~evaluate =
+  let trials =
+    Array.mapi
+      (fun i p -> { index = i; params = p; cost = evaluate p })
+      space
+  in
+  { trials; space_size = Array.length space }
+
+let measure_order ~space ~evaluate order budget =
+  let seen = Hashtbl.create 64 in
+  let trials = ref [] in
+  List.iter
+    (fun i ->
+      if List.length !trials < budget && not (Hashtbl.mem seen i) then begin
+        Hashtbl.replace seen i ();
+        trials :=
+          { index = i; params = space.(i); cost = evaluate space.(i) }
+          :: !trials
+      end)
+    order;
+  { trials = Array.of_list (List.rev !trials); space_size = Array.length space }
+
+let grid ~space ~evaluate ~budget =
+  let n = Array.length space in
+  let order =
+    if budget >= n then List.init n Fun.id
+    else List.init budget (fun i -> i * n / budget)
+  in
+  measure_order ~space ~evaluate order budget
+
+let analytical_only ~hw ~spec ~space ~evaluate ~budget =
+  let scored =
+    Array.to_list
+      (Array.mapi
+         (fun i p ->
+           (i, Alcop_perfmodel.Model.predict_cycles hw spec p))
+         space)
+  in
+  let valid = List.filter_map (fun (i, c) -> Option.map (fun c -> (i, c)) c) scored in
+  let order =
+    List.map fst (List.sort (fun (_, a) (_, b) -> compare a b) valid)
+  in
+  measure_order ~space ~evaluate order budget
+
+(* The shared Xgb workflow; [prior] carries the analytical pre-training. *)
+let xgb_loop ~hw ~spec ~space ~evaluate ~budget ~seed ~prior =
+  let rng = Random.State.make [| seed; 0xA1C0 |] in
+  let idx = Space.index space in
+  let feats =
+    Array.map (fun p -> Alcop_perfmodel.Features.extract hw spec p) space
+  in
+  let measured : (int, float option) Hashtbl.t = Hashtbl.create 64 in
+  let trials = ref [] in
+  let measure i =
+    if not (Hashtbl.mem measured i) then begin
+      let cost = evaluate space.(i) in
+      Hashtbl.replace measured i cost;
+      trials := { index = i; params = space.(i); cost } :: !trials
+    end
+  in
+  let batch_size = max 1 (min 8 budget) in
+  let model = ref prior in
+  (* Exact top-n of the whole space under the current model (exploitation);
+     annealing fills the rest of a batch (exploration). *)
+  let top_by_model m ~exclude n =
+    let scored = ref [] in
+    Array.iteri
+      (fun i _ -> if not (exclude i) then
+          scored := (Gbt.predict m feats.(i), i) :: !scored)
+      space;
+    let sorted = List.sort (fun (a, _) (b, _) -> compare b a) !scored in
+    List.filteri (fun j _ -> j < n) (List.map snd sorted)
+  in
+  let propose_batch m ~exclude n =
+    let exploit = top_by_model m ~exclude (max 1 (n / 2)) in
+    let exclude' i = exclude i || List.mem i exploit in
+    let explore =
+      Anneal.propose rng idx
+        ~score:(fun i -> Gbt.predict m feats.(i))
+        ~exclude:exclude' ~batch:(n - List.length exploit)
+    in
+    exploit @ explore
+  in
+  let first_batch =
+    match prior with
+    | Some m ->
+      (* With a pre-trained prior the very first batch already follows the
+         model instead of being random — the key advantage at tiny trial
+         budgets (paper Fig. 13, budget 10). *)
+      propose_batch m ~exclude:(fun _ -> false) batch_size
+    | None ->
+      List.init batch_size (fun _ -> Random.State.int rng (Array.length space))
+  in
+  List.iter measure first_batch;
+  let rec loop () =
+    if List.length !trials < budget then begin
+      (* Refit on all measured data, continuing from the prior if any. *)
+      let data = Hashtbl.fold (fun i c acc -> (i, c) :: acc) measured [] in
+      let xs = Array.of_list (List.map (fun (i, _) -> feats.(i)) data) in
+      let ys = Array.of_list (List.map (fun (_, c) -> target_of_cost c) data) in
+      let fitted =
+        Gbt.fit
+          ~config:{ Gbt.default_config with n_rounds = 24 }
+          ?init:prior xs ys
+      in
+      model := Some fitted;
+      let remaining = budget - List.length !trials in
+      let batch =
+        propose_batch fitted ~exclude:(Hashtbl.mem measured)
+          (min batch_size remaining)
+      in
+      match batch with
+      | [] -> ()  (* the whole space has been measured *)
+      | _ ->
+        List.iter measure batch;
+        loop ()
+    end
+  in
+  loop ();
+  ignore !model;
+  { trials = Array.of_list (List.rev !trials); space_size = Array.length space }
+
+(* Pre-training set: analytical predictions over (a sample of) the space. *)
+let pretrain ~hw ~spec ~space ~seed =
+  let rng = Random.State.make [| seed; 0xF17 |] in
+  let n = Array.length space in
+  let sample_size = min n 2048 in
+  let indices =
+    if sample_size = n then List.init n Fun.id
+    else List.init sample_size (fun _ -> Random.State.int rng n)
+  in
+  let pairs =
+    List.filter_map
+      (fun i ->
+        match Alcop_perfmodel.Model.predict_cycles hw spec space.(i) with
+        | Some c ->
+          Some (Alcop_perfmodel.Features.extract hw spec space.(i), -.Float.log c)
+        | None -> None)
+      indices
+  in
+  let xs = Array.of_list (List.map fst pairs) in
+  let ys = Array.of_list (List.map snd pairs) in
+  Gbt.fit
+    ~config:
+      { Gbt.default_config with n_rounds = 64;
+        tree = { Tree.default_config with max_depth = 6 } }
+    xs ys
+
+let run ~hw ~spec ~(space : Alcop_perfmodel.Params.t array) ~evaluate ~budget
+    ~seed method_ =
+  if Array.length space = 0 then { trials = [||]; space_size = 0 }
+  else
+    match method_ with
+    | Grid -> grid ~space ~evaluate ~budget
+    | Analytical_only -> analytical_only ~hw ~spec ~space ~evaluate ~budget
+    | Xgb -> xgb_loop ~hw ~spec ~space ~evaluate ~budget ~seed ~prior:None
+    | Analytical_xgb ->
+      let prior = pretrain ~hw ~spec ~space ~seed in
+      xgb_loop ~hw ~spec ~space ~evaluate ~budget ~seed ~prior:(Some prior)

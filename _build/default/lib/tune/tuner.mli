@@ -1,0 +1,48 @@
+(** Schedule tuning methods — paper Table II and Sec. V-E.
+
+    [evaluate] plays the role of hardware measurement (here: the timing
+    simulator); [None] marks schedules that fail to compile or launch. *)
+
+type method_ =
+  | Grid             (** evenly strided sweep, no learning *)
+  | Xgb              (** TVM default: boosted trees + simulated annealing *)
+  | Analytical_only  (** rank the space by the Table I model *)
+  | Analytical_xgb   (** ALCOP: analytical pre-training + the Xgb workflow *)
+
+val method_to_string : method_ -> string
+
+type trial = {
+  index : int;
+  params : Alcop_perfmodel.Params.t;
+  cost : float option;  (** measured cycles; [None] = failed to compile *)
+}
+
+type result = {
+  trials : trial array;  (** in measurement order *)
+  space_size : int;
+}
+
+val best_within : result -> int -> float option
+(** Best measured cost among the first k trials. *)
+
+val best : result -> float option
+
+val target_of_cost : float option -> float
+(** Learning target: [-log cost], with a sentinel for failures. *)
+
+val exhaustive :
+  space:Alcop_perfmodel.Params.t array ->
+  evaluate:(Alcop_perfmodel.Params.t -> float option) ->
+  result
+
+val run :
+  hw:Alcop_hw.Hw_config.t ->
+  spec:Alcop_sched.Op_spec.t ->
+  space:Alcop_perfmodel.Params.t array ->
+  evaluate:(Alcop_perfmodel.Params.t -> float option) ->
+  budget:int ->
+  seed:int ->
+  method_ ->
+  result
+(** Deterministic for a given seed. Each space point is measured at most
+    once; the run stops early if the space is exhausted. *)

@@ -1,0 +1,61 @@
+(* JSON tuning logs, in the spirit of AutoTVM's record files: one run
+   object carrying the method, seed, space size and every trial with its
+   schedule knobs and measured cost. Hand-rolled writer — the log grammar
+   is flat and the repository carries no JSON dependency. *)
+
+let escape s =
+  let buf = Stdlib.Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Stdlib.Buffer.add_string buf "\\\""
+      | '\\' -> Stdlib.Buffer.add_string buf "\\\\"
+      | '\n' -> Stdlib.Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Stdlib.Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Stdlib.Buffer.add_char buf c)
+    s;
+  Stdlib.Buffer.contents buf
+
+let json_of_params (p : Alcop_perfmodel.Params.t) =
+  let t = p.Alcop_perfmodel.Params.tiling in
+  Printf.sprintf
+    {|{"tb_m":%d,"tb_n":%d,"tb_k":%d,"warp_m":%d,"warp_n":%d,"warp_k":%d,"split_k":%d,"smem_stages":%d,"reg_stages":%d,"swizzle":%b,"inner_fuse":%b}|}
+    t.Alcop_sched.Tiling.tb_m t.Alcop_sched.Tiling.tb_n
+    t.Alcop_sched.Tiling.tb_k t.Alcop_sched.Tiling.warp_m
+    t.Alcop_sched.Tiling.warp_n t.Alcop_sched.Tiling.warp_k
+    t.Alcop_sched.Tiling.split_k p.Alcop_perfmodel.Params.smem_stages
+    p.Alcop_perfmodel.Params.reg_stages p.Alcop_perfmodel.Params.swizzle
+    p.Alcop_perfmodel.Params.inner_fuse
+
+let json_of_trial (t : Tuner.trial) =
+  Printf.sprintf {|{"index":%d,"schedule":%s,"cost_cycles":%s}|}
+    t.Tuner.index
+    (json_of_params t.Tuner.params)
+    (match t.Tuner.cost with
+     | Some c -> Printf.sprintf "%.3f" c
+     | None -> "null")
+
+let to_json ~spec_name ~method_ ~seed (r : Tuner.result) =
+  let trials =
+    String.concat ","
+      (Array.to_list (Array.map json_of_trial r.Tuner.trials))
+  in
+  let best =
+    match Tuner.best r with
+    | Some c -> Printf.sprintf "%.3f" c
+    | None -> "null"
+  in
+  Printf.sprintf
+    {|{"operator":"%s","method":"%s","seed":%d,"space_size":%d,"best_cycles":%s,"trials":[%s]}|}
+    (escape spec_name)
+    (escape (Tuner.method_to_string method_))
+    seed r.Tuner.space_size best trials
+
+let write_file ~path ~spec_name ~method_ ~seed r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_json ~spec_name ~method_ ~seed r);
+      output_char oc '\n')

@@ -1,0 +1,17 @@
+(** JSON tuning logs, in the spirit of AutoTVM's record files. *)
+
+val json_of_params : Alcop_perfmodel.Params.t -> string
+
+val to_json :
+  spec_name:string -> method_:Tuner.method_ -> seed:int -> Tuner.result -> string
+(** One JSON object: operator, method, seed, space size, best cost, and
+    every trial with its schedule knobs and measured cost (null = compile
+    failure). *)
+
+val write_file :
+  path:string ->
+  spec_name:string ->
+  method_:Tuner.method_ ->
+  seed:int ->
+  Tuner.result ->
+  unit

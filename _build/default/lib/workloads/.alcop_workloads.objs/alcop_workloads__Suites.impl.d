@@ -1,0 +1,1 @@
+lib/workloads/suites.ml: Alcop_sched List Op_spec String

@@ -1,0 +1,113 @@
+(* End-to-end model descriptions for the paper's Table III: each model is
+   the multiset of its pipelining-applicable operators (MatMul / BMM /
+   Conv2D, which dominate inference latency) plus a fixed non-optimized
+   remainder covering everything pipelining does not touch (softmax,
+   layer-norm, activations, batch-norm, pooling, data movement). The
+   remainder is identical across compilers, matching the paper's setup in
+   which ALCOP only changes the heavy tensor-contraction kernels.
+
+   [overhead_fraction] is the share of a model's TVM-baseline latency spent
+   in that remainder, set to typical inference profiler splits: small for
+   the large transformers (their GEMMs dominate), large for small CNNs at
+   inference batch sizes (memory-bound layers dominate). *)
+
+open Alcop_sched
+
+type t = {
+  name : string;
+  ops : (Op_spec.t * int) list;  (** operator, occurrence count *)
+  overhead_fraction : float;
+}
+
+let mm = Op_spec.matmul
+let bmm = Op_spec.batched_matmul
+
+let conv ~name ~cn ~ci ~chw ~co ~ck ~stride ~pad =
+  Op_spec.conv2d ~name
+    { Op_spec.cn; ci; ch = chw; cw = chw; co; ckh = ck; ckw = ck; stride; pad }
+
+(* BERT-base: 12 layers, hidden 768, 12 heads, sequence 512, batch 8. *)
+let bert =
+  let s = 512 and h = 768 and heads_batch = 96 in
+  { name = "BERT";
+    ops = [
+      (mm ~name:"bert.qkv" ~m:s ~n:(3 * h) ~k:h (), 12);
+      (bmm ~name:"bert.qk" ~batch:heads_batch ~m:s ~n:s ~k:64 (), 12);
+      (bmm ~name:"bert.sv" ~batch:heads_batch ~m:s ~n:64 ~k:s (), 12);
+      (mm ~name:"bert.attn_out" ~m:s ~n:h ~k:h (), 12);
+      (mm ~name:"bert.fc1" ~m:s ~n:(4 * h) ~k:h (), 12);
+      (mm ~name:"bert.fc2" ~m:s ~n:h ~k:(4 * h) (), 12);
+    ];
+    overhead_fraction = 0.13 }
+
+(* BERT-large: 24 layers, hidden 1024, 16 heads, sequence 512, batch 8. *)
+let bert_large =
+  let s = 512 and h = 1024 and heads_batch = 128 in
+  { name = "BERT-Large";
+    ops = [
+      (mm ~name:"bertL.qkv" ~m:s ~n:(3 * h) ~k:h (), 24);
+      (bmm ~name:"bertL.qk" ~batch:heads_batch ~m:s ~n:s ~k:64 (), 24);
+      (bmm ~name:"bertL.sv" ~batch:heads_batch ~m:s ~n:64 ~k:s (), 24);
+      (mm ~name:"bertL.attn_out" ~m:s ~n:h ~k:h (), 24);
+      (mm ~name:"bertL.fc1" ~m:s ~n:(4 * h) ~k:h (), 24);
+      (mm ~name:"bertL.fc2" ~m:s ~n:h ~k:(4 * h) (), 24);
+    ];
+    overhead_fraction = 0.09 }
+
+(* GPT-2 small: 12 layers, hidden 768, 12 heads, sequence 1024, batch 8. *)
+let gpt2 =
+  let s = 1024 and h = 768 and heads_batch = 96 in
+  { name = "GPT-2";
+    ops = [
+      (mm ~name:"gpt2.qkv" ~m:s ~n:(3 * h) ~k:h (), 12);
+      (bmm ~name:"gpt2.qk" ~batch:heads_batch ~m:s ~n:s ~k:64 (), 12);
+      (bmm ~name:"gpt2.sv" ~batch:heads_batch ~m:s ~n:64 ~k:s (), 12);
+      (mm ~name:"gpt2.attn_out" ~m:s ~n:h ~k:h (), 12);
+      (mm ~name:"gpt2.fc1" ~m:s ~n:(4 * h) ~k:h (), 12);
+      (mm ~name:"gpt2.fc2" ~m:s ~n:h ~k:(4 * h) (), 12);
+    ];
+    overhead_fraction = 0.13 }
+
+(* CNNs at inference batch 16 (batch padded so spatial GEMM dimensions tile
+   cleanly; see DESIGN.md). One representative convolution per stage. *)
+let resnet18 =
+  { name = "ResNet-18";
+    ops = [
+      (conv ~name:"rn18.c2" ~cn:16 ~ci:64 ~chw:56 ~co:64 ~ck:3 ~stride:1 ~pad:1, 4);
+      (conv ~name:"rn18.c3" ~cn:16 ~ci:128 ~chw:28 ~co:128 ~ck:3 ~stride:1 ~pad:1, 4);
+      (conv ~name:"rn18.c4" ~cn:16 ~ci:256 ~chw:14 ~co:256 ~ck:3 ~stride:1 ~pad:1, 4);
+      (conv ~name:"rn18.c5" ~cn:16 ~ci:512 ~chw:7 ~co:512 ~ck:3 ~stride:1 ~pad:1, 4);
+    ];
+    overhead_fraction = 0.72 }
+
+let resnet50 =
+  { name = "ResNet-50";
+    ops = [
+      (conv ~name:"rn50.c2a" ~cn:16 ~ci:64 ~chw:56 ~co:64 ~ck:1 ~stride:1 ~pad:0, 3);
+      (conv ~name:"rn50.c2b" ~cn:16 ~ci:64 ~chw:56 ~co:64 ~ck:3 ~stride:1 ~pad:1, 3);
+      (conv ~name:"rn50.c2c" ~cn:16 ~ci:64 ~chw:56 ~co:256 ~ck:1 ~stride:1 ~pad:0, 3);
+      (conv ~name:"rn50.c3b" ~cn:16 ~ci:128 ~chw:28 ~co:128 ~ck:3 ~stride:1 ~pad:1, 4);
+      (conv ~name:"rn50.c3c" ~cn:16 ~ci:128 ~chw:28 ~co:512 ~ck:1 ~stride:1 ~pad:0, 4);
+      (conv ~name:"rn50.c4b" ~cn:16 ~ci:256 ~chw:14 ~co:256 ~ck:3 ~stride:1 ~pad:1, 6);
+      (conv ~name:"rn50.c4c" ~cn:16 ~ci:256 ~chw:14 ~co:1024 ~ck:1 ~stride:1 ~pad:0, 6);
+      (conv ~name:"rn50.c5b" ~cn:16 ~ci:512 ~chw:7 ~co:512 ~ck:3 ~stride:1 ~pad:1, 3);
+      (conv ~name:"rn50.c5c" ~cn:16 ~ci:512 ~chw:7 ~co:2048 ~ck:1 ~stride:1 ~pad:0, 3);
+    ];
+    overhead_fraction = 0.55 }
+
+let vgg16 =
+  { name = "VGG-16";
+    ops = [
+      (conv ~name:"vgg.c1" ~cn:4 ~ci:64 ~chw:224 ~co:64 ~ck:3 ~stride:1 ~pad:1, 1);
+      (conv ~name:"vgg.c2" ~cn:4 ~ci:128 ~chw:112 ~co:128 ~ck:3 ~stride:1 ~pad:1, 1);
+      (conv ~name:"vgg.c3" ~cn:4 ~ci:256 ~chw:56 ~co:256 ~ck:3 ~stride:1 ~pad:1, 2);
+      (conv ~name:"vgg.c4" ~cn:4 ~ci:512 ~chw:28 ~co:512 ~ck:3 ~stride:1 ~pad:1, 2);
+      (conv ~name:"vgg.c5" ~cn:4 ~ci:512 ~chw:14 ~co:512 ~ck:3 ~stride:1 ~pad:1, 3);
+      (mm ~name:"vgg.fc1" ~m:16 ~n:4096 ~k:25088 (), 1);
+      (mm ~name:"vgg.fc2" ~m:16 ~n:4096 ~k:4096 (), 1);
+    ];
+    overhead_fraction = 0.25 }
+
+let all = [ bert; bert_large; gpt2; resnet18; resnet50; vgg16 ]
+
+let find name = List.find_opt (fun m -> String.equal m.name name) all

@@ -1,0 +1,55 @@
+(* The single-operator benchmark suite of paper Sec. V-A (Fig. 10):
+   MatMuls, batched MatMuls and Conv2Ds extracted from real DNN workloads,
+   all half precision on tensor cores.
+
+   Shapes follow the paper where it states them (MM_RN50_FC has output
+   1024x64 with a 2048 reduction) and the underlying models elsewhere
+   (BERT-base: hidden 768, seq 384-512, 12 heads; GPT-2: hidden 768, seq
+   1024; ResNet/VGG convolutions via implicit GEMM). *)
+
+open Alcop_sched
+
+let mm = Op_spec.matmul
+let bmm = Op_spec.batched_matmul
+
+let conv ~name ~cn ~ci ~chw ~co ~ck ~stride ~pad =
+  Op_spec.conv2d ~name
+    { Op_spec.cn; ci; ch = chw; cw = chw; co; ckh = ck; ckw = ck; stride; pad }
+
+(* Transformer MatMuls. *)
+let mm_bert_fc1 = mm ~name:"MM_BERT_FC1" ~m:512 ~n:3072 ~k:768 ()
+let mm_bert_fc2 = mm ~name:"MM_BERT_FC2" ~m:512 ~n:768 ~k:3072 ()
+let mm_rn50_fc = mm ~name:"MM_RN50_FC" ~m:1024 ~n:64 ~k:2048 ()
+let mm_conv1x1_1 = mm ~name:"MM_Conv1x1_1" ~m:12544 ~n:256 ~k:64 ()
+let mm_conv1x1_2 = mm ~name:"MM_Conv1x1_2" ~m:3136 ~n:512 ~k:1024 ()
+
+(* Attention batched MatMuls at inference batch size 1: batch = the 12
+   attention heads. Small batches are where pipelining matters — the grid is
+   too small for inter-threadblock multiplexing to hide latency, which is
+   the paper's point about BMM_BERT_SV versus BMM_BERT_QK. *)
+let bmm_bert_qk = bmm ~name:"BMM_BERT_QK" ~batch:12 ~m:384 ~n:384 ~k:64 ()
+let bmm_bert_sv = bmm ~name:"BMM_BERT_SV" ~batch:12 ~m:384 ~n:64 ~k:384 ()
+let bmm_gpt2_qk = bmm ~name:"BMM_GPT2_QK" ~batch:12 ~m:1024 ~n:1024 ~k:64 ()
+let bmm_gpt2_sv = bmm ~name:"BMM_GPT2_SV" ~batch:12 ~m:1024 ~n:64 ~k:1024 ()
+
+(* Convolutions through implicit GEMM. *)
+let conv_rn50_3x3 =
+  conv ~name:"Conv_RN50_3x3" ~cn:8 ~ci:128 ~chw:28 ~co:128 ~ck:3 ~stride:1 ~pad:1
+
+let conv_vgg_3x3 =
+  conv ~name:"Conv_VGG_3x3" ~cn:4 ~ci:256 ~chw:28 ~co:512 ~ck:3 ~stride:1 ~pad:1
+
+(* The Fig. 10 suite, in presentation order. *)
+let fig10 = [
+  mm_bert_fc1; mm_bert_fc2; mm_rn50_fc; mm_conv1x1_1; mm_conv1x1_2;
+  bmm_bert_qk; bmm_bert_sv; bmm_gpt2_qk; bmm_gpt2_sv;
+  conv_rn50_3x3; conv_vgg_3x3;
+]
+
+(* The motivating example of Fig. 1(b). *)
+let motivating = mm ~name:"MM_2048_motivating" ~m:2048 ~n:2048 ~k:2048 ()
+
+(* A reduced suite for fast tests. *)
+let smoke = [ mm_rn50_fc; bmm_bert_qk ]
+
+let find name = List.find_opt (fun s -> String.equal s.Op_spec.name name) fig10

@@ -1,0 +1,1 @@
+test/test_analysis_detail.ml: Alcop_gpusim Alcop_hw Alcop_ir Alcop_pipeline Alcop_sched Alcotest Buffer Dtype Expr Kernel List Lower Op_spec Schedule Stmt String Tiling

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcop Alcop_cuda Alcop_hw Alcop_perfmodel Alcop_sched Alcotest Compiler List Lower Op_spec Option String Tiling

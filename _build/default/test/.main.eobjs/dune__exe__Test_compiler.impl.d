@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcop Alcop_hw Alcop_perfmodel Alcop_sched Alcop_workloads Alcotest Array Compiler Library_oracle List Lower Op_spec Option Printf Tiling Variants Xla_like

@@ -1,0 +1,1 @@
+test/test_des.ml: Alcop_gpusim Alcop_hw Alcotest Array Float List Printf Timing Trace

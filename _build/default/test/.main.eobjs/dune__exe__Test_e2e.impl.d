@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcop Alcop_hw Alcop_sched Alcop_workloads Alcotest E2e Experiments List Op_spec Option Printf

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcop_ir Alcotest Expr List QCheck QCheck_alcotest String

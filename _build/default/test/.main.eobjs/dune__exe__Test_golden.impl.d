@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcop Alcop_hw Alcop_ir Alcop_perfmodel Alcop_sched Alcop_tune Alcotest Array Op_spec String Tiling

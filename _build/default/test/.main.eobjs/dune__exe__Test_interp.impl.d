@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcop_gpusim Alcop_hw Alcop_ir Alcop_pipeline Alcop_sched Alcotest Array Buffer Dtype Expr Interp Kernel List Lower Op_spec Reference Schedule Stmt String Tensor Tiling

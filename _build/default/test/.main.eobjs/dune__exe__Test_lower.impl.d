@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcop_ir Alcop_pipeline Alcop_sched Alcotest Buffer Kernel List Lower Op_spec Schedule Stmt String Tiling Validate

@@ -1,0 +1,1 @@
+test/test_perfmodel.ml: Alcop Alcop_gpusim Alcop_hw Alcop_perfmodel Alcop_sched Alcop_tune Alcotest Array Bottleneck Features Float List Model Op_spec Option Params Printf Tiling

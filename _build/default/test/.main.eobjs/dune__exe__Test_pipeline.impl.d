@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcop_hw Alcop_ir Alcop_pipeline Alcop_sched Alcotest Buffer Dtype Expr Kernel List Lower Op_spec Schedule Stmt String Tiling Validate

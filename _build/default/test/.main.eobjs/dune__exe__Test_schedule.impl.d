@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcop_ir Alcop_pipeline Alcop_sched Alcotest Buffer Dataflow List Op_spec Schedule String Tiling

@@ -1,0 +1,1 @@
+test/test_splitk.ml: Alcop Alcop_hw Alcop_ir Alcop_perfmodel Alcop_sched Alcop_workloads Alcotest Array Buffer Compiler Kernel List Lower Op_spec Printf Schedule Stmt String Tiling Variants

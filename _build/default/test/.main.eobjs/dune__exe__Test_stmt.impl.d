@@ -1,0 +1,1 @@
+test/test_stmt.ml: Alcop_ir Alcotest Buffer Dtype Expr Kernel List Option Stmt String

@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcop Alcop_gpusim Alcop_hw Alcop_perfmodel Alcop_sched Alcotest Locality Occupancy Op_spec Printf Tiling

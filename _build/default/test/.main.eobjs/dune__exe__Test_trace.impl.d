@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcop_gpusim Alcop_hw Alcop_pipeline Alcop_sched Alcotest Array List Lower Op_spec Schedule String Tiling Trace

@@ -1,0 +1,1 @@
+test/test_tune.ml: Alcop_hw Alcop_perfmodel Alcop_sched Alcop_tune Alcotest Array Float Gbt Lazy List Op_spec Option Printf Random Space Tiling Tree Tuner

@@ -1,0 +1,1 @@
+test/test_validate.ml: Alcop_ir Alcotest Buffer Dtype Expr Kernel List Stmt String Validate

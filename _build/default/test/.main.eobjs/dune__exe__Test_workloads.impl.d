@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcop_gpusim Alcop_hw Alcop_ir Alcop_pipeline Alcop_sched Alcop_workloads Alcotest Buffer List Lower Op_spec Option Reference Schedule Tensor Tiling

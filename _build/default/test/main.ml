@@ -1,0 +1,24 @@
+(* Test runner: aggregates all per-module alcotest suites. *)
+
+let () =
+  Alcotest.run "alcop"
+    (Test_expr.suite
+     @ Test_stmt.suite
+     @ Test_validate.suite
+     @ Test_schedule.suite
+     @ Test_lower.suite
+     @ Test_pipeline.suite
+     @ Test_interp.suite
+     @ Test_trace.suite
+     @ Test_timing.suite
+     @ Test_perfmodel.suite
+     @ Test_tune.suite
+     @ Test_compiler.suite
+     @ Test_workloads.suite
+     @ Test_splitk.suite
+     @ Test_codegen.suite
+     @ Test_e2e.suite
+     @ Test_golden.suite
+     @ Test_des.suite
+     @ Test_analysis_detail.suite
+     @ Test_property.suite)

@@ -1,0 +1,124 @@
+(* CUDA backend tests: the rendered source must reflect the pipelined
+   structure — pipeline object declarations with the right depth, async
+   copies, shifted indices, boundary waits — and be shaped like valid
+   CUDA (balanced braces, C identifiers). *)
+
+open Alcop_sched
+open Alcop
+
+let hw = Alcop_hw.Hw_config.ampere_a100
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i =
+    i + m <= n && (String.equal (String.sub haystack i m) needle || go (i + 1))
+  in
+  go 0
+
+let count_substring haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i acc =
+    if i + m > n then acc
+    else if String.equal (String.sub haystack i m) needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let render ?(smem_stages = 3) ?(reg_stages = 2) ?(split_k = 1) () =
+  let spec = Op_spec.matmul ~name:"cg_test" ~m:128 ~n:128 ~k:256 () in
+  let tiling =
+    Tiling.make ~split_k ~tb_m:64 ~tb_n:64 ~tb_k:32 ~warp_m:32 ~warp_n:32
+      ~warp_k:16 ()
+  in
+  let p = Alcop_perfmodel.Params.make ~tiling ~smem_stages ~reg_stages () in
+  match Compiler.compile ~hw p spec with
+  | Ok c ->
+    ( Alcop_cuda.Codegen.kernel ~groups:c.Compiler.groups c.Compiler.kernel,
+      Option.map Alcop_cuda.Codegen.kernel c.Compiler.lowered.Lower.reduce )
+  | Error m -> Alcotest.fail m
+
+let test_pipeline_object () =
+  let src, _ = render () in
+  Alcotest.(check bool) "pipeline state with depth 3" true
+    (contains src "cuda::pipeline_shared_state<cuda::thread_scope_block, 3>");
+  Alcotest.(check bool) "make_pipeline" true (contains src "cuda::make_pipeline");
+  Alcotest.(check bool) "producer_acquire" true
+    (contains src "pipe_shared_ko.producer_acquire();");
+  Alcotest.(check bool) "consumer_wait" true
+    (contains src "pipe_shared_ko.consumer_wait();")
+
+let test_async_copies_and_indices () =
+  let src, _ = render () in
+  Alcotest.(check bool) "async copies" true (contains src "tile_memcpy_async(");
+  Alcotest.(check bool) "shifted stage index" true
+    (contains src "(ko + 2) % 3");
+  Alcotest.(check bool) "boundary wait" true (contains src "if (ki == 1)");
+  Alcotest.(check bool) "shared decl with stage dim" true
+    (contains src "__shared__ half A_sh[3][64][32];")
+
+let test_unpipelined_uses_barriers () =
+  let src, _ = render ~smem_stages:1 ~reg_stages:1 () in
+  Alcotest.(check bool) "no pipeline object" false
+    (contains src "cuda::make_pipeline");
+  Alcotest.(check bool) "syncthreads" true (contains src "__syncthreads();");
+  Alcotest.(check bool) "no async copies" false
+    (contains src "tile_memcpy_async(")
+
+let test_braces_balanced () =
+  List.iter
+    (fun (src, reduce) ->
+      let check s =
+        Alcotest.(check int) "braces balance" (count_substring s "{")
+          (count_substring s "}")
+      in
+      check src;
+      Option.iter check reduce)
+    [ render (); render ~smem_stages:1 ~reg_stages:1 (); render ~split_k:2 () ]
+
+let test_split_k_reduce_kernel () =
+  let _, reduce = render ~split_k:2 () in
+  match reduce with
+  | None -> Alcotest.fail "expected reduce kernel source"
+  | Some src ->
+    Alcotest.(check bool) "named _reduce" true (contains src "cg_test_reduce");
+    Alcotest.(check bool) "accumulates" true (contains src "tile_accumulate(");
+    Alcotest.(check bool) "reads workspace" true (contains src "C_partial")
+
+let test_identifier_sanitization () =
+  let spec = Op_spec.matmul ~name:"64x64-odd.name" ~m:64 ~n:64 ~k:64 () in
+  let tiling =
+    Tiling.make ~tb_m:32 ~tb_n:32 ~tb_k:16 ~warp_m:16 ~warp_n:16 ~warp_k:16 ()
+  in
+  let p = Alcop_perfmodel.Params.make ~tiling ~smem_stages:2 ~reg_stages:1 () in
+  match Compiler.compile ~hw p spec with
+  | Ok c ->
+    let src = Alcop_cuda.Codegen.kernel ~groups:c.Compiler.groups c.Compiler.kernel in
+    Alcotest.(check bool) "sanitized name" true
+      (contains src "__global__ void k_64x64_odd_name(")
+  | Error m -> Alcotest.fail m
+
+let test_fused_op_argument () =
+  let spec = Op_spec.matmul ~name:"cg_fused" ~m:64 ~n:64 ~k:64 ~a_op:"relu" () in
+  let tiling =
+    Tiling.make ~tb_m:32 ~tb_n:32 ~tb_k:16 ~warp_m:16 ~warp_n:16 ~warp_k:16 ()
+  in
+  let p = Alcop_perfmodel.Params.make ~tiling ~smem_stages:2 ~reg_stages:1 () in
+  match Compiler.compile ~hw p spec with
+  | Ok c ->
+    let src = Alcop_cuda.Codegen.kernel ~groups:c.Compiler.groups c.Compiler.kernel in
+    Alcotest.(check bool) "fused functor argument" true (contains src ", f_relu)")
+  | Error m -> Alcotest.fail m
+
+let suite =
+  [ ( "codegen",
+      [ Alcotest.test_case "pipeline object" `Quick test_pipeline_object;
+        Alcotest.test_case "async copies and indices" `Quick
+          test_async_copies_and_indices;
+        Alcotest.test_case "unpipelined uses barriers" `Quick
+          test_unpipelined_uses_barriers;
+        Alcotest.test_case "braces balanced" `Quick test_braces_balanced;
+        Alcotest.test_case "split-K reduce kernel" `Quick
+          test_split_k_reduce_kernel;
+        Alcotest.test_case "identifier sanitization" `Quick
+          test_identifier_sanitization;
+        Alcotest.test_case "fused op argument" `Quick test_fused_op_argument ] ) ]

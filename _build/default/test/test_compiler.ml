@@ -1,0 +1,199 @@
+(* Tests for the top-level compile pipeline, compiler variants, library
+   oracle, XLA-like baseline and end-to-end evaluation. *)
+
+open Alcop_sched
+open Alcop
+
+let hw = Alcop_hw.Hw_config.ampere_a100
+
+let spec = Op_spec.matmul ~name:"comp_test" ~m:256 ~n:128 ~k:512 ()
+
+let tiling =
+  Tiling.make ~tb_m:64 ~tb_n:64 ~tb_k:32 ~warp_m:32 ~warp_n:32 ~warp_k:16 ()
+
+let params = Alcop_perfmodel.Params.make ~tiling ~smem_stages:3 ~reg_stages:2 ()
+
+let test_compile_ok () =
+  match Compiler.compile ~hw params spec with
+  | Error m -> Alcotest.fail m
+  | Ok c ->
+    Alcotest.(check bool) "positive latency" true (c.Compiler.latency_cycles > 0.0);
+    Alcotest.(check int) "two pipeline groups" 2 (List.length c.Compiler.groups);
+    Alcotest.(check bool) "trace non-empty" true (Array.length c.Compiler.trace > 0)
+
+let test_compile_verifies_numerically () =
+  let small = Op_spec.matmul ~name:"comp_verify" ~m:64 ~n:64 ~k:128 () in
+  let t32 = Tiling.make ~tb_m:32 ~tb_n:32 ~tb_k:16 ~warp_m:16 ~warp_n:16 ~warp_k:16 () in
+  let p = Alcop_perfmodel.Params.make ~tiling:t32 ~smem_stages:3 ~reg_stages:2 () in
+  match Compiler.compile ~hw p small with
+  | Error m -> Alcotest.fail m
+  | Ok c ->
+    (match Compiler.verify c with
+     | Ok _ -> ()
+     | Error diff -> Alcotest.failf "numerical mismatch: %g" diff)
+
+let test_compile_materialized_elemwise () =
+  let s = Op_spec.matmul ~name:"comp_mat" ~m:64 ~n:64 ~k:128 ~a_op:"relu" () in
+  let t32 = Tiling.make ~tb_m:32 ~tb_n:32 ~tb_k:16 ~warp_m:16 ~warp_n:16 ~warp_k:16 () in
+  let p = Alcop_perfmodel.Params.make ~tiling:t32 ~smem_stages:3 ~reg_stages:1 () in
+  match Compiler.compile ~hw p s with
+  | Error m -> Alcotest.fail m
+  | Ok c ->
+    (* default schedule inlines, so nothing to materialize, and the result
+       must still match the reference (relu applied). *)
+    Alcotest.(check int) "inlined" 0 (List.length c.Compiler.lowered.Lower.materialize);
+    (match Compiler.verify c with
+     | Ok _ -> ()
+     | Error diff -> Alcotest.failf "mismatch %g" diff)
+
+let test_evaluator_caches_and_fails () =
+  let evaluate = Compiler.evaluator ~hw spec in
+  let ok = evaluate params in
+  Alcotest.(check bool) "compiles" true (ok <> None);
+  let big =
+    Alcop_perfmodel.Params.make
+      ~tiling:(Tiling.make ~tb_m:256 ~tb_n:128 ~tb_k:64 ~warp_m:64 ~warp_n:64 ~warp_k:32 ())
+      ~smem_stages:4 ~reg_stages:2 ()
+  in
+  Alcotest.(check bool) "oversized fails" true (evaluate big = None);
+  Alcotest.(check bool) "cache stable" true (evaluate params = ok)
+
+(* --- variants --- *)
+
+let small_spec = Op_spec.matmul ~name:"comp_var" ~m:512 ~n:64 ~k:1024 ()
+
+let test_variant_ordering () =
+  (* On a long-reduction small-output shape, the paper's ordering must
+     hold: ALCOP <= ALCOP w/o ML <= TVM, and TVM DB ~ TVM. *)
+  let best v = Option.get (Variants.best_latency ~hw v small_spec) in
+  let tvm = best Variants.tvm in
+  let alcop = best Variants.alcop in
+  let no_ml = best Variants.alcop_no_ml in
+  let no_ml_ms = best Variants.alcop_no_ml_ms in
+  Alcotest.(check bool)
+    (Printf.sprintf "ALCOP (%.0f) < TVM (%.0f)" alcop tvm)
+    true (alcop < tvm);
+  Alcotest.(check bool)
+    (Printf.sprintf "ALCOP (%.0f) <= no-ML (%.0f)" alcop no_ml)
+    true (alcop <= no_ml);
+  Alcotest.(check bool)
+    (Printf.sprintf "no-ML (%.0f) <= no-ML-MS (%.0f)" no_ml no_ml_ms)
+    true (no_ml <= no_ml_ms);
+  Alcotest.(check bool)
+    (Printf.sprintf "no-ML-MS (%.0f) <= TVM (%.0f)" no_ml_ms tvm)
+    true (no_ml_ms <= tvm)
+
+let test_variant_spaces_nested () =
+  let n v = Array.length (Variants.space v small_spec) in
+  Alcotest.(check bool) "tvm smallest" true (n Variants.tvm < n Variants.alcop);
+  Alcotest.(check bool) "no_ml between" true
+    (n Variants.alcop_no_ml < n Variants.alcop)
+
+let test_tvm_db_register_cost () =
+  let p2 =
+    Alcop_perfmodel.Params.make ~tiling ~smem_stages:2 ~reg_stages:1 ()
+  in
+  Alcotest.(check bool) "db costs registers" true
+    (Variants.extra_regs Variants.tvm_db small_spec p2 > 0);
+  Alcotest.(check int) "cp.async costs none" 0
+    (Variants.extra_regs Variants.alcop_no_ml_ms small_spec p2)
+
+(* --- library oracle and XLA --- *)
+
+let test_library_close_to_alcop () =
+  let lib = Option.get (Library_oracle.best_latency ~hw small_spec) in
+  let alcop = Option.get (Variants.best_latency ~hw Variants.alcop small_spec) in
+  let ratio = lib /. alcop in
+  Alcotest.(check bool)
+    (Printf.sprintf "library/alcop ratio %.2f in [0.6, 1.3]" ratio)
+    true
+    (ratio > 0.6 && ratio < 1.3)
+
+let test_xla_on_matmul_is_library_backed () =
+  (* XLA dispatches plain MatMuls to the library: it may beat ALCOP there
+     (as cuBLAS does), but only within the dispatch overhead of the library
+     oracle itself. *)
+  let xla = Option.get (Xla_like.latency ~hw small_spec) in
+  let lib = Option.get (Library_oracle.best_latency ~hw small_spec) in
+  Alcotest.(check bool)
+    (Printf.sprintf "xla (%.0f) ~ library (%.0f)" xla lib)
+    true
+    (xla >= lib && xla <= lib *. 1.1)
+
+let test_xla_loses_on_batched_matmul () =
+  (* Batched matmuls go through XLA's own unpipelined codegen plus layout
+     copies: ALCOP must win. *)
+  let spec =
+    Op_spec.batched_matmul ~name:"comp_xla_bmm" ~batch:16 ~m:256 ~n:64 ~k:256 ()
+  in
+  let xla = Option.get (Xla_like.latency ~hw spec) in
+  let alcop = Option.get (Variants.best_latency ~hw Variants.alcop spec) in
+  Alcotest.(check bool)
+    (Printf.sprintf "alcop (%.0f) < xla (%.0f)" alcop xla)
+    true (alcop < xla)
+
+(* --- workloads --- *)
+
+let test_suite_shapes_have_spaces () =
+  List.iter
+    (fun s ->
+      let space = Variants.space Variants.alcop s in
+      Alcotest.(check bool)
+        (s.Op_spec.name ^ " has schedules")
+        true
+        (Array.length space > 0))
+    Alcop_workloads.Suites.fig10
+
+let test_model_ops_have_spaces () =
+  List.iter
+    (fun (m : Alcop_workloads.Models.t) ->
+      List.iter
+        (fun (s, count) ->
+          Alcotest.(check bool) (s.Op_spec.name ^ " count") true (count > 0);
+          let space = Variants.space Variants.alcop s in
+          Alcotest.(check bool)
+            (s.Op_spec.name ^ " has schedules")
+            true
+            (Array.length space > 0))
+        m.Alcop_workloads.Models.ops)
+    Alcop_workloads.Models.all
+
+let test_conv_implicit_gemm_dims () =
+  let c =
+    Op_spec.conv2d ~name:"conv_dims"
+      { Op_spec.cn = 2; ci = 16; ch = 8; cw = 8; co = 32; ckh = 3; ckw = 3;
+        stride = 1; pad = 1 }
+  in
+  Alcotest.(check int) "M = n*oh*ow" (2 * 8 * 8) c.Op_spec.m;
+  Alcotest.(check int) "N = oc" 32 c.Op_spec.n;
+  Alcotest.(check int) "K = ic*kh*kw" (16 * 9) c.Op_spec.k
+
+let test_arithmetic_intensity () =
+  let balanced = Op_spec.matmul ~name:"ai" ~m:1024 ~n:1024 ~k:1024 () in
+  let skinny = Op_spec.matmul ~name:"ai2" ~m:1024 ~n:16 ~k:1024 () in
+  Alcotest.(check bool) "square has higher intensity" true
+    (Op_spec.arithmetic_intensity balanced > Op_spec.arithmetic_intensity skinny)
+
+let suite =
+  [ ( "compiler",
+      [ Alcotest.test_case "compile ok" `Quick test_compile_ok;
+        Alcotest.test_case "compile verifies numerically" `Quick
+          test_compile_verifies_numerically;
+        Alcotest.test_case "inlined elemwise compiles" `Quick
+          test_compile_materialized_elemwise;
+        Alcotest.test_case "evaluator cache and failure" `Quick
+          test_evaluator_caches_and_fails;
+        Alcotest.test_case "variant ordering" `Slow test_variant_ordering;
+        Alcotest.test_case "variant spaces nested" `Quick test_variant_spaces_nested;
+        Alcotest.test_case "tvm db register cost" `Quick test_tvm_db_register_cost;
+        Alcotest.test_case "library close to alcop" `Slow test_library_close_to_alcop;
+        Alcotest.test_case "xla library-backed on matmul" `Slow
+          test_xla_on_matmul_is_library_backed;
+        Alcotest.test_case "xla loses on batched matmul" `Slow
+          test_xla_loses_on_batched_matmul;
+        Alcotest.test_case "suite shapes have spaces" `Quick
+          test_suite_shapes_have_spaces;
+        Alcotest.test_case "model ops have spaces" `Quick test_model_ops_have_spaces;
+        Alcotest.test_case "conv implicit gemm dims" `Quick
+          test_conv_implicit_gemm_dims;
+        Alcotest.test_case "arithmetic intensity" `Quick test_arithmetic_intensity ] ) ]

@@ -1,0 +1,116 @@
+(* End-to-end evaluation and experiment-driver tests, on deliberately tiny
+   workloads so they stay fast. *)
+
+open Alcop_sched
+open Alcop
+
+let hw = Alcop_hw.Hw_config.ampere_a100
+
+let tiny_op = Op_spec.matmul ~name:"e2e_tiny" ~m:256 ~n:64 ~k:512 ()
+
+let tiny_model overhead_fraction : Alcop_workloads.Models.t =
+  { Alcop_workloads.Models.name = "tiny"; ops = [ (tiny_op, 3) ];
+    overhead_fraction }
+
+let test_e2e_report_consistency () =
+  let r = E2e.evaluate ~hw (tiny_model 0.25) in
+  Alcotest.(check (float 1e-9)) "tvm speedup is the ratio"
+    (r.E2e.tvm_cycles /. r.E2e.alcop_cycles)
+    r.E2e.speedup_over_tvm;
+  Alcotest.(check (float 1e-9)) "xla speedup is the ratio"
+    (r.E2e.xla_cycles /. r.E2e.alcop_cycles)
+    r.E2e.speedup_over_xla;
+  Alcotest.(check bool) "alcop not slower than tvm" true
+    (r.E2e.speedup_over_tvm >= 1.0)
+
+let test_overhead_dilutes_speedup () =
+  let lean = E2e.evaluate ~hw (tiny_model 0.05) in
+  let heavy = E2e.evaluate ~hw (tiny_model 0.75) in
+  Alcotest.(check bool)
+    (Printf.sprintf "dilution: %.3f (75%% overhead) < %.3f (5%%)"
+       heavy.E2e.speedup_over_tvm lean.E2e.speedup_over_tvm)
+    true
+    (heavy.E2e.speedup_over_tvm < lean.E2e.speedup_over_tvm);
+  (* with overhead -> 1, speedup -> 1 *)
+  Alcotest.(check bool) "heavy overhead near 1" true
+    (heavy.E2e.speedup_over_tvm < 1.1)
+
+let test_op_counts_scale_linearly () =
+  let once = E2e.evaluate ~hw (tiny_model 0.0) in
+  let model10 : Alcop_workloads.Models.t =
+    { Alcop_workloads.Models.name = "tiny10"; ops = [ (tiny_op, 30) ];
+      overhead_fraction = 0.0 }
+  in
+  let ten = E2e.evaluate ~hw model10 in
+  Alcotest.(check (float 1e-6)) "10x ops, same speedup"
+    once.E2e.speedup_over_tvm ten.E2e.speedup_over_tvm;
+  Alcotest.(check (float 1.0)) "10x cycles"
+    (10.0 *. once.E2e.alcop_cycles)
+    ten.E2e.alcop_cycles
+
+(* --- experiment drivers on tiny inputs --- *)
+
+let smoke = [ tiny_op ]
+
+let test_fig10_driver () =
+  let r = Experiments.fig10 ~hw ~suite:smoke () in
+  Alcotest.(check int) "one row" 1 (List.length r.Experiments.rows);
+  let row = List.hd r.Experiments.rows in
+  Alcotest.(check (float 1e-9)) "tvm normalized to 1" 1.0
+    (List.assoc "TVM" row.Experiments.speedups);
+  List.iter
+    (fun (_, s) -> Alcotest.(check bool) "speedup >= 1" true (s >= 0.999))
+    row.Experiments.speedups
+
+let test_fig12_driver () =
+  let rows = Experiments.fig12 ~hw ~suite:smoke ~ks:[ 5; 25 ] () in
+  let row = List.hd rows in
+  let v k l = Option.get (Option.join (List.assoc_opt k l)) in
+  Alcotest.(check bool) "normalized <= 1" true
+    (v 5 row.Experiments.ours_top <= 1.0 +. 1e-9);
+  Alcotest.(check bool) "monotone in k" true
+    (v 25 row.Experiments.ours_top >= v 5 row.Experiments.ours_top -. 1e-9)
+
+let test_fig13_driver () =
+  let rows = Experiments.fig13 ~hw ~suite:smoke ~budgets:[ 5 ] ~seed:3 () in
+  let row = List.hd rows in
+  Alcotest.(check int) "four methods" 4 (List.length row.Experiments.per_method);
+  List.iter
+    (fun (_, budgets) ->
+      match List.assoc_opt 5 budgets with
+      | Some (Some v) ->
+        Alcotest.(check bool) "in (0, 1]" true (v > 0.0 && v <= 1.0 +. 1e-9)
+      | _ -> Alcotest.fail "missing budget entry")
+    row.Experiments.per_method
+
+let test_scaling_driver () =
+  let rows = Experiments.scaling ~hw ~subset:smoke ~scales:[ 1.0; 4.0 ] () in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  List.iter
+    (fun (r : Experiments.scaling_row) ->
+      Alcotest.(check bool) "speedup >= 1" true
+        (r.Experiments.mean_speedup >= 0.999))
+    rows;
+  let s1 = (List.nth rows 0).Experiments.mean_speedup in
+  let s4 = (List.nth rows 1).Experiments.mean_speedup in
+  Alcotest.(check bool)
+    (Printf.sprintf "more compute, more pipelining benefit (%.3f -> %.3f)" s1 s4)
+    true (s4 >= s1 -. 0.02)
+
+let test_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean" 2.0
+    (Experiments.geomean [ 1.0; 4.0 ]);
+  Alcotest.(check (float 1e-9)) "singleton" 3.0 (Experiments.geomean [ 3.0 ])
+
+let suite =
+  [ ( "e2e",
+      [ Alcotest.test_case "report consistency" `Slow test_e2e_report_consistency;
+        Alcotest.test_case "overhead dilutes speedup" `Slow
+          test_overhead_dilutes_speedup;
+        Alcotest.test_case "op counts scale linearly" `Slow
+          test_op_counts_scale_linearly;
+        Alcotest.test_case "fig10 driver" `Slow test_fig10_driver;
+        Alcotest.test_case "fig12 driver" `Slow test_fig12_driver;
+        Alcotest.test_case "fig13 driver" `Slow test_fig13_driver;
+        Alcotest.test_case "scaling driver" `Slow test_scaling_driver;
+        Alcotest.test_case "geomean" `Quick test_geomean ] ) ]

@@ -1,0 +1,113 @@
+(* Golden-output test: the full pipelined IR of the paper's Fig. 7
+   configuration (3-stage shared pipeline, 2-stage fused register pipeline)
+   is pinned verbatim. Any unintended change to the transformation's
+   emitted structure — index arithmetic, prologue shape, synchronization
+   placement — fails here with a readable diff. Update deliberately. *)
+
+open Alcop_sched
+
+let hw = Alcop_hw.Hw_config.ampere_a100
+
+let golden =
+  "kernel fig7\n\
+   inputs:  A : f16[128, 256] @global\n\
+  \         B : f16[128, 256] @global\n\
+   outputs: C : f16[128, 128] @global\n\
+   for @blockIdx.y bi in 0 .. 2:\n\
+  \  for @blockIdx.x bj in 0 .. 2:\n\
+  \    alloc A_sh : f16[3, 64, 32] @shared\n\
+  \    alloc B_sh : f16[3, 64, 32] @shared\n\
+  \    alloc A_reg : f16[2, 2, 2, 32, 16] @register\n\
+  \    alloc B_reg : f16[2, 2, 2, 32, 16] @register\n\
+  \    alloc C_reg : f16[2, 2, 32, 32] @register\n\
+  \    for @warpIdx.y wi in 0 .. 2:\n\
+  \      for @warpIdx.x wj in 0 .. 2:\n\
+  \        fill(C_reg[wi, wj, 0:32, 0:32], 0)\n\
+  \    for ko_pro in 0 .. 2:\n\
+  \      pipe.shared.ko.producer_acquire()\n\
+  \      async_memcpy(A_sh[ko_pro % 3, 0:64, 0:32], A[bi * 64:+64, (ko_pro % 8) * 32:+32])\n\
+  \      async_memcpy(B_sh[ko_pro % 3, 0:64, 0:32], B[bj * 64:+64, (ko_pro % 8) * 32:+32])\n\
+  \      pipe.shared.ko.producer_commit()\n\
+  \    pipe.shared.ko.consumer_wait()\n\
+  \    for ki_pro in 0 .. 1:\n\
+  \      for @warpIdx.y wi in 0 .. 2:\n\
+  \        for @warpIdx.x wj in 0 .. 2:\n\
+  \          async_memcpy(A_reg[ki_pro % 2, wi, wj, 0:32, 0:16], A_sh[(ki_pro / 2) % 3, wi * 32:+32, (ki_pro % 2) * 16:+16])\n\
+  \          async_memcpy(B_reg[ki_pro % 2, wi, wj, 0:32, 0:16], B_sh[(ki_pro / 2) % 3, wj * 32:+32, (ki_pro % 2) * 16:+16])\n\
+  \    for ko in 0 .. 8:\n\
+  \      pipe.shared.ko.producer_acquire()\n\
+  \      async_memcpy(A_sh[(ko + 2) % 3, 0:64, 0:32], A[bi * 64:+64, ((ko + 2) % 8) * 32:+32])\n\
+  \      async_memcpy(B_sh[(ko + 2) % 3, 0:64, 0:32], B[bj * 64:+64, ((ko + 2) % 8) * 32:+32])\n\
+  \      pipe.shared.ko.producer_commit()\n\
+  \      for ki in 0 .. 2:\n\
+  \        if ki == 1:\n\
+  \          pipe.shared.ko.consumer_wait()\n\
+  \        for @warpIdx.y wi in 0 .. 2:\n\
+  \          for @warpIdx.x wj in 0 .. 2:\n\
+  \            async_memcpy(A_reg[(ki + 1) % 2, wi, wj, 0:32, 0:16], A_sh[(ko + (ki + 1) / 2) % 3, wi * 32:+32, ((ki + 1) % 2) * 16:+16])\n\
+  \            async_memcpy(B_reg[(ki + 1) % 2, wi, wj, 0:32, 0:16], B_sh[(ko + (ki + 1) / 2) % 3, wj * 32:+32, ((ki + 1) % 2) * 16:+16])\n\
+  \            mma(C_reg[wi, wj, 0:32, 0:32] += A_reg[ki % 2, wi, wj, 0:32, 0:16] * B_reg[ki % 2, wi, wj, 0:32, 0:16])\n\
+  \      pipe.shared.ko.consumer_release()\n\
+  \    for @warpIdx.y wi in 0 .. 2:\n\
+  \      for @warpIdx.x wj in 0 .. 2:\n\
+  \        memcpy(C[bi * 64 + wi * 32:+32, bj * 64 + wj * 32:+32], C_reg[wi, wj, 0:32, 0:32])"
+
+let test_fig7_golden () =
+  let spec = Op_spec.matmul ~name:"fig7" ~m:128 ~n:128 ~k:256 () in
+  let tiling =
+    Tiling.make ~tb_m:64 ~tb_n:64 ~tb_k:32 ~warp_m:32 ~warp_n:32 ~warp_k:16 ()
+  in
+  let p = Alcop_perfmodel.Params.make ~tiling ~smem_stages:3 ~reg_stages:2 () in
+  match Alcop.Compiler.compile ~hw p spec with
+  | Error m -> Alcotest.fail m
+  | Ok c ->
+    Alcotest.(check string) "pipelined IR matches the pinned Fig. 7 form"
+      golden
+      (Alcop_ir.Kernel.to_string c.Alcop.Compiler.kernel)
+
+(* --- tuning log --- *)
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i =
+    i + m <= n && (String.equal (String.sub haystack i m) needle || go (i + 1))
+  in
+  go 0
+
+let test_tuning_log_json () =
+  let spec = Op_spec.matmul ~name:"log_test" ~m:128 ~n:64 ~k:256 () in
+  let space = Alcop.Variants.space Alcop.Variants.alcop spec in
+  let evaluate = Alcop.Variants.evaluator ~hw Alcop.Variants.alcop spec in
+  let result =
+    Alcop_tune.Tuner.run ~hw ~spec ~space ~evaluate ~budget:5 ~seed:1
+      Alcop_tune.Tuner.Grid
+  in
+  let json =
+    Alcop_tune.Tuning_log.to_json ~spec_name:"log_test"
+      ~method_:Alcop_tune.Tuner.Grid ~seed:1 result
+  in
+  Alcotest.(check bool) "operator" true (contains json "\"operator\":\"log_test\"");
+  Alcotest.(check bool) "method" true (contains json "\"method\":\"grid-search\"");
+  Alcotest.(check bool) "five trials" true
+    (Array.length result.Alcop_tune.Tuner.trials = 5);
+  Alcotest.(check bool) "has knobs" true (contains json "\"smem_stages\":");
+  (* every trial object appears *)
+  Alcotest.(check int) "trial objects" 5
+    (let count = ref 0 and i = ref 0 in
+     let m = String.length "\"index\":" in
+     while !i + m <= String.length json do
+       if String.equal (String.sub json !i m) "\"index\":" then incr count;
+       incr i
+     done;
+     !count);
+  (* escaping: quotes and newlines in names stay valid *)
+  let weird =
+    Alcop_tune.Tuning_log.to_json ~spec_name:"a\"b\nc"
+      ~method_:Alcop_tune.Tuner.Grid ~seed:1 result
+  in
+  Alcotest.(check bool) "escaped quote" true (contains weird "a\\\"b\\nc")
+
+let suite =
+  [ ( "golden",
+      [ Alcotest.test_case "Fig. 7 pipelined IR pinned" `Quick test_fig7_golden;
+        Alcotest.test_case "tuning log JSON" `Quick test_tuning_log_json ] ) ]

@@ -1,0 +1,340 @@
+(* Functional interpreter tests: numerical equivalence of pipelined and
+   unpipelined kernels against the host reference, and failure injection —
+   deleting or misplacing synchronization primitives must make the strict
+   interpreter raise or produce wrong results. This suite is the
+   repository's equivalent of running generated kernels on hardware. *)
+
+open Alcop_ir
+open Alcop_sched
+open Alcop_gpusim
+
+let hw = Alcop_hw.Hw_config.ampere_a100
+
+let tiling64 =
+  Tiling.make ~tb_m:64 ~tb_n:64 ~tb_k:32 ~warp_m:32 ~warp_n:32 ~warp_k:16 ()
+
+let tiling32 =
+  Tiling.make ~tb_m:32 ~tb_n:32 ~tb_k:16 ~warp_m:16 ~warp_n:16 ~warp_k:16 ()
+
+let compile_pipelined ?(smem_stages = 3) ?(reg_stages = 2) ?(inner_fuse = true)
+    ?(tiling = tiling64) spec =
+  let sched =
+    Schedule.default_gemm ~smem_stages ~reg_stages ~inner_fuse spec tiling
+  in
+  let l = Lower.run sched in
+  match Alcop_pipeline.Pass.run ~hw ~hints:l.Lower.hints l.Lower.kernel with
+  | Ok r -> (l, r.Alcop_pipeline.Pass.kernel, Alcop_pipeline.Pass.groups r)
+  | Error rej ->
+    Alcotest.failf "rejection: %a" Alcop_pipeline.Analysis.pp_rejection rej
+
+let run_kernel ?groups kernel spec =
+  let a, b = Reference.inputs_for spec in
+  let outputs = Interp.run ?groups kernel ~inputs:[ ("A", a); ("B", b) ] in
+  snd (List.hd outputs)
+
+let check_matches_reference ?groups kernel spec =
+  let a, b = Reference.inputs_for spec in
+  let expected = Reference.gemm spec ~a ~b in
+  let actual = run_kernel ?groups kernel spec in
+  let diff = Tensor.max_abs_diff actual expected in
+  if diff > 1e-9 then
+    Alcotest.failf "kernel output differs from reference by %g" diff
+
+let test_unpipelined_matches () =
+  let spec = Op_spec.matmul ~name:"interp_plain" ~m:128 ~n:64 ~k:128 () in
+  let sched = Schedule.default_gemm ~smem_stages:1 ~reg_stages:1 spec tiling32 in
+  let l = Lower.run sched in
+  check_matches_reference l.Lower.kernel spec
+
+let test_pipelined_matches_full () =
+  let spec = Op_spec.matmul ~name:"interp_full" ~m:128 ~n:64 ~k:256 () in
+  let _, kernel, groups = compile_pipelined spec in
+  check_matches_reference ~groups kernel spec
+
+(* Sweep the pipelining configuration space on a small problem: every
+   combination must be numerically exact. *)
+let test_stage_sweep () =
+  let spec = Op_spec.matmul ~name:"interp_sweep" ~m:64 ~n:64 ~k:128 () in
+  List.iter
+    (fun (smem_stages, reg_stages, inner_fuse) ->
+      let _, kernel, groups =
+        compile_pipelined ~smem_stages ~reg_stages ~inner_fuse ~tiling:tiling32
+          spec
+      in
+      check_matches_reference ~groups kernel spec)
+    [ (1, 1, true); (2, 1, true); (3, 1, true); (4, 1, true); (1, 2, true);
+      (2, 2, true); (3, 2, true); (4, 2, true); (3, 2, false); (4, 2, false);
+      (2, 2, false) ]
+
+let test_batched_pipelined () =
+  let spec = Op_spec.batched_matmul ~name:"interp_bmm" ~batch:3 ~m:64 ~n:32 ~k:64 () in
+  let _, kernel, groups = compile_pipelined ~tiling:tiling32 spec in
+  check_matches_reference ~groups kernel spec
+
+(* Stage count exceeding the K loop extent: prologue wraps; still exact. *)
+let test_stages_exceed_loop () =
+  let spec = Op_spec.matmul ~name:"interp_short" ~m:32 ~n:32 ~k:32 () in
+  let _, kernel, groups =
+    compile_pipelined ~smem_stages:4 ~reg_stages:1 ~tiling:tiling32 spec
+  in
+  (* K/tb_k = 2 < stages-1 = 3 *)
+  check_matches_reference ~groups kernel spec
+
+let test_epilogue_fused_op () =
+  let spec =
+    Op_spec.matmul ~name:"interp_ep" ~m:64 ~n:64 ~k:64 ~epilogue:"relu" ()
+  in
+  let _, kernel, groups = compile_pipelined ~tiling:tiling32 spec in
+  check_matches_reference ~groups kernel spec
+
+let test_inlined_elemwise_case2 () =
+  let spec =
+    Op_spec.matmul ~name:"interp_inline" ~m:64 ~n:64 ~k:64 ~a_op:"scale2" ()
+  in
+  (* reg level unpipelined so the fused op has a synchronous carrier *)
+  let _, kernel, groups =
+    compile_pipelined ~reg_stages:1 ~tiling:tiling32 spec
+  in
+  check_matches_reference ~groups kernel spec
+
+(* --- strict-mode protocol enforcement --- *)
+
+let drop_sync pred kernel =
+  Kernel.map_body
+    (Stmt.map (fun s ->
+         match s with
+         | Stmt.Sync sy when pred sy -> Stmt.seq []
+         | _ -> s))
+    kernel
+
+let expect_strict_failure kernel groups spec what =
+  let a, b = Reference.inputs_for spec in
+  match Interp.run ~groups kernel ~inputs:[ ("A", a); ("B", b) ] with
+  | outputs ->
+    (* No protocol error raised: the result must then be wrong. *)
+    let expected = Reference.gemm spec ~a ~b in
+    let actual = snd (List.hd outputs) in
+    if Tensor.max_abs_diff actual expected <= 1e-9 then
+      Alcotest.failf "%s: kernel still correct after sabotage" what
+  | exception Interp.Runtime_error _ -> ()
+
+let sabotage_spec = Op_spec.matmul ~name:"interp_sabotage" ~m:64 ~n:64 ~k:128 ()
+
+let test_missing_consumer_wait_detected () =
+  let _, kernel, groups = compile_pipelined ~tiling:tiling32 sabotage_spec in
+  let bad =
+    drop_sync (function Stmt.Consumer_wait _ -> true | _ -> false) kernel
+  in
+  expect_strict_failure bad groups sabotage_spec "dropping consumer_wait"
+
+let test_missing_commit_detected () =
+  let _, kernel, groups = compile_pipelined ~tiling:tiling32 sabotage_spec in
+  let bad =
+    drop_sync (function Stmt.Producer_commit _ -> true | _ -> false) kernel
+  in
+  expect_strict_failure bad groups sabotage_spec "dropping producer_commit"
+
+let test_missing_acquire_detected () =
+  let _, kernel, groups = compile_pipelined ~tiling:tiling32 sabotage_spec in
+  let bad =
+    drop_sync (function Stmt.Producer_acquire _ -> true | _ -> false) kernel
+  in
+  expect_strict_failure bad groups sabotage_spec "dropping producer_acquire"
+
+let test_release_before_wait_detected () =
+  let _, kernel, groups = compile_pipelined ~tiling:tiling32 sabotage_spec in
+  (* Turn every wait into a release: releases overtake waits. *)
+  let bad =
+    Kernel.map_body
+      (Stmt.map (fun s ->
+           match s with
+           | Stmt.Sync (Stmt.Consumer_wait g) -> Stmt.Sync (Stmt.Consumer_release g)
+           | _ -> s))
+      kernel
+  in
+  expect_strict_failure bad groups sabotage_spec "release instead of wait"
+
+(* Wrong modulo in the rolling index: shifts the stage ring and corrupts
+   data. The structural validators cannot see this; only execution can. *)
+let test_wrong_stage_modulo_detected () =
+  let _, kernel, groups = compile_pipelined ~tiling:tiling32 sabotage_spec in
+  let bad =
+    Kernel.map_body
+      (Stmt.map (fun s ->
+           match s with
+           | Stmt.Copy ({ dst; kind = Stmt.Async_copy; _ } as c)
+             when String.equal dst.Stmt.buffer "A_sh" ->
+             (match dst.Stmt.slices with
+              | stage :: rest ->
+                let shifted =
+                  { stage with
+                    Stmt.offset =
+                      Expr.simplify
+                        (Expr.modulo
+                           (Expr.add stage.Stmt.offset Expr.one)
+                           (Expr.const 3)) }
+                in
+                Stmt.Copy { c with dst = { dst with Stmt.slices = shifted :: rest } }
+              | [] -> s)
+           | _ -> s))
+      kernel
+  in
+  expect_strict_failure bad groups sabotage_spec "corrupting the stage index"
+
+let test_out_of_bounds_detected () =
+  let a = Buffer.make ~name:"A" ~scope:Buffer.Global ~dtype:Dtype.F16 ~shape:[ 8 ] in
+  let c = Buffer.make ~name:"C" ~scope:Buffer.Global ~dtype:Dtype.F16 ~shape:[ 8 ] in
+  let body =
+    Stmt.for_ "i" (Expr.const 3)
+      (Stmt.copy
+         ~dst:(Stmt.region "C" [ Stmt.slice (Expr.mul (Expr.var "i") (Expr.const 4)) 4 ])
+         ~src:(Stmt.region "A" [ Stmt.slice (Expr.mul (Expr.var "i") (Expr.const 4)) 4 ])
+         ())
+  in
+  let kernel = Kernel.make ~name:"oob" ~inputs:[ a ] ~outputs:[ c ] ~body in
+  let t = Tensor.zeros [ 8 ] in
+  match Interp.run kernel ~inputs:[ ("A", t) ] with
+  | _ -> Alcotest.fail "out-of-bounds access must raise"
+  | exception Interp.Runtime_error msg ->
+    Alcotest.(check bool) "mentions bounds" true
+      (String.length msg > 0)
+
+let test_missing_input_detected () =
+  let spec = Op_spec.matmul ~name:"interp_missing" ~m:32 ~n:32 ~k:32 () in
+  let sched = Schedule.default_gemm ~smem_stages:1 ~reg_stages:1 spec tiling32 in
+  let l = Lower.run sched in
+  let a, _ = Reference.inputs_for spec in
+  match Interp.run l.Lower.kernel ~inputs:[ ("A", a) ] with
+  | _ -> Alcotest.fail "missing input must raise"
+  | exception Interp.Runtime_error _ -> ()
+
+(* Eager mode ignores the async protocol entirely: a sabotaged kernel that
+   raises under strict mode still runs under eager mode (indices are the
+   same), demonstrating what the mode switch controls. *)
+let test_eager_mode_permissive () =
+  let _, kernel, groups = compile_pipelined ~tiling:tiling32 sabotage_spec in
+  let bad =
+    drop_sync (function Stmt.Producer_acquire _ -> true | _ -> false) kernel
+  in
+  let a, b = Reference.inputs_for sabotage_spec in
+  let expected = Reference.gemm sabotage_spec ~a ~b in
+  let outputs =
+    Interp.run ~mode:Interp.Eager ~groups bad ~inputs:[ ("A", a); ("B", b) ]
+  in
+  let actual = snd (List.hd outputs) in
+  Alcotest.(check bool) "eager result exact" true
+    (Tensor.max_abs_diff actual expected <= 1e-9)
+
+(* --- data-race detection on parallel loops --- *)
+
+let race_kernel overlapping =
+  (* Two blockIdx.x iterations write row tiles of C; with [overlapping] the
+     second tile starts one row early and collides with the first. *)
+  let a = Buffer.make ~name:"A" ~scope:Buffer.Global ~dtype:Dtype.F16 ~shape:[ 8; 4 ] in
+  let c = Buffer.make ~name:"C" ~scope:Buffer.Global ~dtype:Dtype.F16 ~shape:[ 8; 4 ] in
+  let row_off =
+    if overlapping then
+      Expr.max_ Expr.zero
+        (Expr.sub (Expr.mul (Expr.var "bx") (Expr.const 4)) Expr.one)
+    else Expr.mul (Expr.var "bx") (Expr.const 4)
+  in
+  let body =
+    Stmt.for_ ~kind:(Stmt.Parallel Stmt.Block_x) "bx" (Expr.const 2)
+      (Stmt.copy
+         ~dst:(Stmt.region "C" [ Stmt.slice row_off 4; Stmt.slice Expr.zero 4 ])
+         ~src:(Stmt.region "A" [ Stmt.slice row_off 4; Stmt.slice Expr.zero 4 ])
+         ())
+  in
+  Kernel.make ~name:"race" ~inputs:[ a ] ~outputs:[ c ] ~body
+
+let test_race_detected () =
+  let t = Tensor.random ~seed:1 [ 8; 4 ] in
+  (match Interp.run (race_kernel false) ~inputs:[ ("A", t) ] with
+   | _ -> ()
+   | exception Interp.Runtime_error m ->
+     Alcotest.failf "disjoint tiles must not race: %s" m);
+  match Interp.run (race_kernel true) ~inputs:[ ("A", t) ] with
+  | _ -> Alcotest.fail "overlapping parallel writes must raise"
+  | exception Interp.Runtime_error m ->
+    Alcotest.(check bool) "mentions race" true
+      (let needle = "data race" in
+       let n = String.length m and k = String.length needle in
+       let rec go i = i + k <= n && (String.equal (String.sub m i k) needle || go (i + 1)) in
+       go 0)
+
+let test_race_check_can_be_disabled () =
+  let t = Tensor.random ~seed:1 [ 8; 4 ] in
+  match Interp.run ~check_races:false (race_kernel true) ~inputs:[ ("A", t) ] with
+  | _ -> ()
+  | exception Interp.Runtime_error m -> Alcotest.failf "disabled check raised: %s" m
+
+let test_sequential_rewrites_not_a_race () =
+  (* The K loop restaging shared memory under the same parallel coordinates
+     must not trip the detector — this is every GEMM's structure. *)
+  let spec = Op_spec.matmul ~name:"interp_norace" ~m:64 ~n:64 ~k:128 () in
+  let _, kernel, groups = compile_pipelined ~tiling:tiling32 spec in
+  check_matches_reference ~groups kernel spec
+
+(* --- tensors --- *)
+
+let test_tensor_roundtrip () =
+  let t = Tensor.init [ 3; 4 ] (fun idx -> float_of_int ((10 * idx.(0)) + idx.(1))) in
+  Alcotest.(check (float 0.0)) "get" 23.0 (Tensor.get t [| 2; 3 |]);
+  Tensor.set t [| 2; 3 |] 99.0;
+  Alcotest.(check (float 0.0)) "set" 99.0 (Tensor.get t [| 2; 3 |])
+
+let test_tensor_random_deterministic () =
+  let a = Tensor.random ~seed:42 [ 16 ] in
+  let b = Tensor.random ~seed:42 [ 16 ] in
+  let c = Tensor.random ~seed:43 [ 16 ] in
+  Alcotest.(check bool) "same seed same data" true (Tensor.allclose a b);
+  Alcotest.(check bool) "different seed differs" false (Tensor.allclose a c);
+  Array.iter
+    (fun x -> Alcotest.(check bool) "in range" true (x >= -1.0 && x < 1.0))
+    a.Tensor.data
+
+let test_reference_gemm_tiny () =
+  (* 1x1x2 GEMM by hand: C = A.B^T with B stored [n, k]. *)
+  let spec = Op_spec.matmul ~name:"tiny" ~m:16 ~n:16 ~k:16 () in
+  let a = Tensor.create [ 16; 16 ] 1.0 in
+  let b = Tensor.create [ 16; 16 ] 2.0 in
+  let c = Reference.gemm spec ~a ~b in
+  Alcotest.(check (float 1e-9)) "all 32" 32.0 (Tensor.get c [| 0; 0 |])
+
+let suite =
+  [ ( "interp",
+      [ Alcotest.test_case "unpipelined matches reference" `Quick
+          test_unpipelined_matches;
+        Alcotest.test_case "pipelined matches reference" `Quick
+          test_pipelined_matches_full;
+        Alcotest.test_case "stage sweep all exact" `Slow test_stage_sweep;
+        Alcotest.test_case "batched pipelined" `Quick test_batched_pipelined;
+        Alcotest.test_case "stages exceed loop extent" `Quick
+          test_stages_exceed_loop;
+        Alcotest.test_case "epilogue fused op" `Quick test_epilogue_fused_op;
+        Alcotest.test_case "inlined elemwise (Fig5 case 2)" `Quick
+          test_inlined_elemwise_case2;
+        Alcotest.test_case "missing consumer_wait detected" `Quick
+          test_missing_consumer_wait_detected;
+        Alcotest.test_case "missing commit detected" `Quick
+          test_missing_commit_detected;
+        Alcotest.test_case "missing acquire detected" `Quick
+          test_missing_acquire_detected;
+        Alcotest.test_case "release before wait detected" `Quick
+          test_release_before_wait_detected;
+        Alcotest.test_case "wrong stage modulo detected" `Quick
+          test_wrong_stage_modulo_detected;
+        Alcotest.test_case "out of bounds detected" `Quick
+          test_out_of_bounds_detected;
+        Alcotest.test_case "missing input detected" `Quick
+          test_missing_input_detected;
+        Alcotest.test_case "eager mode permissive" `Quick test_eager_mode_permissive;
+        Alcotest.test_case "parallel race detected" `Quick test_race_detected;
+        Alcotest.test_case "race check can be disabled" `Quick
+          test_race_check_can_be_disabled;
+        Alcotest.test_case "sequential rewrites not a race" `Quick
+          test_sequential_rewrites_not_a_race;
+        Alcotest.test_case "tensor roundtrip" `Quick test_tensor_roundtrip;
+        Alcotest.test_case "tensor random deterministic" `Quick
+          test_tensor_random_deterministic;
+        Alcotest.test_case "reference gemm tiny" `Quick test_reference_gemm_tiny ] ) ]

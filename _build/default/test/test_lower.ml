@@ -1,0 +1,144 @@
+(* Tests for lowering schedules to the input IR. *)
+
+open Alcop_ir
+open Alcop_sched
+
+let spec = Op_spec.matmul ~name:"lower_test" ~m:128 ~n:64 ~k:256 ()
+
+let bmm_spec =
+  Op_spec.batched_matmul ~name:"lower_bmm" ~batch:4 ~m:64 ~n:64 ~k:128 ()
+
+let tiling =
+  Tiling.make ~tb_m:64 ~tb_n:32 ~tb_k:32 ~warp_m:32 ~warp_n:16 ~warp_k:16 ()
+
+let lower ?(smem_stages = 3) ?(reg_stages = 2) spec =
+  Lower.run (Schedule.default_gemm ~smem_stages ~reg_stages spec tiling)
+
+let test_validates () =
+  let l = lower spec in
+  match Validate.check l.Lower.kernel with
+  | Ok () -> ()
+  | Error errs -> Alcotest.fail (Validate.errors_to_string errs)
+
+let test_structure () =
+  let l = lower spec in
+  let k = l.Lower.kernel in
+  Alcotest.(check int) "inputs" 2 (List.length k.Kernel.inputs);
+  Alcotest.(check int) "outputs" 1 (List.length k.Kernel.outputs);
+  (* 2 smem copies + 2 reg copies + 1 epilogue = 5 *)
+  Alcotest.(check int) "copies" 5 (Stmt.count_copies k.Kernel.body);
+  Alcotest.(check int) "barriers" 2 (Stmt.count_syncs k.Kernel.body);
+  Alcotest.(check int) "mmas" 1 (Stmt.count_mmas k.Kernel.body);
+  Alcotest.(check int) "allocs" 5 (List.length (Stmt.allocs k.Kernel.body));
+  (* All copies in the input IR are synchronous. *)
+  Alcotest.(check int) "no async yet" 0
+    (Stmt.count_copies ~kind:Stmt.Async_copy k.Kernel.body)
+
+let test_loop_nest () =
+  let l = lower spec in
+  let vars = Stmt.loop_vars l.Lower.kernel.Kernel.body in
+  Alcotest.(check bool) "has ko" true (List.mem "ko" vars);
+  Alcotest.(check bool) "has ki" true (List.mem "ki" vars);
+  Alcotest.(check bool) "no batch loop" true (not (List.mem "bz" vars))
+
+let test_buffer_shapes () =
+  let l = lower spec in
+  let body = l.Lower.kernel.Kernel.body in
+  let shape name =
+    match Stmt.find_alloc body name with
+    | Some b -> b.Buffer.shape
+    | None -> Alcotest.failf "missing alloc %s" name
+  in
+  Alcotest.(check (list int)) "A_sh" [ 64; 32 ] (shape "A_sh");
+  Alcotest.(check (list int)) "B_sh" [ 32; 32 ] (shape "B_sh");
+  (* warp grid is 2x2; fragments carry warp dims *)
+  Alcotest.(check (list int)) "A_reg" [ 2; 2; 32; 16 ] (shape "A_reg");
+  Alcotest.(check (list int)) "B_reg" [ 2; 2; 16; 16 ] (shape "B_reg");
+  Alcotest.(check (list int)) "C_reg" [ 2; 2; 32; 16 ] (shape "C_reg")
+
+let test_hints_forwarded () =
+  let l = lower spec in
+  Alcotest.(check int) "hints" 4 (List.length l.Lower.hints);
+  Alcotest.(check bool) "A_sh hinted" true
+    (Alcop_pipeline.Hints.mem l.Lower.hints "A_sh")
+
+let test_batched_adds_block_z () =
+  let l = lower bmm_spec in
+  let vars = Stmt.loop_vars l.Lower.kernel.Kernel.body in
+  Alcotest.(check bool) "bz present" true (List.mem "bz" vars);
+  match Validate.check l.Lower.kernel with
+  | Ok () -> ()
+  | Error errs -> Alcotest.fail (Validate.errors_to_string errs)
+
+let test_untiled_rejected () =
+  let sched = Schedule.create spec in
+  match Lower.run sched with
+  | exception Lower.Lowering_error _ -> ()
+  | _ -> Alcotest.fail "lowering an untiled schedule must fail"
+
+let test_materialize_when_not_inlined () =
+  let spec_elem =
+    Op_spec.matmul ~name:"lower_elem" ~m:128 ~n:64 ~k:256 ~a_op:"relu" ()
+  in
+  let sched =
+    Schedule.default_gemm ~smem_stages:3 ~reg_stages:2 ~inline_elemwise:false
+      spec_elem tiling
+  in
+  let l = Lower.run sched in
+  Alcotest.(check int) "one materialization" 1 (List.length l.Lower.materialize);
+  let name, src, op = List.hd l.Lower.materialize in
+  Alcotest.(check string) "tensor" "A_f" name;
+  Alcotest.(check string) "source" "A" src;
+  Alcotest.(check string) "op" "relu" op;
+  (* the kernel consumes the materialized tensor *)
+  Alcotest.(check bool) "kernel input" true
+    (Kernel.find_param l.Lower.kernel "A_f" <> None)
+
+let test_inlined_no_materialize () =
+  let spec_elem =
+    Op_spec.matmul ~name:"lower_elem2" ~m:128 ~n:64 ~k:256 ~a_op:"relu" ()
+  in
+  let sched =
+    Schedule.default_gemm ~smem_stages:3 ~reg_stages:1 spec_elem tiling
+  in
+  let l = Lower.run sched in
+  Alcotest.(check int) "no materialization" 0 (List.length l.Lower.materialize);
+  (* the op rides on the register-level copy *)
+  let fused_count =
+    Stmt.count
+      (function Stmt.Copy { fused = Some "relu"; _ } -> true | _ -> false)
+      l.Lower.kernel.Kernel.body
+  in
+  Alcotest.(check int) "fused copy present" 1 fused_count
+
+let test_epilogue_fused () =
+  let spec_ep =
+    Op_spec.matmul ~name:"lower_ep" ~m:128 ~n:64 ~k:256 ~epilogue:"gelu" ()
+  in
+  let sched = Schedule.default_gemm spec_ep tiling in
+  let l = Lower.run sched in
+  let has_fused_store =
+    Stmt.count
+      (function
+        | Stmt.Copy { fused = Some "gelu"; dst; _ } ->
+          String.equal dst.Stmt.buffer "C"
+        | _ -> false)
+      l.Lower.kernel.Kernel.body
+  in
+  Alcotest.(check int) "epilogue carries op" 1 has_fused_store
+
+let suite =
+  [ ( "lower",
+      [ Alcotest.test_case "validates" `Quick test_validates;
+        Alcotest.test_case "structure" `Quick test_structure;
+        Alcotest.test_case "loop nest" `Quick test_loop_nest;
+        Alcotest.test_case "buffer shapes" `Quick test_buffer_shapes;
+        Alcotest.test_case "hints forwarded" `Quick test_hints_forwarded;
+        Alcotest.test_case "batched adds blockIdx.z" `Quick
+          test_batched_adds_block_z;
+        Alcotest.test_case "untiled rejected" `Quick test_untiled_rejected;
+        Alcotest.test_case "materialize when not inlined" `Quick
+          test_materialize_when_not_inlined;
+        Alcotest.test_case "inlined carries fused op" `Quick
+          test_inlined_no_materialize;
+        Alcotest.test_case "epilogue fused" `Quick test_epilogue_fused ] ) ]

@@ -1,0 +1,182 @@
+(* Split-K reduction parallelism: lowering structure, functional
+   correctness through the two-kernel chain, schedule-space integration and
+   its performance role (restoring parallelism on small-output
+   long-reduction shapes — the job pipelining competes with). *)
+
+open Alcop_ir
+open Alcop_sched
+open Alcop
+
+let hw = Alcop_hw.Hw_config.ampere_a100
+
+let spec = Op_spec.matmul ~name:"splitk" ~m:64 ~n:64 ~k:256 ()
+
+let tiling ?(split_k = 4) () =
+  Tiling.make ~split_k ~tb_m:32 ~tb_n:32 ~tb_k:16 ~warp_m:16 ~warp_n:16
+    ~warp_k:16 ()
+
+let test_tiling_validation () =
+  (match Tiling.validate (tiling ()) spec with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  (* 256/16 = 16 K iterations; split 5 does not divide *)
+  match Tiling.validate (tiling ~split_k:5 ()) spec with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "split 5 of 16 iterations must be invalid"
+
+let test_derived_quantities () =
+  let t = tiling () in
+  Alcotest.(check int) "threadblocks x split" (2 * 2 * 4)
+    (Tiling.threadblocks t spec);
+  Alcotest.(check int) "per-TB k iterations" 4 (Tiling.k_iters t spec);
+  Alcotest.(check bool) "to_string mentions split" true
+    (String.length (Tiling.to_string t) > 0
+     && Tiling.to_string t <> Tiling.to_string (tiling ~split_k:1 ()))
+
+let lowered ?split_k () =
+  Lower.run
+    (Schedule.default_gemm ~smem_stages:2 ~reg_stages:1 spec
+       (tiling ?split_k ()))
+
+let test_lowering_structure () =
+  let l = lowered () in
+  (* main kernel writes a workspace with a leading split dimension *)
+  (match l.Lower.kernel.Kernel.outputs with
+   | [ b ] ->
+     Alcotest.(check string) "workspace name" "C_partial" b.Buffer.name;
+     Alcotest.(check (list int)) "workspace shape" [ 4; 64; 64 ] b.Buffer.shape
+   | _ -> Alcotest.fail "expected one output");
+  Alcotest.(check bool) "sk loop present" true
+    (List.mem "sk" (Stmt.loop_vars l.Lower.kernel.Kernel.body));
+  (* a reduce kernel exists, reading the workspace and writing C *)
+  match l.Lower.reduce with
+  | None -> Alcotest.fail "expected a reduce kernel"
+  | Some r ->
+    Alcotest.(check string) "reduce input" "C_partial"
+      (List.hd r.Kernel.inputs).Buffer.name;
+    Alcotest.(check string) "reduce output" "C"
+      (List.hd r.Kernel.outputs).Buffer.name;
+    Alcotest.(check int) "accumulations" 1
+      (Stmt.count (function Stmt.Accum _ -> true | _ -> false) r.Kernel.body)
+
+let test_no_split_no_reduce () =
+  let l = lowered ~split_k:1 () in
+  Alcotest.(check bool) "no reduce kernel" true (l.Lower.reduce = None);
+  match l.Lower.kernel.Kernel.outputs with
+  | [ b ] -> Alcotest.(check string) "direct output" "C" b.Buffer.name
+  | _ -> Alcotest.fail "expected one output"
+
+let test_epilogue_moves_to_reduce () =
+  let s = Op_spec.matmul ~name:"splitk_ep" ~m:64 ~n:64 ~k:256 ~epilogue:"relu" () in
+  let l = Lower.run (Schedule.default_gemm ~smem_stages:1 ~reg_stages:1 s (tiling ())) in
+  (* the main kernel's writeback must NOT apply the op (partials are summed
+     first), the reduce kernel must. *)
+  Alcotest.(check int) "no fused epilogue in main" 0
+    (Stmt.count
+       (function Stmt.Copy { fused = Some _; _ } -> true | _ -> false)
+       l.Lower.kernel.Kernel.body);
+  match l.Lower.reduce with
+  | Some r ->
+    Alcotest.(check int) "unop in reduce" 1
+      (Stmt.count
+         (function Stmt.Unop { op = "relu"; _ } -> true | _ -> false)
+         r.Kernel.body)
+  | None -> Alcotest.fail "expected reduce kernel"
+
+let test_functional_correctness () =
+  List.iter
+    (fun (split_k, smem_stages, reg_stages, epilogue) ->
+      let s =
+        Op_spec.matmul ~name:(Printf.sprintf "splitk_f%d" split_k) ?epilogue
+          ~m:64 ~n:64 ~k:256 ()
+      in
+      let p =
+        Alcop_perfmodel.Params.make ~tiling:(tiling ~split_k ()) ~smem_stages
+          ~reg_stages ()
+      in
+      match Compiler.compile ~hw p s with
+      | Error m -> Alcotest.fail m
+      | Ok c ->
+        (match Compiler.verify ~atol:1e-9 c with
+         | Ok _ -> ()
+         | Error d ->
+           Alcotest.failf "split=%d stages=%d/%d: mismatch %g" split_k
+             smem_stages reg_stages d))
+    [ (2, 1, 1, None); (2, 3, 2, None); (4, 3, 2, None); (4, 2, 1, Some "relu");
+      (8, 4, 2, None) ]
+
+let test_split_in_space_for_small_grids () =
+  let small = Alcop_workloads.Suites.mm_rn50_fc in
+  let space = Variants.space Variants.alcop small in
+  let has_split =
+    Array.exists
+      (fun (p : Alcop_perfmodel.Params.t) ->
+        p.Alcop_perfmodel.Params.tiling.Tiling.split_k > 1)
+      space
+  in
+  Alcotest.(check bool) "small-output shape gets split-K points" true has_split;
+  (* a huge grid should not *)
+  let big = Op_spec.matmul ~name:"splitk_big" ~m:4096 ~n:4096 ~k:64 () in
+  let space_big = Variants.space Variants.alcop big in
+  let has_split_big =
+    Array.exists
+      (fun (p : Alcop_perfmodel.Params.t) ->
+        p.Alcop_perfmodel.Params.tiling.Tiling.split_k > 1)
+      space_big
+  in
+  Alcotest.(check bool) "huge grid gets none" false has_split_big
+
+let test_split_helps_low_parallelism_baseline () =
+  (* On the paper's most parallelism-starved shape, the unpipelined
+     baseline must prefer a split-K schedule over no split. *)
+  let s = Alcop_workloads.Suites.mm_rn50_fc in
+  match Variants.best_point ~hw Variants.tvm s with
+  | Some (p, _) ->
+    Alcotest.(check bool) "TVM best uses split-K" true
+      (p.Alcop_perfmodel.Params.tiling.Tiling.split_k > 1)
+  | None -> Alcotest.fail "no TVM schedule"
+
+let test_reduce_cost_positive_and_monotone () =
+  let c2 = Alcop_perfmodel.Reduce_cost.cycles hw spec ~split_k:2 in
+  let c8 = Alcop_perfmodel.Reduce_cost.cycles hw spec ~split_k:8 in
+  Alcotest.(check (float 1e-9)) "off" 0.0
+    (Alcop_perfmodel.Reduce_cost.cycles hw spec ~split_k:1);
+  Alcotest.(check bool) "positive" true (c2 > 0.0);
+  Alcotest.(check bool) "monotone in split" true (c8 > c2)
+
+let test_model_accounts_for_reduce () =
+  let p1 =
+    Alcop_perfmodel.Params.make ~tiling:(tiling ~split_k:1 ()) ~smem_stages:1
+      ~reg_stages:1 ()
+  in
+  let p4 =
+    Alcop_perfmodel.Params.make ~tiling:(tiling ~split_k:4 ()) ~smem_stages:1
+      ~reg_stages:1 ()
+  in
+  match
+    ( Alcop_perfmodel.Model.predict_cycles hw spec p1,
+      Alcop_perfmodel.Model.predict_cycles hw spec p4 )
+  with
+  | Some _, Some c4 ->
+    Alcotest.(check bool) "split prediction includes reduce cost" true
+      (c4 > Alcop_perfmodel.Reduce_cost.cycles hw spec ~split_k:4)
+  | _ -> Alcotest.fail "model must predict both"
+
+let suite =
+  [ ( "splitk",
+      [ Alcotest.test_case "tiling validation" `Quick test_tiling_validation;
+        Alcotest.test_case "derived quantities" `Quick test_derived_quantities;
+        Alcotest.test_case "lowering structure" `Quick test_lowering_structure;
+        Alcotest.test_case "no split, no reduce" `Quick test_no_split_no_reduce;
+        Alcotest.test_case "epilogue moves to reduce" `Quick
+          test_epilogue_moves_to_reduce;
+        Alcotest.test_case "functional correctness" `Quick
+          test_functional_correctness;
+        Alcotest.test_case "split in space for small grids" `Quick
+          test_split_in_space_for_small_grids;
+        Alcotest.test_case "split helps starved baseline" `Slow
+          test_split_helps_low_parallelism_baseline;
+        Alcotest.test_case "reduce cost" `Quick
+          test_reduce_cost_positive_and_monotone;
+        Alcotest.test_case "model accounts for reduce" `Quick
+          test_model_accounts_for_reduce ] ) ]

@@ -1,0 +1,164 @@
+(* Timing simulator tests: occupancy, locality, and directional sanity of
+   the event-driven engine (pipelining helps where it should). *)
+
+open Alcop_sched
+open Alcop_gpusim
+
+let hw = Alcop_hw.Hw_config.ampere_a100
+
+(* --- occupancy --- *)
+
+let test_occupancy_basic () =
+  match Occupancy.compute hw ~smem_per_tb:(32 * 1024) ~warps_per_tb:4 ~regs_per_thread:64 with
+  | Error f -> Alcotest.failf "unexpected failure: %a" Occupancy.pp_failure f
+  | Ok o ->
+    (* smem: 164KB/32KB = 5; regs: 65536/(64*128) = 8; threads: 2048/128=16 *)
+    Alcotest.(check int) "tbs" 5 o.Occupancy.tbs_per_sm;
+    Alcotest.(check string) "limiter" "shared memory" o.Occupancy.limiter
+
+let test_occupancy_register_limited () =
+  match Occupancy.compute hw ~smem_per_tb:1024 ~warps_per_tb:8 ~regs_per_thread:128 with
+  | Error f -> Alcotest.failf "unexpected failure: %a" Occupancy.pp_failure f
+  | Ok o ->
+    (* regs: 65536 / (128 * 256) = 2 *)
+    Alcotest.(check int) "tbs" 2 o.Occupancy.tbs_per_sm;
+    Alcotest.(check string) "limiter" "registers" o.Occupancy.limiter
+
+let test_occupancy_too_much_smem () =
+  match Occupancy.compute hw ~smem_per_tb:(200 * 1024) ~warps_per_tb:4 ~regs_per_thread:64 with
+  | Error f ->
+    Alcotest.(check string) "resource" "shared memory per threadblock"
+      f.Occupancy.resource
+  | Ok _ -> Alcotest.fail "200KB per threadblock must fail"
+
+let test_occupancy_too_many_regs () =
+  match Occupancy.compute hw ~smem_per_tb:1024 ~warps_per_tb:4 ~regs_per_thread:300 with
+  | Error f -> Alcotest.(check string) "resource" "registers per thread" f.Occupancy.resource
+  | Ok _ -> Alcotest.fail "300 regs per thread must fail"
+
+(* --- locality --- *)
+
+let test_locality_single_tb () =
+  let l =
+    Locality.compute hw ~grid_m:8 ~grid_n:8 ~grid_z:1 ~tb_m:64 ~tb_n:64
+      ~tb_k:32 ~elem_bytes:2 ~resident_tbs:1
+  in
+  (* a single resident threadblock shares nothing *)
+  Alcotest.(check (float 1e-9)) "no sharing" 1.0 l.Locality.miss_rate
+
+let test_locality_row_sharing () =
+  let l =
+    Locality.compute hw ~grid_m:8 ~grid_n:8 ~grid_z:1 ~tb_m:64 ~tb_n:64
+      ~tb_k:32 ~elem_bytes:2 ~resident_tbs:8
+  in
+  (* 8 TBs in one grid row share the same A tile: unique = 1*A + 8*B of 16
+     total halves -> miss = (64 + 8*64) / (8 * 128) *)
+  Alcotest.(check (float 1e-6)) "row sharing"
+    (float_of_int ((1 * 64) + (8 * 64)) /. float_of_int (8 * 128))
+    l.Locality.miss_rate
+
+let test_locality_monotone_in_residents () =
+  let miss r =
+    (Locality.compute hw ~grid_m:16 ~grid_n:16 ~grid_z:1 ~tb_m:64 ~tb_n:64
+       ~tb_k:32 ~elem_bytes:2 ~resident_tbs:r)
+      .Locality.miss_rate
+  in
+  Alcotest.(check bool) "more residents share more" true (miss 64 <= miss 4)
+
+(* --- end-to-end timing directionality --- *)
+
+let spec_longk = Op_spec.matmul ~name:"timing_longk" ~m:1024 ~n:64 ~k:2048 ()
+
+let tiling =
+  Tiling.make ~tb_m:64 ~tb_n:64 ~tb_k:32 ~warp_m:32 ~warp_n:32 ~warp_k:16 ()
+
+let cycles_of ?(spec = spec_longk) ?(smem_stages = 1) ?(reg_stages = 1) () =
+  let p =
+    Alcop_perfmodel.Params.make ~tiling ~smem_stages ~reg_stages ()
+  in
+  match Alcop.Compiler.compile ~hw p spec with
+  | Ok c -> c.Alcop.Compiler.latency_cycles
+  | Error m -> Alcotest.failf "compile failed: %s" m
+
+let test_pipelining_speeds_up_long_reduction () =
+  let base = cycles_of () in
+  let pipelined = cycles_of ~smem_stages:3 ~reg_stages:2 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "pipelined (%.0f) < base (%.0f)" pipelined base)
+    true (pipelined < base)
+
+let test_multistage_beats_double_buffer () =
+  let db = cycles_of ~smem_stages:2 () in
+  let ms = cycles_of ~smem_stages:4 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "4-stage (%.0f) <= 2-stage (%.0f)" ms db)
+    true (ms <= db)
+
+let test_determinism () =
+  let a = cycles_of ~smem_stages:3 ~reg_stages:2 () in
+  let b = cycles_of ~smem_stages:3 ~reg_stages:2 () in
+  Alcotest.(check (float 0.0)) "deterministic" a b
+
+let test_more_work_takes_longer () =
+  let small = Op_spec.matmul ~name:"timing_small" ~m:256 ~n:64 ~k:512 () in
+  let s = cycles_of ~spec:small ~smem_stages:3 ~reg_stages:2 () in
+  let l = cycles_of ~smem_stages:3 ~reg_stages:2 () in
+  Alcotest.(check bool) "8x flops is slower" true (l > s *. 2.0)
+
+let test_oversized_schedule_fails () =
+  (* 8 pipeline stages of a 256x128x64 tile exceed shared memory. *)
+  let big =
+    Tiling.make ~tb_m:256 ~tb_n:128 ~tb_k:64 ~warp_m:64 ~warp_n:64 ~warp_k:32 ()
+  in
+  let spec = Op_spec.matmul ~name:"timing_big" ~m:1024 ~n:1024 ~k:1024 () in
+  let p = Alcop_perfmodel.Params.make ~tiling:big ~smem_stages:4 ~reg_stages:2 () in
+  match Alcop.Compiler.compile ~hw p spec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "4-stage 256x128x64 tiles must exceed shared memory"
+
+let test_wave_quantization_visible () =
+  (* Doubling the grid with identical per-TB work roughly doubles waves. *)
+  let one = cycles_of ~spec:(Op_spec.matmul ~name:"w1" ~m:2048 ~n:512 ~k:512 ())
+      ~smem_stages:3 ~reg_stages:2 () in
+  let two = cycles_of ~spec:(Op_spec.matmul ~name:"w2" ~m:4096 ~n:512 ~k:512 ())
+      ~smem_stages:3 ~reg_stages:2 () in
+  Alcotest.(check bool) "double grid slower" true (two > one *. 1.5)
+
+let test_bank_conflicts_hurt () =
+  let swz =
+    Alcop_perfmodel.Params.make ~tiling ~smem_stages:3 ~reg_stages:2 ()
+  in
+  let noswz =
+    Alcop_perfmodel.Params.make ~swizzle:false ~tiling ~smem_stages:3
+      ~reg_stages:2 ()
+  in
+  let c p =
+    match Alcop.Compiler.compile ~hw p spec_longk with
+    | Ok c -> c.Alcop.Compiler.latency_cycles
+    | Error m -> Alcotest.failf "compile failed: %s" m
+  in
+  Alcotest.(check bool) "no swizzle slower" true (c noswz > c swz)
+
+let suite =
+  [ ( "timing",
+      [ Alcotest.test_case "occupancy basic" `Quick test_occupancy_basic;
+        Alcotest.test_case "occupancy register limited" `Quick
+          test_occupancy_register_limited;
+        Alcotest.test_case "occupancy smem overflow" `Quick
+          test_occupancy_too_much_smem;
+        Alcotest.test_case "occupancy regs overflow" `Quick
+          test_occupancy_too_many_regs;
+        Alcotest.test_case "locality single tb" `Quick test_locality_single_tb;
+        Alcotest.test_case "locality row sharing" `Quick test_locality_row_sharing;
+        Alcotest.test_case "locality monotone" `Quick
+          test_locality_monotone_in_residents;
+        Alcotest.test_case "pipelining speeds up long reduction" `Quick
+          test_pipelining_speeds_up_long_reduction;
+        Alcotest.test_case "multi-stage beats double buffer" `Quick
+          test_multistage_beats_double_buffer;
+        Alcotest.test_case "deterministic" `Quick test_determinism;
+        Alcotest.test_case "more work takes longer" `Quick test_more_work_takes_longer;
+        Alcotest.test_case "oversized schedule fails" `Quick
+          test_oversized_schedule_fails;
+        Alcotest.test_case "wave quantization" `Quick test_wave_quantization_visible;
+        Alcotest.test_case "bank conflicts hurt" `Quick test_bank_conflicts_hurt ] ) ]

@@ -1,0 +1,160 @@
+(* Tests for structural kernel validation. *)
+
+open Alcop_ir
+
+let gbuf name shape = Buffer.make ~name ~scope:Buffer.Global ~dtype:Dtype.F16 ~shape
+let sbuf name shape = Buffer.make ~name ~scope:Buffer.Shared ~dtype:Dtype.F16 ~shape
+let rbuf name shape = Buffer.make ~name ~scope:Buffer.Register ~dtype:Dtype.F16 ~shape
+
+let kernel body =
+  Kernel.make ~name:"t" ~inputs:[ gbuf "A" [ 16; 16 ] ]
+    ~outputs:[ gbuf "C" [ 16; 16 ] ] ~body
+
+let region name lens = Stmt.region name (List.map (fun l -> Stmt.slice Expr.zero l) lens)
+
+let expect_error body fragment =
+  match Validate.check (kernel body) with
+  | Ok () -> Alcotest.failf "expected error mentioning %S" fragment
+  | Error errs ->
+    let text = Validate.errors_to_string errs in
+    if
+      not
+        (let n = String.length text and m = String.length fragment in
+         let rec go i =
+           i + m <= n && (String.equal (String.sub text i m) fragment || go (i + 1))
+         in
+         go 0)
+    then Alcotest.failf "error %S does not mention %S" text fragment
+
+let expect_ok body =
+  match Validate.check (kernel body) with
+  | Ok () -> ()
+  | Error errs -> Alcotest.fail (Validate.errors_to_string errs)
+
+let test_undeclared_buffer () =
+  expect_error
+    (Stmt.copy ~dst:(region "nowhere" [ 16; 16 ]) ~src:(region "A" [ 16; 16 ]) ())
+    "undeclared buffer nowhere"
+
+let test_rank_mismatch () =
+  expect_error
+    (Stmt.copy ~dst:(region "C" [ 16 ]) ~src:(region "A" [ 16; 16 ]) ())
+    "rank 1 but buffer has rank 2"
+
+let test_oversized_slice () =
+  expect_error
+    (Stmt.copy ~dst:(region "C" [ 16; 32 ]) ~src:(region "A" [ 16; 32 ]) ())
+    "slice length 32 > dimension 16"
+
+let test_shape_mismatch () =
+  expect_error
+    (Stmt.copy ~dst:(region "C" [ 16; 16 ]) ~src:(region "A" [ 8; 16 ]) ())
+    "incompatible shapes"
+
+let test_async_to_global_rejected () =
+  expect_error
+    (Stmt.copy ~kind:Stmt.Async_copy ~dst:(region "C" [ 16; 16 ])
+       ~src:(region "A" [ 16; 16 ]) ())
+    "global scope"
+
+let test_async_with_fused_rejected () =
+  let sh = sbuf "S" [ 16; 16 ] in
+  expect_error
+    (Stmt.alloc sh
+       (Stmt.copy ~kind:Stmt.Async_copy ~fused:"relu"
+          ~dst:(region "S" [ 16; 16 ]) ~src:(region "A" [ 16; 16 ]) ()))
+    "cannot carry fused op relu"
+
+let test_async_to_shared_ok () =
+  let sh = sbuf "S" [ 16; 16 ] in
+  expect_ok
+    (Stmt.alloc sh
+       (Stmt.seq
+          [ Stmt.copy ~kind:Stmt.Async_copy ~dst:(region "S" [ 16; 16 ])
+              ~src:(region "A" [ 16; 16 ]) ();
+            Stmt.copy ~dst:(region "C" [ 16; 16 ]) ~src:(region "S" [ 16; 16 ]) () ]))
+
+let test_unbound_variable () =
+  expect_error
+    (Stmt.copy
+       ~dst:(Stmt.region "C" [ Stmt.slice (Expr.var "q") 16; Stmt.slice Expr.zero 16 ])
+       ~src:(region "A" [ 16; 16 ]) ())
+    "unbound variable q"
+
+let test_loop_shadowing () =
+  expect_error
+    (Stmt.for_ "i" (Expr.const 2)
+       (Stmt.for_ "i" (Expr.const 2)
+          (Stmt.copy ~dst:(region "C" [ 16; 16 ]) ~src:(region "A" [ 16; 16 ]) ())))
+    "shadows an enclosing binding"
+
+let test_duplicate_alloc () =
+  let sh = sbuf "S" [ 4; 4 ] in
+  expect_error
+    (Stmt.alloc sh (Stmt.alloc sh (Stmt.seq [])))
+    "declared twice"
+
+let test_mma_scope_check () =
+  let s = sbuf "S" [ 16; 16 ] in
+  let r1 = rbuf "R1" [ 16; 16 ] in
+  let r2 = rbuf "R2" [ 16; 16 ] in
+  expect_error
+    (Stmt.alloc s
+       (Stmt.alloc r1
+          (Stmt.alloc r2
+             (Stmt.Mma
+                { c = region "R1" [ 16; 16 ]; a = region "S" [ 16; 16 ];
+                  b = region "R2" [ 16; 16 ] }))))
+    "must live in register scope"
+
+let test_mma_shape_check () =
+  let c = rbuf "Rc" [ 16; 8 ] in
+  let a = rbuf "Ra" [ 16; 4 ] in
+  let b = rbuf "Rb" [ 8; 2 ] in
+  expect_error
+    (Stmt.alloc c
+       (Stmt.alloc a
+          (Stmt.alloc b
+             (Stmt.Mma
+                { c = region "Rc" [ 16; 8 ]; a = region "Ra" [ 16; 4 ];
+                  b = region "Rb" [ 8; 2 ] }))))
+    "shape mismatch"
+
+let test_valid_mma () =
+  let c = rbuf "Rc" [ 16; 8 ] in
+  let a = rbuf "Ra" [ 16; 4 ] in
+  let b = rbuf "Rb" [ 8; 4 ] in
+  expect_ok
+    (Stmt.alloc c
+       (Stmt.alloc a
+          (Stmt.alloc b
+             (Stmt.Mma
+                { c = region "Rc" [ 16; 8 ]; a = region "Ra" [ 16; 4 ];
+                  b = region "Rb" [ 8; 4 ] }))))
+
+let test_multiple_errors_collected () =
+  let body =
+    Stmt.seq
+      [ Stmt.copy ~dst:(region "x" [ 4 ]) ~src:(region "y" [ 4 ]) ();
+        Stmt.copy ~dst:(region "z" [ 4 ]) ~src:(region "w" [ 4 ]) () ]
+  in
+  match Validate.check (kernel body) with
+  | Ok () -> Alcotest.fail "expected errors"
+  | Error errs -> Alcotest.(check bool) ">= 4 errors" true (List.length errs >= 4)
+
+let suite =
+  [ ( "validate",
+      [ Alcotest.test_case "undeclared buffer" `Quick test_undeclared_buffer;
+        Alcotest.test_case "rank mismatch" `Quick test_rank_mismatch;
+        Alcotest.test_case "oversized slice" `Quick test_oversized_slice;
+        Alcotest.test_case "shape mismatch" `Quick test_shape_mismatch;
+        Alcotest.test_case "async to global" `Quick test_async_to_global_rejected;
+        Alcotest.test_case "async with fused op" `Quick test_async_with_fused_rejected;
+        Alcotest.test_case "async to shared" `Quick test_async_to_shared_ok;
+        Alcotest.test_case "unbound variable" `Quick test_unbound_variable;
+        Alcotest.test_case "loop shadowing" `Quick test_loop_shadowing;
+        Alcotest.test_case "duplicate alloc" `Quick test_duplicate_alloc;
+        Alcotest.test_case "mma scope" `Quick test_mma_scope_check;
+        Alcotest.test_case "mma shape" `Quick test_mma_shape_check;
+        Alcotest.test_case "valid mma" `Quick test_valid_mma;
+        Alcotest.test_case "multiple errors" `Quick test_multiple_errors_collected ] ) ]

@@ -1,0 +1,212 @@
+(* Tests for workload definitions, hardware configs, the convolution
+   reference path (im2col vs direct convolution), and the automatic
+   pipelining entry point. *)
+
+open Alcop_ir
+open Alcop_sched
+open Alcop_gpusim
+
+(* --- hardware configs --- *)
+
+let test_hw_sanity () =
+  List.iter
+    (fun (hw : Alcop_hw.Hw_config.t) ->
+      Alcotest.(check bool) (hw.Alcop_hw.Hw_config.name ^ " sms") true
+        (hw.Alcop_hw.Hw_config.num_sms > 0);
+      Alcotest.(check bool) "clock" true (hw.Alcop_hw.Hw_config.clock_ghz > 0.0);
+      Alcotest.(check bool) "smem per tb <= per sm" true
+        (hw.Alcop_hw.Hw_config.smem_bytes_per_tb_max
+         <= hw.Alcop_hw.Hw_config.smem_bytes_per_sm);
+      Alcotest.(check bool) "dram slower than llc" true
+        (hw.Alcop_hw.Hw_config.dram_bytes_per_cycle
+         < hw.Alcop_hw.Hw_config.llc_bytes_per_cycle);
+      Alcotest.(check bool) "dram latency > llc latency" true
+        (hw.Alcop_hw.Hw_config.dram_latency > hw.Alcop_hw.Hw_config.llc_latency))
+    [ Alcop_hw.Hw_config.ampere_a100; Alcop_hw.Hw_config.volta_v100 ]
+
+let test_hw_async_scopes () =
+  let a100 = Alcop_hw.Hw_config.ampere_a100 in
+  let v100 = Alcop_hw.Hw_config.volta_v100 in
+  Alcotest.(check bool) "a100 smem async" true
+    (Alcop_hw.Hw_config.scope_is_async a100 Buffer.Shared);
+  Alcotest.(check bool) "v100 smem not async" false
+    (Alcop_hw.Hw_config.scope_is_async v100 Buffer.Shared);
+  Alcotest.(check bool) "v100 register async" true
+    (Alcop_hw.Hw_config.scope_is_async v100 Buffer.Register);
+  Alcotest.(check bool) "smem scope-synchronized" true
+    (Alcop_hw.Hw_config.scope_needs_matching_sync a100 Buffer.Shared);
+  Alcotest.(check bool) "register not scope-synchronized" false
+    (Alcop_hw.Hw_config.scope_needs_matching_sync a100 Buffer.Register)
+
+let test_hw_unit_conversions () =
+  let hw = Alcop_hw.Hw_config.ampere_a100 in
+  let us = Alcop_hw.Hw_config.cycles_to_us hw 1410.0 in
+  Alcotest.(check (float 1e-9)) "1410 cycles at 1.41GHz = 1us" 1.0 us;
+  Alcotest.(check (float 1e-6)) "roundtrip" 1410.0
+    (Alcop_hw.Hw_config.us_to_cycles hw us);
+  Alcotest.(check (float 1.0)) "peak tflops" 312.0
+    (Alcop_hw.Hw_config.peak_tensor_tflops hw)
+
+(* --- suite and model shapes --- *)
+
+let test_suite_shapes_sane () =
+  List.iter
+    (fun (s : Op_spec.t) ->
+      Alcotest.(check bool) (s.Op_spec.name ^ " flops") true (Op_spec.flops s > 0);
+      Alcotest.(check bool) "intensity" true (Op_spec.arithmetic_intensity s > 0.0))
+    Alcop_workloads.Suites.fig10
+
+let test_suite_find () =
+  Alcotest.(check bool) "find" true
+    (Alcop_workloads.Suites.find "MM_RN50_FC" <> None);
+  Alcotest.(check bool) "missing" true (Alcop_workloads.Suites.find "nope" = None)
+
+let test_rn50_fc_matches_paper () =
+  (* Paper: output 1024x64, reduction 2048. *)
+  let s = Option.get (Alcop_workloads.Suites.find "MM_RN50_FC") in
+  Alcotest.(check int) "m" 1024 s.Op_spec.m;
+  Alcotest.(check int) "n" 64 s.Op_spec.n;
+  Alcotest.(check int) "k" 2048 s.Op_spec.k
+
+let test_models_overhead_fraction () =
+  List.iter
+    (fun (m : Alcop_workloads.Models.t) ->
+      Alcotest.(check bool)
+        (m.Alcop_workloads.Models.name ^ " fraction")
+        true
+        (m.Alcop_workloads.Models.overhead_fraction >= 0.0
+         && m.Alcop_workloads.Models.overhead_fraction < 1.0))
+    Alcop_workloads.Models.all
+
+(* --- convolution reference path --- *)
+
+let conv_shape =
+  { Op_spec.cn = 2; ci = 4; ch = 6; cw = 5; co = 3; ckh = 3; ckw = 3;
+    stride = 1; pad = 1 }
+
+let test_im2col_matches_direct_conv () =
+  let image =
+    Tensor.random ~seed:5 [ conv_shape.Op_spec.cn; conv_shape.Op_spec.ci;
+                            conv_shape.Op_spec.ch; conv_shape.Op_spec.cw ]
+  in
+  let weights =
+    Tensor.random ~seed:6 [ conv_shape.Op_spec.co; conv_shape.Op_spec.ci;
+                            conv_shape.Op_spec.ckh; conv_shape.Op_spec.ckw ]
+  in
+  let a = Reference.im2col conv_shape image in
+  let b = Reference.flatten_weights conv_shape weights in
+  (* gemm of the lowered operands == direct convolution *)
+  let oh = 6 and ow = 5 in
+  let m = 2 * oh * ow and k = 4 * 9 in
+  let spec_gemm =
+    Op_spec.matmul ~name:"conv_as_gemm" ~m ~n:3 ~k ()
+  in
+  let via_gemm = Reference.gemm spec_gemm ~a ~b in
+  let direct = Reference.conv2d_direct conv_shape ~image ~weights in
+  Alcotest.(check bool) "im2col+gemm == direct conv" true
+    (Tensor.allclose ~atol:1e-9 via_gemm direct)
+
+let test_im2col_padding_zero () =
+  let image = Tensor.create [ 1; 1; 3; 3 ] 1.0 in
+  let shape =
+    { Op_spec.cn = 1; ci = 1; ch = 3; cw = 3; co = 1; ckh = 3; ckw = 3;
+      stride = 1; pad = 1 }
+  in
+  let a = Reference.im2col shape image in
+  (* corner output pixel (0,0): its 3x3 window has 5 zero-padded taps *)
+  let row0_sum = ref 0.0 in
+  for col = 0 to 8 do
+    row0_sum := !row0_sum +. Tensor.get a [| 0; col |]
+  done;
+  Alcotest.(check (float 1e-9)) "corner sees 4 in-bounds taps" 4.0 !row0_sum
+
+let test_conv_strided_dims () =
+  let s =
+    Op_spec.conv2d ~name:"strided"
+      { Op_spec.cn = 1; ci = 8; ch = 16; cw = 16; co = 8; ckh = 3; ckw = 3;
+        stride = 2; pad = 1 }
+  in
+  (* (16 + 2 - 3)/2 + 1 = 8 *)
+  Alcotest.(check int) "m" (8 * 8) s.Op_spec.m
+
+(* --- automatic pipelining --- *)
+
+let auto_schedule hw =
+  let spec = Op_spec.matmul ~name:"auto_test" ~m:128 ~n:128 ~k:128 () in
+  let tiling =
+    Tiling.make ~tb_m:64 ~tb_n:64 ~tb_k:32 ~warp_m:32 ~warp_n:32 ~warp_k:16 ()
+  in
+  let sched = Schedule.create spec in
+  let sched, a_sh = Schedule.cache_read sched "A" Buffer.Shared in
+  let sched, _ = Schedule.cache_read sched a_sh Buffer.Register in
+  let sched, b_sh = Schedule.cache_read sched "B" Buffer.Shared in
+  let sched, _ = Schedule.cache_read sched b_sh Buffer.Register in
+  let sched = Schedule.tile sched tiling in
+  Schedule.auto_pipeline ~hw ~smem_stages:3 ~reg_stages:2 sched
+
+let count_decisions report pred =
+  List.length (List.filter (fun (_, d) -> pred d) report)
+
+let test_auto_pipeline_ampere () =
+  let sched, report = auto_schedule Alcop_hw.Hw_config.ampere_a100 in
+  Alcotest.(check int) "all four pipelined" 4
+    (count_decisions report (function Schedule.Pipelined _ -> true | _ -> false));
+  Alcotest.(check int) "four hints" 4
+    (List.length sched.Schedule.pipeline_hints)
+
+let test_auto_pipeline_volta_degrades () =
+  let sched, report = auto_schedule Alcop_hw.Hw_config.volta_v100 in
+  Alcotest.(check int) "register levels pipelined" 2
+    (count_decisions report (function Schedule.Pipelined _ -> true | _ -> false));
+  Alcotest.(check int) "shared levels skipped" 2
+    (count_decisions report (function Schedule.Skipped _ -> true | _ -> false));
+  Alcotest.(check int) "two hints" 2 (List.length sched.Schedule.pipeline_hints);
+  (* the degraded schedule still compiles and transforms *)
+  let lowered = Lower.run sched in
+  match
+    Alcop_pipeline.Pass.run ~hw:Alcop_hw.Hw_config.volta_v100
+      ~hints:lowered.Lower.hints lowered.Lower.kernel
+  with
+  | Ok r ->
+    Alcotest.(check int) "one group" 1
+      (List.length (Alcop_pipeline.Pass.groups r))
+  | Error rej ->
+    Alcotest.failf "unexpected rejection: %a" Alcop_pipeline.Analysis.pp_rejection rej
+
+let test_auto_pipeline_disabled_levels () =
+  let spec = Op_spec.matmul ~name:"auto_off" ~m:128 ~n:128 ~k:128 () in
+  let tiling =
+    Tiling.make ~tb_m:64 ~tb_n:64 ~tb_k:32 ~warp_m:32 ~warp_n:32 ~warp_k:16 ()
+  in
+  let sched = Schedule.create spec in
+  let sched, a_sh = Schedule.cache_read sched "A" Buffer.Shared in
+  let sched, _ = Schedule.cache_read sched a_sh Buffer.Register in
+  let sched = Schedule.tile sched tiling in
+  let _, report =
+    Schedule.auto_pipeline ~hw:Alcop_hw.Hw_config.ampere_a100 ~smem_stages:1
+      ~reg_stages:1 sched
+  in
+  Alcotest.(check int) "nothing pipelined" 0
+    (count_decisions report (function Schedule.Pipelined _ -> true | _ -> false))
+
+let suite =
+  [ ( "workloads",
+      [ Alcotest.test_case "hw sanity" `Quick test_hw_sanity;
+        Alcotest.test_case "hw async scopes" `Quick test_hw_async_scopes;
+        Alcotest.test_case "hw unit conversions" `Quick test_hw_unit_conversions;
+        Alcotest.test_case "suite shapes sane" `Quick test_suite_shapes_sane;
+        Alcotest.test_case "suite find" `Quick test_suite_find;
+        Alcotest.test_case "RN50 FC matches paper" `Quick
+          test_rn50_fc_matches_paper;
+        Alcotest.test_case "model overhead fractions" `Quick
+          test_models_overhead_fraction;
+        Alcotest.test_case "im2col matches direct conv" `Quick
+          test_im2col_matches_direct_conv;
+        Alcotest.test_case "im2col padding" `Quick test_im2col_padding_zero;
+        Alcotest.test_case "strided conv dims" `Quick test_conv_strided_dims;
+        Alcotest.test_case "auto-pipeline on Ampere" `Quick
+          test_auto_pipeline_ampere;
+        Alcotest.test_case "auto-pipeline degrades on Volta" `Quick
+          test_auto_pipeline_volta_degrades;
+        Alcotest.test_case "auto-pipeline disabled levels" `Quick
+          test_auto_pipeline_disabled_levels ] ) ]
