@@ -98,8 +98,17 @@ let ops_cmd =
 let with_compiled params spec f =
   match Compiler.compile ~hw params spec with
   | Ok c -> f c
-  | Error m ->
-    Printf.eprintf "compile error: %s\n" m;
+  | Error e ->
+    Printf.eprintf "compile error: %s\n" (Compiler.error_to_string e);
+    exit 1
+
+(* File-backed sinks open their file eagerly; turn an unwritable path into a
+   clean CLI error instead of an uncaught Sys_error. *)
+let install_file_sink make path =
+  match make path with
+  | sink -> Alcop_obs.Obs.add_sink sink
+  | exception Sys_error msg ->
+    Printf.eprintf "cannot open %s: %s\n" path msg;
     exit 1
 
 let show_cmd =
@@ -144,7 +153,10 @@ let show_cmd =
     Term.(const run $ spec_arg $ params_term $ before $ cuda)
 
 let time_cmd =
-  let run spec params =
+  let run spec params trace_out =
+    (match trace_out with
+     | Some path -> install_file_sink Alcop_obs.Sinks.chrome_trace_file path
+     | None -> ());
     with_compiled params spec (fun c ->
         let t = c.Compiler.timing in
         Printf.printf "schedule:       %s\n"
@@ -160,6 +172,16 @@ let time_cmd =
         Printf.printf "LLC miss rate:  %.2f\n" t.Alcop_gpusim.Timing.miss_rate;
         Printf.printf "TC utilization: %.0f%%\n"
           (100.0 *. t.Alcop_gpusim.Timing.compute_utilization);
+        (match t.Alcop_gpusim.Timing.wave_busy with
+         | Some b when b.Alcop_gpusim.Timing.cycles > 0.0 ->
+           let frac x = 100.0 *. Float.min 1.0 (x /. b.Alcop_gpusim.Timing.cycles) in
+           Printf.printf
+             "wave busy:      compute %.0f%% / DRAM %.0f%% / LLC %.0f%% / smem %.0f%%\n"
+             (frac b.Alcop_gpusim.Timing.compute_busy)
+             (frac b.Alcop_gpusim.Timing.dram_busy)
+             (frac b.Alcop_gpusim.Timing.llc_busy)
+             (frac b.Alcop_gpusim.Timing.smem_busy)
+         | _ -> ());
         Printf.printf "TFLOPS:         %.1f\n"
           (float_of_int (Alcop_sched.Op_spec.flops spec)
            /. (c.Compiler.latency_cycles /. hw.Alcop_hw.Hw_config.clock_ghz)
@@ -169,11 +191,23 @@ let time_cmd =
            Printf.printf "analytical:     %.0f cycles (%s-bound main loop)\n"
              p.Alcop_perfmodel.Model.cycles
              (if p.Alcop_perfmodel.Model.smem_bound then "load" else "compute")
-         | Error _ -> ()))
+         | Error _ -> ());
+        match trace_out with
+        | Some path ->
+          Alcop_obs.Obs.reset ();
+          Printf.printf "Chrome trace written to %s (open in chrome://tracing)\n"
+            path
+        | None -> ())
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace-event JSON file of the compile \
+                   phases and simulator gauges.")
   in
   Cmd.v
     (Cmd.info "time" ~doc:"Simulate one schedule and print the breakdown.")
-    Term.(const run $ spec_arg $ params_term)
+    Term.(const run $ spec_arg $ params_term $ trace_out)
 
 let method_conv =
   Arg.enum
@@ -182,7 +216,10 @@ let method_conv =
       ("xgb+", Alcop_tune.Tuner.Analytical_xgb) ]
 
 let tune_cmd =
-  let run spec method_ budget seed log =
+  let run spec method_ budget seed log log_jsonl =
+    (match log_jsonl with
+     | Some path -> install_file_sink Alcop_obs.Sinks.jsonl_file path
+     | None -> ());
     let space = Variants.space Variants.alcop spec in
     let evaluate = Variants.evaluator ~hw Variants.alcop spec in
     Printf.printf "space: %d schedules; method: %s; budget: %d\n%!"
@@ -203,11 +240,16 @@ let tune_cmd =
     (match Alcop_tune.Tuner.best result with
      | Some best -> Printf.printf "best in %d trials: %.0f cycles\n" budget best
      | None -> Printf.printf "no trial compiled\n");
-    match log with
+    (match log with
+     | Some path ->
+       Alcop_tune.Tuning_log.write_file ~path
+         ~spec_name:spec.Alcop_sched.Op_spec.name ~method_ ~seed result;
+       Printf.printf "tuning log written to %s\n" path
+     | None -> ());
+    match log_jsonl with
     | Some path ->
-      Alcop_tune.Tuning_log.write_file ~path
-        ~spec_name:spec.Alcop_sched.Op_spec.name ~method_ ~seed result;
-      Printf.printf "tuning log written to %s\n" path
+      Alcop_obs.Obs.reset ();
+      Printf.printf "JSONL event log written to %s\n" path
     | None -> ()
   in
   let method_ =
@@ -222,8 +264,15 @@ let tune_cmd =
     Arg.(value & opt (some string) None
          & info [ "log" ] ~docv:"FILE" ~doc:"Write a JSON tuning log.")
   in
+  let log_jsonl =
+    Arg.(value & opt (some string) None
+         & info [ "log-jsonl" ] ~docv:"FILE"
+             ~doc:"Write a JSONL event log (one record per trial, with \
+                   best-so-far cost — enough to reconstruct the search \
+                   curve).")
+  in
   Cmd.v (Cmd.info "tune" ~doc:"Tune an operator's schedule.")
-    Term.(const run $ spec_arg $ method_ $ budget $ seed $ log)
+    Term.(const run $ spec_arg $ method_ $ budget $ seed $ log $ log_jsonl)
 
 let model_cmd =
   let run spec params =
@@ -261,6 +310,69 @@ let model_cmd =
        ~doc:"Print the Table I analytical prediction, term by term.")
     Term.(const run $ spec_arg $ params_term)
 
+(* alcop explain: the per-buffer pipelinability report (which of the
+   paper's three legality rules passed or failed, and why), the per-phase
+   compile timings, and the simulator's busy/occupancy gauges. *)
+let explain_cmd =
+  let run spec params =
+    let sink, events = Alcop_obs.Obs.memory_sink () in
+    Alcop_obs.Obs.add_sink sink;
+    let result = Compiler.compile ~hw params spec in
+    let captured = events () in
+    let gauges = Alcop_obs.Obs.gauges () in
+    Alcop_obs.Obs.reset ();
+    Printf.printf "operator:  %s\n" (Format.asprintf "%a" Alcop_sched.Op_spec.pp spec);
+    Printf.printf "schedule:  %s\n\n" (Alcop_perfmodel.Params.to_string params);
+    let verdicts =
+      match result with
+      | Ok c ->
+        Some
+          (Alcop_pipeline.Analysis.verdicts ~hw
+             ~hints:c.Compiler.lowered.Alcop_sched.Lower.hints
+             c.Compiler.lowered.Alcop_sched.Lower.kernel)
+      | Error (Compiler.Legality_rejected { verdicts; _ }) -> Some verdicts
+      | Error _ -> None
+    in
+    print_endline "== pipelinability (paper Sec. II-A legality rules) ==";
+    (match verdicts with
+     | Some vs -> Format.printf "%a@." Alcop_pipeline.Analysis.pp_verdicts vs
+     | None ->
+       print_endline
+         "(not reached: compilation failed before the pipelining pass)");
+    print_endline "";
+    print_endline "== compile phases (wall clock) ==";
+    List.iter
+      (fun (ev : Alcop_obs.Obs.event) ->
+        match ev with
+        | Alcop_obs.Obs.Span_end { name; dur; depth; _ } when depth > 0 ->
+          Printf.printf "  %-20s %10.3f ms\n" name (1e3 *. dur)
+        | _ -> ())
+      captured;
+    if gauges <> [] then begin
+      print_endline "";
+      print_endline "== simulator gauges ==";
+      List.iter
+        (fun (name, v) -> Printf.printf "  %-24s %10.4g\n" name v)
+        gauges
+    end;
+    print_endline "";
+    match result with
+    | Ok c ->
+      Printf.printf "compile OK: %.0f cycles (%.1f us)\n"
+        c.Compiler.latency_cycles
+        (Alcop_hw.Hw_config.cycles_to_us hw c.Compiler.latency_cycles)
+    | Error e ->
+      Printf.printf "compile FAILED (%s): %s\n" (Compiler.error_kind e)
+        (Compiler.error_to_string e);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Explain one schedule: the per-buffer legality verdicts of the \
+             pipelining pass, the per-phase compile timings and the \
+             simulator gauges.")
+    Term.(const run $ spec_arg $ params_term)
+
 let verify_cmd =
   let run spec params =
     if Alcop_sched.Op_spec.flops spec > 200_000_000 then begin
@@ -289,4 +401,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ ops_cmd; show_cmd; time_cmd; model_cmd; tune_cmd; verify_cmd ]))
+          [ ops_cmd; show_cmd; time_cmd; model_cmd; tune_cmd; explain_cmd;
+            verify_cmd ]))

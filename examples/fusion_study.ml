@@ -46,7 +46,7 @@ let () =
     match Compiler.compile ~hw (Alcop_perfmodel.Params.make ~tiling
                                   ~smem_stages:3 ~reg_stages:2 ()) spec with
     | Ok c -> c
-    | Error m -> failwith m
+    | Error e -> failwith (Compiler.error_to_string e)
   in
   ignore c1;
 
@@ -123,4 +123,4 @@ let () =
      (match Compiler.verify c with
       | Ok diff -> Format.printf "    functional check: OK (max |err| = %g)@." diff
       | Error diff -> Format.printf "    functional check: MISMATCH %g@." diff)
-   | Error m -> Format.printf "    compile error: %s@." m)
+   | Error e -> Format.printf "    compile error: %s@." (Compiler.error_to_string e))

@@ -29,7 +29,7 @@ let () =
   let compiled =
     match Compiler.compile ~hw params spec with
     | Ok c -> c
-    | Error m -> failwith m
+    | Error e -> failwith (Compiler.error_to_string e)
   in
   let image = Tensor.random ~seed:11 [ shape.Op_spec.cn; shape.Op_spec.ci;
                                        shape.Op_spec.ch; shape.Op_spec.cw ] in

@@ -11,6 +11,8 @@
 open Alcop_ir
 open Alcop_sched
 
+module Obs = Alcop_obs.Obs
+
 type compiled = {
   schedule : Schedule.t;
   params : Alcop_perfmodel.Params.t;
@@ -22,6 +24,35 @@ type compiled = {
   latency_cycles : float;
       (** kernel plus materialization of non-inlined element-wise stages *)
 }
+
+(* Structured failure: each compile phase keeps its own error payload
+   instead of collapsing into a string, so the observability layer and the
+   CLI can report *what* failed — and a legality rejection carries the full
+   per-buffer rule-by-rule verdict. *)
+type error =
+  | Schedule_error of Schedule.error
+  | Lowering_failed of string
+  | Legality_rejected of {
+      rejection : Alcop_pipeline.Analysis.rejection;
+      verdicts : Alcop_pipeline.Analysis.buffer_verdict list;
+    }
+  | Launch_failed of Alcop_gpusim.Occupancy.failure
+
+let error_kind = function
+  | Schedule_error _ -> "schedule"
+  | Lowering_failed _ -> "lowering"
+  | Legality_rejected _ -> "legality"
+  | Launch_failed _ -> "launch"
+
+let pp_error fmt = function
+  | Schedule_error e -> Schedule.pp_error fmt e
+  | Lowering_failed m -> Format.pp_print_string fmt m
+  | Legality_rejected { rejection; _ } ->
+    Alcop_pipeline.Analysis.pp_rejection fmt rejection
+  | Launch_failed f ->
+    Format.fprintf fmt "launch failure: %a" Alcop_gpusim.Occupancy.pp_failure f
+
+let error_to_string e = Format.asprintf "%a" pp_error e
 
 let latency_us hw c = Alcop_hw.Hw_config.cycles_to_us hw c.latency_cycles
 
@@ -43,31 +74,54 @@ let materialize_cycles (hw : Alcop_hw.Hw_config.t) (lowered : Lower.lowered) =
    (pre-Ampere double buffering): the in-flight tile occupies registers. *)
 let compile ?(hw = Alcop_hw.Hw_config.default) ?(extra_regs_per_thread = 0)
     (params : Alcop_perfmodel.Params.t) (spec : Op_spec.t) =
+  Obs.with_span "compile"
+    ~fields:[ ("op", Alcop_obs.Json.Str spec.Op_spec.name) ]
+  @@ fun () ->
+  let fail err =
+    Obs.count "compile.fail";
+    Obs.count ("compile.fail." ^ error_kind err);
+    Obs.point "compile.error"
+      [ ("op", Alcop_obs.Json.Str spec.Op_spec.name);
+        ("kind", Alcop_obs.Json.Str (error_kind err));
+        ("message", Alcop_obs.Json.Str (error_to_string err)) ];
+    Error err
+  in
   let tiling = params.Alcop_perfmodel.Params.tiling in
   let smem_stages = params.Alcop_perfmodel.Params.smem_stages in
   let reg_stages = params.Alcop_perfmodel.Params.reg_stages in
   match
-    Schedule.default_gemm ~smem_stages ~reg_stages
-      ~inner_fuse:params.Alcop_perfmodel.Params.inner_fuse spec tiling
+    Obs.with_span "compile.schedule" (fun () ->
+        Schedule.default_gemm ~smem_stages ~reg_stages
+          ~inner_fuse:params.Alcop_perfmodel.Params.inner_fuse spec tiling)
   with
-  | exception Schedule.Schedule_error e ->
-    Error (Format.asprintf "%a" Schedule.pp_error e)
+  | exception Schedule.Schedule_error e -> fail (Schedule_error e)
   | schedule ->
     let schedule =
       Schedule.set_swizzle schedule params.Alcop_perfmodel.Params.swizzle
     in
-    (match Lower.run schedule with
-     | exception Lower.Lowering_error m -> Error m
+    (match Obs.with_span "compile.lower" (fun () -> Lower.run schedule) with
+     | exception Lower.Lowering_error m -> fail (Lowering_failed m)
      | lowered ->
        (match
-          Alcop_pipeline.Pass.run ~hw ~hints:lowered.Lower.hints
-            lowered.Lower.kernel
+          Obs.with_span "compile.pipeline" (fun () ->
+              Alcop_pipeline.Pass.run ~hw ~hints:lowered.Lower.hints
+                lowered.Lower.kernel)
         with
-        | Error r -> Error (Format.asprintf "%a" Alcop_pipeline.Analysis.pp_rejection r)
+        | Error rejection ->
+          (* The structured payload re-runs the rule checks buffer by
+             buffer — error path only, so the hot path stays single-pass. *)
+          let verdicts =
+            Alcop_pipeline.Analysis.verdicts ~hw ~hints:lowered.Lower.hints
+              lowered.Lower.kernel
+          in
+          fail (Legality_rejected { rejection; verdicts })
         | Ok result ->
           let kernel = result.Alcop_pipeline.Pass.kernel in
           let groups = Alcop_pipeline.Pass.groups result in
-          let trace = Alcop_gpusim.Trace.extract ~groups kernel in
+          let trace =
+            Obs.with_span "compile.trace" (fun () ->
+                Alcop_gpusim.Trace.extract ~groups kernel)
+          in
           let elem_bytes = Dtype.size_bytes spec.Op_spec.dtype in
           let smem_per_tb =
             List.fold_left
@@ -100,11 +154,11 @@ let compile ?(hw = Alcop_hw.Hw_config.default) ?(extra_regs_per_thread = 0)
                     else None)
                   groups }
           in
-          (match Alcop_gpusim.Timing.run request with
-           | Error f ->
-             Error
-               (Format.asprintf "launch failure: %a"
-                  Alcop_gpusim.Occupancy.pp_failure f)
+          (match
+             Obs.with_span "compile.timing" (fun () ->
+                 Alcop_gpusim.Timing.run request)
+           with
+           | Error f -> fail (Launch_failed f)
            | Ok timing ->
              let latency_cycles =
                timing.Alcop_gpusim.Timing.total_cycles
@@ -112,6 +166,8 @@ let compile ?(hw = Alcop_hw.Hw_config.default) ?(extra_regs_per_thread = 0)
                +. Alcop_perfmodel.Reduce_cost.cycles hw spec
                     ~split_k:tiling.Tiling.split_k
              in
+             Obs.count "compile.ok";
+             Obs.add_field "latency_cycles" (Alcop_obs.Json.Float latency_cycles);
              Ok
                { schedule; params; lowered; kernel; groups; trace; timing;
                  latency_cycles })))
@@ -124,8 +180,11 @@ let evaluator ?(hw = Alcop_hw.Hw_config.default) ?(extra_regs = fun _ -> 0)
   fun (params : Alcop_perfmodel.Params.t) ->
     let k = Alcop_perfmodel.Params.to_string params in
     match Hashtbl.find_opt cache k with
-    | Some v -> v
+    | Some v ->
+      Obs.count "evaluator.cache_hit";
+      v
     | None ->
+      Obs.count "evaluator.cache_miss";
       let v =
         match
           compile ~hw ~extra_regs_per_thread:(extra_regs params) params spec

@@ -19,16 +19,39 @@ type compiled = {
 
 val latency_us : Alcop_hw.Hw_config.t -> compiled -> float
 
+(** Structured compile failure — one constructor per phase, so callers and
+    the observability layer see *what* failed instead of a flat string. *)
+type error =
+  | Schedule_error of Schedule.error
+  | Lowering_failed of string
+  | Legality_rejected of {
+      rejection : Alcop_pipeline.Analysis.rejection;
+          (** the first rule violation, as raised by the pass *)
+      verdicts : Alcop_pipeline.Analysis.buffer_verdict list;
+          (** the full per-buffer rule-by-rule report *)
+    }
+  | Launch_failed of Alcop_gpusim.Occupancy.failure
+
+val error_kind : error -> string
+(** "schedule" | "lowering" | "legality" | "launch". *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val error_to_string : error -> string
+
 val compile :
   ?hw:Alcop_hw.Hw_config.t ->
   ?extra_regs_per_thread:int ->
   Alcop_perfmodel.Params.t ->
   Op_spec.t ->
-  (compiled, string) result
+  (compiled, error) result
 (** Compile one operator under one schedule point. [Error] covers schedule
-    construction failures, pipelining-legality rejections and launch
-    failures (resource exhaustion). [extra_regs_per_thread] models
-    compilers that prefetch without cp.async. *)
+    construction failures, lowering failures, pipelining-legality
+    rejections and launch failures (resource exhaustion).
+    [extra_regs_per_thread] models compilers that prefetch without
+    cp.async. Each phase runs inside an [Alcop_obs] span named
+    [compile.schedule] / [compile.lower] / [compile.pipeline] /
+    [compile.trace] / [compile.timing]. *)
 
 val evaluator :
   ?hw:Alcop_hw.Hw_config.t ->

@@ -226,6 +226,9 @@ type kernel_timing = {
   tail_cycles : float;
   miss_rate : float;
   compute_utilization : float;  (** busy fraction of tensor cores, full wave *)
+  wave_busy : wave_result option;
+      (** raw busy breakdown of the representative wave (full wave when one
+          exists, else the tail wave); [None] for an empty trace *)
 }
 
 let launch_overhead_cycles = 2200.0
@@ -312,9 +315,35 @@ let run (req : request) =
       | Some (cfg, _), _ | None, Some (cfg, _) -> cfg.miss_rate
       | None, None -> 0.0
     in
+    let wave_busy =
+      match full_result, tail_result with
+      | Some (_, r), _ | None, Some (_, r) -> Some r
+      | None, None -> None
+    in
+    (* Surface the representative wave's busy breakdown and the occupancy
+       decision as telemetry — this is exactly the data behind the paper's
+       ablation figures, and it is free when no sink is installed. *)
+    if Alcop_obs.Obs.enabled () then begin
+      let open Alcop_obs in
+      (match wave_busy with
+       | Some r when r.cycles > 0.0 ->
+         let frac busy = Float.min 1.0 (busy /. r.cycles) in
+         Obs.gauge "timing.busy.compute" (frac r.compute_busy);
+         Obs.gauge "timing.busy.dram" (frac r.dram_busy);
+         Obs.gauge "timing.busy.llc" (frac r.llc_busy);
+         Obs.gauge "timing.busy.smem" (frac r.smem_busy)
+       | _ -> ());
+      Obs.gauge "timing.tbs_per_sm" (float_of_int occ.Occupancy.tbs_per_sm);
+      Obs.gauge "timing.n_waves" (float_of_int n_waves);
+      Obs.gauge "timing.miss_rate" miss_rate;
+      Obs.point "timing.occupancy"
+        [ ("limiter", Json.Str occ.Occupancy.limiter);
+          ("tbs_per_sm", Json.Int occ.Occupancy.tbs_per_sm);
+          ("n_waves", Json.Int n_waves) ]
+    end;
     Ok
       { total_cycles;
         microseconds = Alcop_hw.Hw_config.cycles_to_us hw total_cycles;
         n_waves; tbs_per_sm = occ.Occupancy.tbs_per_sm;
         occupancy_limiter = occ.Occupancy.limiter; wave_cycles; tail_cycles;
-        miss_rate; compute_utilization }
+        miss_rate; compute_utilization; wave_busy }

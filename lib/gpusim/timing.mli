@@ -64,6 +64,9 @@ type kernel_timing = {
   tail_cycles : float;
   miss_rate : float;
   compute_utilization : float;
+  wave_busy : wave_result option;
+      (** raw busy breakdown of the representative wave (full wave when one
+          exists, else the tail wave); [None] for an empty trace *)
 }
 
 val launch_overhead_cycles : float
@@ -75,4 +78,9 @@ val bank_conflict_penalty : swizzle:bool -> tb_k:int -> elem_bytes:int -> float
 
 val run : request -> (kernel_timing, Occupancy.failure) result
 (** Simulate a whole kernel launch. [Error] when the threadblock exceeds
-    per-threadblock hardware resources (the schedule "fails to compile"). *)
+    per-threadblock hardware resources (the schedule "fails to compile").
+    When an [Alcop_obs] sink is installed, emits gauges for the
+    compute/DRAM/LLC/smem busy fractions ([timing.busy.*]) and the
+    occupancy decision ([timing.tbs_per_sm], [timing.n_waves],
+    [timing.miss_rate], plus a [timing.occupancy] point carrying the
+    limiter). *)

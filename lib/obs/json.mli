@@ -1,0 +1,32 @@
+(** Minimal JSON tree: the one emitter (escaping, float formatting, null)
+    shared by the tuning logs and every observability sink, plus a small
+    parser so tests can round-trip what the sinks write. The repository
+    carries no external JSON dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** Escape the contents of a JSON string literal (no surrounding quotes). *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+(** Compact (single-line) serialization. Non-finite floats serialize as
+    [null] — JSON has no NaN/infinity. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document. Numbers with a fraction or exponent parse as
+    [Float], others as [Int]. The [Error] payload names the offset. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else. *)
+
+val number : t -> float option
+(** [Int] or [Float] as a float. *)

@@ -1,0 +1,120 @@
+(* Telemetry core: a process-global registry of sinks plus counter/gauge
+   tables and the open-span stack. Global rather than threaded through
+   every signature so instrumentation points stay one-liners and the
+   disabled state costs a single flag read. *)
+
+type field = string * Json.t
+
+type event =
+  | Span_begin of { name : string; ts : float; depth : int }
+  | Span_end of {
+      name : string;
+      ts : float;
+      dur : float;
+      depth : int;
+      fields : field list;
+    }
+  | Counter of { name : string; incr : int; total : int; ts : float }
+  | Gauge of { name : string; value : float; ts : float }
+  | Point of { name : string; ts : float; fields : field list }
+
+type sink = {
+  emit : event -> unit;
+  close : unit -> unit;
+}
+
+type open_span = {
+  span_name : string;
+  start : float;
+  mutable span_fields : field list;  (** reverse order *)
+}
+
+let sinks : sink list ref = ref []
+let recording = ref false
+let counter_table : (string, int) Hashtbl.t = Hashtbl.create 16
+let gauge_table : (string, float) Hashtbl.t = Hashtbl.create 16
+let stack : open_span list ref = ref []
+let clock = ref Unix.gettimeofday
+
+let enabled () = !recording
+let now () = !clock ()
+let set_clock f = clock := f
+
+let emit ev = List.iter (fun s -> s.emit ev) !sinks
+
+let add_sink s =
+  sinks := !sinks @ [ s ];
+  recording := true
+
+let record () = recording := true
+
+let reset () =
+  List.iter (fun s -> s.close ()) !sinks;
+  sinks := [];
+  recording := false;
+  Hashtbl.reset counter_table;
+  Hashtbl.reset gauge_table;
+  stack := []
+
+let with_span ?(fields = []) name f =
+  if not !recording then f ()
+  else begin
+    let start = now () in
+    let depth = List.length !stack in
+    let span = { span_name = name; start; span_fields = List.rev fields } in
+    stack := span :: !stack;
+    emit (Span_begin { name; ts = start; depth });
+    let finish extra =
+      let stop = now () in
+      stack := (match !stack with _ :: rest -> rest | [] -> []);
+      emit
+        (Span_end
+           { name; ts = start; dur = stop -. start; depth;
+             fields = List.rev_append span.span_fields extra })
+    in
+    match f () with
+    | v -> finish []; v
+    | exception e ->
+      finish [ ("raised", Json.Str (Printexc.to_string e)) ];
+      raise e
+  end
+
+let add_field k v =
+  if !recording then
+    match !stack with
+    | span :: _ -> span.span_fields <- (k, v) :: span.span_fields
+    | [] -> ()
+
+let count ?(n = 1) name =
+  if !recording then begin
+    let total = n + Option.value ~default:0 (Hashtbl.find_opt counter_table name) in
+    Hashtbl.replace counter_table name total;
+    emit (Counter { name; incr = n; total; ts = now () })
+  end
+
+let counter_value name =
+  Option.value ~default:0 (Hashtbl.find_opt counter_table name)
+
+let counters () =
+  List.sort compare
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counter_table [])
+
+let gauge name value =
+  if !recording then begin
+    Hashtbl.replace gauge_table name value;
+    emit (Gauge { name; value; ts = now () })
+  end
+
+let gauge_value name = Hashtbl.find_opt gauge_table name
+
+let gauges () =
+  List.sort compare
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) gauge_table [])
+
+let point name fields =
+  if !recording then emit (Point { name; ts = now (); fields })
+
+let memory_sink () =
+  let events = ref [] in
+  ( { emit = (fun ev -> events := ev :: !events); close = (fun () -> ()) },
+    fun () -> List.rev !events )

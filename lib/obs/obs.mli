@@ -1,0 +1,85 @@
+(** Structured telemetry for the compile–simulate–tune pipeline:
+    hierarchical wall-clock spans, named counters and gauges, and free-form
+    point events, fanned out to pluggable sinks.
+
+    The default state has no sink installed and every call is a no-op (one
+    flag read), so instrumented hot paths — the evaluator, the timing
+    simulator — cost nothing in benchmarks. Install a sink (see {!Sinks})
+    or call {!record} to start recording.
+
+    Not thread-safe: the compiler itself is single-threaded. *)
+
+type field = string * Json.t
+
+type event =
+  | Span_begin of { name : string; ts : float; depth : int }
+  | Span_end of {
+      name : string;
+      ts : float;  (** start time, seconds *)
+      dur : float;  (** seconds *)
+      depth : int;
+      fields : field list;
+    }
+  | Counter of { name : string; incr : int; total : int; ts : float }
+  | Gauge of { name : string; value : float; ts : float }
+  | Point of { name : string; ts : float; fields : field list }
+
+type sink = {
+  emit : event -> unit;
+  close : unit -> unit;
+      (** flush / finalize; called by {!reset} exactly once *)
+}
+
+val enabled : unit -> bool
+(** True when at least one sink is installed or {!record} was called. *)
+
+val add_sink : sink -> unit
+
+val record : unit -> unit
+(** Turn recording on without any sink — counters and gauges accumulate
+    and can be read back with {!counter_value} / {!gauge_value}. *)
+
+val reset : unit -> unit
+(** Close every sink, drop all counters, gauges and open spans, and return
+    to the zero-cost no-op state. *)
+
+val set_clock : (unit -> float) -> unit
+(** Replace the wall clock (default [Unix.gettimeofday]); tests install a
+    deterministic counter. {!reset} keeps the installed clock. *)
+
+val now : unit -> float
+
+val with_span : ?fields:field list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a named span. Emits [Span_begin]/[Span_end] with
+    nesting depth; an escaping exception still ends the span (with a
+    ["raised"] field) before re-raising. When disabled this is exactly
+    [f ()]. *)
+
+val add_field : string -> Json.t -> unit
+(** Attach a field to the innermost open span (no-op when disabled or no
+    span is open). *)
+
+val count : ?n:int -> string -> unit
+(** Increment a named counter by [n] (default 1). *)
+
+val counter_value : string -> int
+(** Current total of a counter; 0 if never incremented. *)
+
+val counters : unit -> (string * int) list
+(** All counters, sorted by name — deterministic across runs for a
+    deterministic workload. *)
+
+val gauge : string -> float -> unit
+(** Set a named gauge to its latest value. *)
+
+val gauge_value : string -> float option
+
+val gauges : unit -> (string * float) list
+(** All gauges, sorted by name. *)
+
+val point : string -> field list -> unit
+(** Emit one free-form event (e.g. one tuner trial). *)
+
+val memory_sink : unit -> sink * (unit -> event list)
+(** A sink that records every event in order; the second component reads
+    the events captured so far. *)

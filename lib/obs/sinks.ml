@@ -1,0 +1,170 @@
+(* Built-in sinks: JSONL event log, Chrome trace-event export, pretty
+   console summary. All serialization goes through [Json] so escaping and
+   float formatting are uniform across sinks and tuning logs. *)
+
+let file_writer path =
+  let oc = open_out path in
+  ((fun s -> output_string oc s), fun () -> close_out oc)
+
+(* --- JSONL --- *)
+
+let fields_obj fields = Json.Obj fields
+
+let json_of_event (ev : Obs.event) =
+  match ev with
+  | Obs.Span_begin { name; ts; depth } ->
+    Json.Obj
+      [ ("type", Json.Str "span_begin"); ("name", Json.Str name);
+        ("ts", Json.Float ts); ("depth", Json.Int depth) ]
+  | Obs.Span_end { name; ts; dur; depth; fields } ->
+    Json.Obj
+      [ ("type", Json.Str "span"); ("name", Json.Str name);
+        ("ts", Json.Float ts); ("dur", Json.Float dur);
+        ("depth", Json.Int depth); ("fields", fields_obj fields) ]
+  | Obs.Counter { name; incr; total; ts } ->
+    Json.Obj
+      [ ("type", Json.Str "counter"); ("name", Json.Str name);
+        ("incr", Json.Int incr); ("total", Json.Int total);
+        ("ts", Json.Float ts) ]
+  | Obs.Gauge { name; value; ts } ->
+    Json.Obj
+      [ ("type", Json.Str "gauge"); ("name", Json.Str name);
+        ("value", Json.Float value); ("ts", Json.Float ts) ]
+  | Obs.Point { name; ts; fields } ->
+    Json.Obj
+      [ ("type", Json.Str "point"); ("name", Json.Str name);
+        ("ts", Json.Float ts); ("fields", fields_obj fields) ]
+
+let jsonl write =
+  { Obs.emit = (fun ev -> write (Json.to_string (json_of_event ev) ^ "\n"));
+    close = (fun () -> ()) }
+
+let jsonl_file path =
+  let write, close = file_writer path in
+  let s = jsonl write in
+  { s with Obs.close = close }
+
+(* --- Chrome trace events --- *)
+
+(* Timestamps are microseconds relative to the first event seen, so the
+   trace opens at t=0 regardless of the wall clock. *)
+let chrome_trace write =
+  let recorded : (float * Json.t) list ref = ref [] in
+  let origin = ref None in
+  let us ts =
+    let o = match !origin with Some o -> o | None -> origin := Some ts; ts in
+    (ts -. o) *. 1e6
+  in
+  let push ts j = recorded := (ts, j) :: !recorded in
+  let common name ph ts =
+    [ ("name", Json.Str name); ("ph", Json.Str ph); ("ts", Json.Float ts);
+      ("pid", Json.Int 1); ("tid", Json.Int 1) ]
+  in
+  let emit (ev : Obs.event) =
+    match ev with
+    | Obs.Span_begin { ts; _ } ->
+      (* spans are written as complete events at Span_end, whose ts is the
+         span's *start* — anchor the origin here or events recorded inside
+         the first span would push it later and make that ts negative *)
+      ignore (us ts)
+    | Obs.Span_end { name; ts; dur; fields; _ } ->
+      let t = us ts in
+      push t
+        (Json.Obj
+           (common name "X" t
+            @ [ ("dur", Json.Float (dur *. 1e6));
+                ("args", fields_obj fields) ]))
+    | Obs.Counter { name; total; ts; _ } ->
+      let t = us ts in
+      push t
+        (Json.Obj
+           (common name "C" t
+            @ [ ("args", Json.Obj [ ("value", Json.Int total) ]) ]))
+    | Obs.Gauge { name; value; ts } ->
+      let t = us ts in
+      push t
+        (Json.Obj
+           (common name "C" t
+            @ [ ("args", Json.Obj [ ("value", Json.Float value) ]) ]))
+    | Obs.Point { name; ts; fields } ->
+      let t = us ts in
+      push t
+        (Json.Obj
+           (common name "i" t
+            @ [ ("s", Json.Str "t"); ("args", fields_obj fields) ]))
+  in
+  let close () =
+    let events =
+      List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev !recorded)
+    in
+    write
+      (Json.to_string
+         (Json.Obj
+            [ ("traceEvents", Json.List (List.map snd events));
+              ("displayTimeUnit", Json.Str "ms") ]));
+    write "\n"
+  in
+  { Obs.emit; close }
+
+let chrome_trace_file path =
+  let write, close_file = file_writer path in
+  let s = chrome_trace write in
+  { s with Obs.close = (fun () -> s.Obs.close (); close_file ()) }
+
+(* --- console summary --- *)
+
+type span_row = {
+  name : string;
+  depth : int;
+  mutable dur : float option;  (** None while still open *)
+}
+
+let console_summary write =
+  let rows : span_row list ref = ref [] in
+  let counters : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let gauges : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let emit (ev : Obs.event) =
+    match ev with
+    | Obs.Span_begin { name; depth; _ } ->
+      rows := { name; depth; dur = None } :: !rows
+    | Obs.Span_end { name; dur; depth; _ } ->
+      (* innermost-first: fill the most recent open row of this span *)
+      (match
+         List.find_opt
+           (fun r -> r.dur = None && r.depth = depth && String.equal r.name name)
+           !rows
+       with
+       | Some r -> r.dur <- Some dur
+       | None -> rows := { name; depth; dur = Some dur } :: !rows)
+    | Obs.Counter { name; total; _ } -> Hashtbl.replace counters name total
+    | Obs.Gauge { name; value; _ } -> Hashtbl.replace gauges name value
+    | Obs.Point _ -> ()
+  in
+  let close () =
+    let line fmt = Printf.ksprintf (fun s -> write (s ^ "\n")) fmt in
+    (match List.rev !rows with
+     | [] -> ()
+     | rows ->
+       line "-- spans (wall clock) --";
+       List.iter
+         (fun r ->
+           let label = String.make (2 * r.depth) ' ' ^ r.name in
+           match r.dur with
+           | Some d -> line "%-44s %10.3f ms" label (1e3 *. d)
+           | None -> line "%-44s %10s" label "(open)")
+         rows);
+    let dump title table fmt_v =
+      let entries =
+        List.sort compare (Hashtbl.fold (fun k v a -> (k, v) :: a) table [])
+      in
+      if entries <> [] then begin
+        line "-- %s --" title;
+        List.iter (fun (k, v) -> line "%-44s %10s" k (fmt_v v)) entries
+      end
+    in
+    dump "counters" counters string_of_int;
+    dump "gauges" gauges (Printf.sprintf "%.4g")
+  in
+  { Obs.emit; close }
+
+let console_summary_stdout () = console_summary print_string

@@ -1,0 +1,28 @@
+(** The built-in sinks.
+
+    Each sink has a writer-function constructor (for tests and in-memory
+    use) and a file constructor that owns the channel and closes it from
+    [sink.close] — so [Obs.reset] finalizes the file. *)
+
+val jsonl : (string -> unit) -> Obs.sink
+(** One JSON object per event, one event per line (the line includes the
+    trailing newline). Every field of the event is preserved, so e.g. a
+    tuner's best-so-far curve is reconstructible from the log alone. *)
+
+val jsonl_file : string -> Obs.sink
+
+val chrome_trace : (string -> unit) -> Obs.sink
+(** Chrome [chrome://tracing] / Perfetto trace-event JSON: spans become
+    complete ("X") events, gauges become counter ("C") events, points
+    become instant ("i") events. Timestamps are microseconds relative to
+    the first event and are written sorted, hence monotonic. The whole
+    document is written on [close]. *)
+
+val chrome_trace_file : string -> Obs.sink
+
+val console_summary : (string -> unit) -> Obs.sink
+(** Human-readable summary printed on [close]: the span tree with
+    wall-clock durations in call order, then counters and gauges sorted by
+    name. *)
+
+val console_summary_stdout : unit -> Obs.sink

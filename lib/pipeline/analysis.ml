@@ -218,55 +218,63 @@ let check_sync_positions kernel (g : group) =
       (Buffer.scope_to_string g.scope)
       g.loop_var
 
-let run ~(hw : Alcop_hw.Hw_config.t) ~(hints : Hints.t) (kernel : Kernel.t) =
-  if hints = [] then { groups = [] }
-  else begin
-    let sites = collect_sites hints kernel.Kernel.body in
-    let infos =
-      List.map
-        (fun (h : Hints.hint) ->
-          let buffer =
-            match Kernel.find_buffer kernel h.Hints.buffer with
-            | Some b -> b
-            | None -> reject h.Hints.buffer 0 "buffer is not declared"
-          in
-          (* Rule 1: asynchronous production. *)
-          if not (Alcop_hw.Hw_config.scope_is_async hw buffer.Buffer.scope) then
-            reject h.Hints.buffer 1
-              "scope %s has no asynchronous copy on %s"
-              (Buffer.scope_to_string buffer.Buffer.scope)
-              hw.Alcop_hw.Hw_config.name;
-          let site =
-            match Hashtbl.find_all sites h.Hints.buffer with
-            | [ s ] -> s
-            | [] ->
-              reject h.Hints.buffer 1
-                "buffer is not produced by a memory copy"
-            | _ ->
-              reject h.Hints.buffer 0
-                "buffer has multiple producing copies"
-          in
-          (match site.fused with
-           | Some op ->
-             (* Rule 1, Fig. 5 case 1: a fused element-wise op forces the
-                copy to be synchronous. *)
-             reject h.Hints.buffer 1
-               "producing copy carries fused op %s and is therefore not an \
-                asynchronous memory copy" op
-           | None -> ());
-          let loop = find_pipeline_loop h.Hints.buffer site in
-          let loop_extent =
-            match Expr.eval_const loop.extent with
-            | Some e when e >= 1 -> e
-            | _ ->
-              reject h.Hints.buffer 0
-                "extent of pipeline loop %s is not a positive constant"
-                loop.var
-          in
-          { buffer; hint = h; site; loop_var = loop.var;
-            loop_extent; producer = site.src.Stmt.buffer })
-        (List.rev hints)
-    in
+(* Rule 1 (asynchronous production) plus its structural preconditions: the
+   buffer is declared, produced by exactly one memory copy, that copy
+   carries no fused element-wise op (Fig. 5 case 1 forces such copies to be
+   synchronous), and the buffer's scope has an asynchronous copy path on
+   this hardware. *)
+let check_rule1 ~(hw : Alcop_hw.Hw_config.t) kernel
+    (sites : (string, copy_site) Hashtbl.t) (h : Hints.hint) =
+  let buffer =
+    match Kernel.find_buffer kernel h.Hints.buffer with
+    | Some b -> b
+    | None -> reject h.Hints.buffer 0 "buffer is not declared"
+  in
+  if not (Alcop_hw.Hw_config.scope_is_async hw buffer.Buffer.scope) then
+    reject h.Hints.buffer 1
+      "scope %s has no asynchronous copy on %s"
+      (Buffer.scope_to_string buffer.Buffer.scope)
+      hw.Alcop_hw.Hw_config.name;
+  let site =
+    match Hashtbl.find_all sites h.Hints.buffer with
+    | [ s ] -> s
+    | [] ->
+      reject h.Hints.buffer 1
+        "buffer is not produced by a memory copy"
+    | _ ->
+      reject h.Hints.buffer 0
+        "buffer has multiple producing copies"
+  in
+  (match site.fused with
+   | Some op ->
+     reject h.Hints.buffer 1
+       "producing copy carries fused op %s and is therefore not an \
+        asynchronous memory copy" op
+   | None -> ());
+  (buffer, site)
+
+(* Rule 2: the sequential load-and-use loop, with a constant extent. *)
+let check_rule2 (h : Hints.hint) site =
+  let loop = find_pipeline_loop h.Hints.buffer site in
+  let loop_extent =
+    match Expr.eval_const loop.extent with
+    | Some e when e >= 1 -> e
+    | _ ->
+      reject h.Hints.buffer 0
+        "extent of pipeline loop %s is not a positive constant"
+        loop.var
+  in
+  (loop, loop_extent)
+
+let info_of_hint ~hw kernel sites (h : Hints.hint) =
+  let buffer, site = check_rule1 ~hw kernel sites h in
+  let loop, loop_extent = check_rule2 h site in
+  { buffer; hint = h; site; loop_var = loop.var;
+    loop_extent; producer = site.src.Stmt.buffer }
+
+(* Rule 3 and the multi-level structure, over the per-buffer infos. *)
+let group_infos ~(hw : Alcop_hw.Hw_config.t) (kernel : Kernel.t) infos =
+  begin
     (* Group by (pipeline loop, scope). *)
     let keys =
       List.sort_uniq compare
@@ -379,7 +387,170 @@ let run ~(hw : Alcop_hw.Hw_config.t) ~(hints : Hints.t) (kernel : Kernel.t) =
     let groups =
       List.sort (fun a b -> compare a.loop_depth b.loop_depth) groups
     in
-    let t = { groups } in
     List.iter (fun g -> if g.synchronized then check_sync_positions kernel g) groups;
-    t
+    groups
   end
+
+let run ~(hw : Alcop_hw.Hw_config.t) ~(hints : Hints.t) (kernel : Kernel.t) =
+  if hints = [] then { groups = [] }
+  else begin
+    let sites = collect_sites hints kernel.Kernel.body in
+    let infos = List.map (info_of_hint ~hw kernel sites) (List.rev hints) in
+    { groups = group_infos ~hw kernel infos }
+  end
+
+(* --- Structured per-buffer legality verdicts --------------------------
+
+   [run] stops at the first rejection, which is right for the compiler but
+   useless for diagnosis: the user wants to know, for every hinted buffer,
+   which of the paper's three rules passed or failed and why. [verdicts]
+   re-runs the same checks rule by rule, never raising, and reports one
+   verdict per buffer. Deterministic for a given kernel, so reports can be
+   golden-tested. *)
+
+type rule_check = {
+  rule : int;  (** 1, 2 or 3 — the slot in the report *)
+  passed : bool;
+  detail : string;
+}
+
+type buffer_verdict = {
+  verdict_buffer : string;
+  verdict_scope : string;
+  pipelined : bool;
+  verdict_group : string option;
+  checks : rule_check list;  (** rules 1, 2, 3 in order *)
+}
+
+let failed_check slot (r : rejection) =
+  let detail =
+    if r.rule = 0 then "structural: " ^ r.reason else r.reason
+  in
+  { rule = slot; passed = false; detail }
+
+let skipped_check slot =
+  { rule = slot; passed = false; detail = "not evaluated (earlier rule failed)" }
+
+let verdicts ~(hw : Alcop_hw.Hw_config.t) ~(hints : Hints.t) (kernel : Kernel.t) =
+  let sites = collect_sites hints kernel.Kernel.body in
+  let per_hint =
+    List.map
+      (fun (h : Hints.hint) ->
+        let r1 =
+          match check_rule1 ~hw kernel sites h with
+          | pair -> Ok pair
+          | exception Rejected r -> Error r
+        in
+        let r2 =
+          match r1 with
+          | Ok (_, site) ->
+            (match check_rule2 h site with
+             | pair -> Ok pair
+             | exception Rejected r -> Error r)
+          | Error _ -> Error { buffer = h.Hints.buffer; rule = 2; reason = "" }
+        in
+        (h, r1, r2))
+      (List.rev hints)
+  in
+  let infos =
+    List.filter_map
+      (fun ((h : Hints.hint), r1, r2) ->
+        match r1, r2 with
+        | Ok (buffer, site), Ok (loop, loop_extent) ->
+          Some
+            { buffer; hint = h; site; loop_var = loop.var; loop_extent;
+              producer = site.src.Stmt.buffer }
+        | _ -> None)
+      per_hint
+  in
+  let grouping =
+    match group_infos ~hw kernel infos with
+    | groups -> Ok { groups }
+    | exception Rejected r -> Error r
+  in
+  List.map
+    (fun ((h : Hints.hint), r1, r2) ->
+      let name = h.Hints.buffer in
+      let scope =
+        match Kernel.find_buffer kernel name with
+        | Some b -> Buffer.scope_to_string b.Buffer.scope
+        | None -> "undeclared"
+      in
+      let c1 =
+        match r1 with
+        | Ok _ ->
+          { rule = 1; passed = true;
+            detail =
+              Printf.sprintf
+                "produced by one asynchronous memory copy (scope %s on %s)"
+                scope hw.Alcop_hw.Hw_config.name }
+        | Error r -> failed_check 1 r
+      in
+      let c2 =
+        match r1, r2 with
+        | Error _, _ -> skipped_check 2
+        | Ok _, Ok ((loop : frame), extent) ->
+          { rule = 2; passed = true;
+            detail =
+              Printf.sprintf "sequential load-and-use loop %s (extent %d)"
+                loop.var extent }
+        | Ok _, Error r -> failed_check 2 r
+      in
+      let c3, group_id =
+        if not (c1.passed && c2.passed) then (skipped_check 3, None)
+        else
+          match grouping with
+          | Ok t ->
+            (match group_of_buffer t name with
+             | Some g ->
+               ( { rule = 3; passed = true;
+                   detail =
+                     Printf.sprintf "group %s: %d stages on loop %s%s" g.id
+                       g.stages g.loop_var
+                       (if g.synchronized then ", synchronized" else "") },
+                 Some g.id )
+             | None ->
+               (* unreachable: every info lands in a group *)
+               (skipped_check 3, None))
+          | Error r ->
+            let culprits = String.split_on_char '+' r.buffer in
+            if List.mem name culprits then (failed_check 3 r, None)
+            else
+              ( { rule = 3; passed = true;
+                  detail =
+                    "no barrier conflict attributed to this buffer (group \
+                     analysis failed elsewhere)" },
+                None )
+      in
+      { verdict_buffer = name; verdict_scope = scope;
+        pipelined = c1.passed && c2.passed && c3.passed;
+        verdict_group = group_id; checks = [ c1; c2; c3 ] })
+    per_hint
+
+let rule_title = function
+  | 1 -> "asynchronous copy"
+  | 2 -> "sequential load-and-use loop"
+  | 3 -> "synchronization scope"
+  | _ -> "structural"
+
+let pp_buffer_verdict fmt (v : buffer_verdict) =
+  Format.fprintf fmt "buffer %s (scope %s): %s@\n" v.verdict_buffer
+    v.verdict_scope
+    (match v.verdict_group with
+     | Some g when v.pipelined -> Printf.sprintf "PIPELINED in %s" g
+     | _ when v.pipelined -> "PIPELINED"
+     | _ -> "NOT PIPELINED");
+  List.iteri
+    (fun i (c : rule_check) ->
+      Format.fprintf fmt "  rule %d (%s): %s - %s" c.rule (rule_title c.rule)
+        (if c.passed then "PASS" else "FAIL")
+        c.detail;
+      if i < 2 then Format.fprintf fmt "@\n")
+    v.checks
+
+let pp_verdicts fmt vs =
+  List.iteri
+    (fun i v ->
+      if i > 0 then Format.fprintf fmt "@\n";
+      Format.fprintf fmt "%a" pp_buffer_verdict v)
+    vs

@@ -60,3 +60,35 @@ val is_pipelined : t -> string -> bool
 val run : hw:Alcop_hw.Hw_config.t -> hints:Hints.t -> Kernel.t -> t
 (** @raise Rejected when a hinted buffer fails one of the paper's three
     legality rules or a structural precondition. *)
+
+(** {2 Structured per-buffer legality verdicts}
+
+    [run] stops at the first rejection; [verdicts] evaluates every rule
+    for every hinted buffer and never raises, for diagnosis ([alcop
+    explain]) and structured error reporting. *)
+
+type rule_check = {
+  rule : int;  (** 1, 2 or 3 — the slot in the report *)
+  passed : bool;
+  detail : string;
+      (** structural (rule-0) failures are folded into the slot where they
+          were detected, prefixed with "structural:" *)
+}
+
+type buffer_verdict = {
+  verdict_buffer : string;
+  verdict_scope : string;
+  pipelined : bool;  (** all three rules passed *)
+  verdict_group : string option;  (** group id when pipelined *)
+  checks : rule_check list;  (** rules 1, 2, 3 in order *)
+}
+
+val verdicts :
+  hw:Alcop_hw.Hw_config.t -> hints:Hints.t -> Kernel.t -> buffer_verdict list
+(** One verdict per hinted buffer, in hint order. Deterministic for a
+    given kernel, so reports can be golden-tested. *)
+
+val rule_title : int -> string
+
+val pp_buffer_verdict : Format.formatter -> buffer_verdict -> unit
+val pp_verdicts : Format.formatter -> buffer_verdict list -> unit

@@ -18,8 +18,15 @@ let run ~hw ~hints kernel =
   | analysis ->
     let kernel = Transform.run analysis kernel in
     Validate.check_exn kernel;
+    Alcop_obs.Obs.count "pipeline.pass.ok";
+    Alcop_obs.Obs.count ~n:(List.length analysis.Analysis.groups)
+      "pipeline.groups";
     Ok { kernel; analysis }
-  | exception Analysis.Rejected rejection -> Error rejection
+  | exception Analysis.Rejected rejection ->
+    Alcop_obs.Obs.count "pipeline.pass.rejected";
+    Alcop_obs.Obs.count
+      (Printf.sprintf "pipeline.rejected.rule%d" rejection.Analysis.rule);
+    Error rejection
 
 let run_exn ~hw ~hints kernel =
   match run ~hw ~hints kernel with

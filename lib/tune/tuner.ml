@@ -52,6 +52,34 @@ let best_within (r : result) k =
 
 let best (r : result) = best_within r (Array.length r.trials)
 
+(* Per-trial telemetry: one point event per measured trial carrying the
+   best-so-far cost, so search-efficiency curves (paper Fig. 13) are
+   reconstructible from the event log alone. Trials are numbered in
+   measurement order, starting at 1. *)
+let trial_recorder () =
+  let best = ref None in
+  let ordinal = ref 0 in
+  fun (t : trial) ->
+    if Alcop_obs.Obs.enabled () then begin
+      incr ordinal;
+      (match t.cost with
+       | Some c ->
+         (match !best with
+          | Some b when b <= c -> ()
+          | _ -> best := Some c)
+       | None -> ());
+      let open Alcop_obs in
+      let opt_float = function Some f -> Json.Float f | None -> Json.Null in
+      Obs.point "tuner.trial"
+        [ ("trial", Json.Int !ordinal);
+          ("index", Json.Int t.index);
+          ("schedule", Json.Str (Alcop_perfmodel.Params.to_string t.params));
+          ("cost_cycles", opt_float t.cost);
+          ("best_so_far", opt_float !best) ];
+      Obs.count "tuner.trials";
+      if t.cost = None then Obs.count "tuner.compile_failures"
+    end
+
 (* Target encoding for the learned model: higher is better, scale-free. *)
 let failure_target = -40.0
 
@@ -60,23 +88,28 @@ let target_of_cost = function
   | Some _ | None -> failure_target
 
 let exhaustive ~(space : Alcop_perfmodel.Params.t array) ~evaluate =
+  let record = trial_recorder () in
   let trials =
     Array.mapi
-      (fun i p -> { index = i; params = p; cost = evaluate p })
+      (fun i p ->
+        let t = { index = i; params = p; cost = evaluate p } in
+        record t;
+        t)
       space
   in
   { trials; space_size = Array.length space }
 
 let measure_order ~space ~evaluate order budget =
+  let record = trial_recorder () in
   let seen = Hashtbl.create 64 in
   let trials = ref [] in
   List.iter
     (fun i ->
       if List.length !trials < budget && not (Hashtbl.mem seen i) then begin
         Hashtbl.replace seen i ();
-        trials :=
-          { index = i; params = space.(i); cost = evaluate space.(i) }
-          :: !trials
+        let t = { index = i; params = space.(i); cost = evaluate space.(i) } in
+        record t;
+        trials := t :: !trials
       end)
     order;
   { trials = Array.of_list (List.rev !trials); space_size = Array.length space }
@@ -112,11 +145,14 @@ let xgb_loop ~hw ~spec ~space ~evaluate ~budget ~seed ~prior =
   in
   let measured : (int, float option) Hashtbl.t = Hashtbl.create 64 in
   let trials = ref [] in
+  let record = trial_recorder () in
   let measure i =
     if not (Hashtbl.mem measured i) then begin
       let cost = evaluate space.(i) in
       Hashtbl.replace measured i cost;
-      trials := { index = i; params = space.(i); cost } :: !trials
+      let t = { index = i; params = space.(i); cost } in
+      record t;
+      trials := t :: !trials
     end
   in
   let batch_size = max 1 (min 8 budget) in
@@ -209,6 +245,14 @@ let pretrain ~hw ~spec ~space ~seed =
 
 let run ~hw ~spec ~(space : Alcop_perfmodel.Params.t array) ~evaluate ~budget
     ~seed method_ =
+  Alcop_obs.Obs.with_span "tuner.run"
+    ~fields:
+      [ ("op", Alcop_obs.Json.Str spec.Alcop_sched.Op_spec.name);
+        ("method", Alcop_obs.Json.Str (method_to_string method_));
+        ("budget", Alcop_obs.Json.Int budget);
+        ("seed", Alcop_obs.Json.Int seed);
+        ("space_size", Alcop_obs.Json.Int (Array.length space)) ]
+  @@ fun () ->
   if Array.length space = 0 then { trials = [||]; space_size = 0 }
   else
     match method_ with
@@ -216,5 +260,8 @@ let run ~hw ~spec ~(space : Alcop_perfmodel.Params.t array) ~evaluate ~budget
     | Analytical_only -> analytical_only ~hw ~spec ~space ~evaluate ~budget
     | Xgb -> xgb_loop ~hw ~spec ~space ~evaluate ~budget ~seed ~prior:None
     | Analytical_xgb ->
-      let prior = pretrain ~hw ~spec ~space ~seed in
+      let prior =
+        Alcop_obs.Obs.with_span "tuner.pretrain" (fun () ->
+            pretrain ~hw ~spec ~space ~seed)
+      in
       xgb_loop ~hw ~spec ~space ~evaluate ~budget ~seed ~prior:(Some prior)

@@ -1,56 +1,50 @@
 (* JSON tuning logs, in the spirit of AutoTVM's record files: one run
    object carrying the method, seed, space size and every trial with its
-   schedule knobs and measured cost. Hand-rolled writer — the log grammar
-   is flat and the repository carries no JSON dependency. *)
+   schedule knobs and measured cost. Serialization goes through
+   [Alcop_obs.Json], the same emitter the observability sinks use, so
+   string escaping and float/null handling live in one place. *)
 
-let escape s =
-  let buf = Stdlib.Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Stdlib.Buffer.add_string buf "\\\""
-      | '\\' -> Stdlib.Buffer.add_string buf "\\\\"
-      | '\n' -> Stdlib.Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-        Stdlib.Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Stdlib.Buffer.add_char buf c)
-    s;
-  Stdlib.Buffer.contents buf
+module Json = Alcop_obs.Json
 
-let json_of_params (p : Alcop_perfmodel.Params.t) =
+let params_to_json (p : Alcop_perfmodel.Params.t) =
   let t = p.Alcop_perfmodel.Params.tiling in
-  Printf.sprintf
-    {|{"tb_m":%d,"tb_n":%d,"tb_k":%d,"warp_m":%d,"warp_n":%d,"warp_k":%d,"split_k":%d,"smem_stages":%d,"reg_stages":%d,"swizzle":%b,"inner_fuse":%b}|}
-    t.Alcop_sched.Tiling.tb_m t.Alcop_sched.Tiling.tb_n
-    t.Alcop_sched.Tiling.tb_k t.Alcop_sched.Tiling.warp_m
-    t.Alcop_sched.Tiling.warp_n t.Alcop_sched.Tiling.warp_k
-    t.Alcop_sched.Tiling.split_k p.Alcop_perfmodel.Params.smem_stages
-    p.Alcop_perfmodel.Params.reg_stages p.Alcop_perfmodel.Params.swizzle
-    p.Alcop_perfmodel.Params.inner_fuse
+  Json.Obj
+    [ ("tb_m", Json.Int t.Alcop_sched.Tiling.tb_m);
+      ("tb_n", Json.Int t.Alcop_sched.Tiling.tb_n);
+      ("tb_k", Json.Int t.Alcop_sched.Tiling.tb_k);
+      ("warp_m", Json.Int t.Alcop_sched.Tiling.warp_m);
+      ("warp_n", Json.Int t.Alcop_sched.Tiling.warp_n);
+      ("warp_k", Json.Int t.Alcop_sched.Tiling.warp_k);
+      ("split_k", Json.Int t.Alcop_sched.Tiling.split_k);
+      ("smem_stages", Json.Int p.Alcop_perfmodel.Params.smem_stages);
+      ("reg_stages", Json.Int p.Alcop_perfmodel.Params.reg_stages);
+      ("swizzle", Json.Bool p.Alcop_perfmodel.Params.swizzle);
+      ("inner_fuse", Json.Bool p.Alcop_perfmodel.Params.inner_fuse) ]
 
-let json_of_trial (t : Tuner.trial) =
-  Printf.sprintf {|{"index":%d,"schedule":%s,"cost_cycles":%s}|}
-    t.Tuner.index
-    (json_of_params t.Tuner.params)
-    (match t.Tuner.cost with
-     | Some c -> Printf.sprintf "%.3f" c
-     | None -> "null")
+let json_of_params p = Json.to_string (params_to_json p)
 
-let to_json ~spec_name ~method_ ~seed (r : Tuner.result) =
-  let trials =
-    String.concat ","
-      (Array.to_list (Array.map json_of_trial r.Tuner.trials))
-  in
-  let best =
-    match Tuner.best r with
-    | Some c -> Printf.sprintf "%.3f" c
-    | None -> "null"
-  in
-  Printf.sprintf
-    {|{"operator":"%s","method":"%s","seed":%d,"space_size":%d,"best_cycles":%s,"trials":[%s]}|}
-    (escape spec_name)
-    (escape (Tuner.method_to_string method_))
-    seed r.Tuner.space_size best trials
+let opt_cost = function
+  | Some c -> Json.Float c
+  | None -> Json.Null
+
+let trial_to_json (t : Tuner.trial) =
+  Json.Obj
+    [ ("index", Json.Int t.Tuner.index);
+      ("schedule", params_to_json t.Tuner.params);
+      ("cost_cycles", opt_cost t.Tuner.cost) ]
+
+let run_to_json ~spec_name ~method_ ~seed (r : Tuner.result) =
+  Json.Obj
+    [ ("operator", Json.Str spec_name);
+      ("method", Json.Str (Tuner.method_to_string method_));
+      ("seed", Json.Int seed);
+      ("space_size", Json.Int r.Tuner.space_size);
+      ("best_cycles", opt_cost (Tuner.best r));
+      ("trials",
+       Json.List (Array.to_list (Array.map trial_to_json r.Tuner.trials))) ]
+
+let to_json ~spec_name ~method_ ~seed r =
+  Json.to_string (run_to_json ~spec_name ~method_ ~seed r)
 
 let write_file ~path ~spec_name ~method_ ~seed r =
   let oc = open_out path in

@@ -1,6 +1,17 @@
-(** JSON tuning logs, in the spirit of AutoTVM's record files. *)
+(** JSON tuning logs, in the spirit of AutoTVM's record files.
+    Serialization shares [Alcop_obs.Json] with the observability sinks. *)
+
+val params_to_json : Alcop_perfmodel.Params.t -> Alcop_obs.Json.t
+(** The schedule knobs as a JSON object. *)
 
 val json_of_params : Alcop_perfmodel.Params.t -> string
+
+val run_to_json :
+  spec_name:string ->
+  method_:Tuner.method_ ->
+  seed:int ->
+  Tuner.result ->
+  Alcop_obs.Json.t
 
 val to_json :
   spec_name:string -> method_:Tuner.method_ -> seed:int -> Tuner.result -> string

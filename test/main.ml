@@ -21,4 +21,5 @@ let () =
      @ Test_golden.suite
      @ Test_des.suite
      @ Test_analysis_detail.suite
+     @ Test_obs.suite
      @ Test_property.suite)

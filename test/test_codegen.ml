@@ -35,7 +35,7 @@ let render ?(smem_stages = 3) ?(reg_stages = 2) ?(split_k = 1) () =
   | Ok c ->
     ( Alcop_cuda.Codegen.kernel ~groups:c.Compiler.groups c.Compiler.kernel,
       Option.map Alcop_cuda.Codegen.kernel c.Compiler.lowered.Lower.reduce )
-  | Error m -> Alcotest.fail m
+  | Error e -> Alcotest.fail (Compiler.error_to_string e)
 
 let test_pipeline_object () =
   let src, _ = render () in
@@ -95,7 +95,7 @@ let test_identifier_sanitization () =
     let src = Alcop_cuda.Codegen.kernel ~groups:c.Compiler.groups c.Compiler.kernel in
     Alcotest.(check bool) "sanitized name" true
       (contains src "__global__ void k_64x64_odd_name(")
-  | Error m -> Alcotest.fail m
+  | Error e -> Alcotest.fail (Compiler.error_to_string e)
 
 let test_fused_op_argument () =
   let spec = Op_spec.matmul ~name:"cg_fused" ~m:64 ~n:64 ~k:64 ~a_op:"relu" () in
@@ -107,7 +107,7 @@ let test_fused_op_argument () =
   | Ok c ->
     let src = Alcop_cuda.Codegen.kernel ~groups:c.Compiler.groups c.Compiler.kernel in
     Alcotest.(check bool) "fused functor argument" true (contains src ", f_relu)")
-  | Error m -> Alcotest.fail m
+  | Error e -> Alcotest.fail (Compiler.error_to_string e)
 
 let suite =
   [ ( "codegen",

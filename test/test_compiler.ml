@@ -15,7 +15,7 @@ let params = Alcop_perfmodel.Params.make ~tiling ~smem_stages:3 ~reg_stages:2 ()
 
 let test_compile_ok () =
   match Compiler.compile ~hw params spec with
-  | Error m -> Alcotest.fail m
+  | Error e -> Alcotest.fail (Compiler.error_to_string e)
   | Ok c ->
     Alcotest.(check bool) "positive latency" true (c.Compiler.latency_cycles > 0.0);
     Alcotest.(check int) "two pipeline groups" 2 (List.length c.Compiler.groups);
@@ -26,7 +26,7 @@ let test_compile_verifies_numerically () =
   let t32 = Tiling.make ~tb_m:32 ~tb_n:32 ~tb_k:16 ~warp_m:16 ~warp_n:16 ~warp_k:16 () in
   let p = Alcop_perfmodel.Params.make ~tiling:t32 ~smem_stages:3 ~reg_stages:2 () in
   match Compiler.compile ~hw p small with
-  | Error m -> Alcotest.fail m
+  | Error e -> Alcotest.fail (Compiler.error_to_string e)
   | Ok c ->
     (match Compiler.verify c with
      | Ok _ -> ()
@@ -37,7 +37,7 @@ let test_compile_materialized_elemwise () =
   let t32 = Tiling.make ~tb_m:32 ~tb_n:32 ~tb_k:16 ~warp_m:16 ~warp_n:16 ~warp_k:16 () in
   let p = Alcop_perfmodel.Params.make ~tiling:t32 ~smem_stages:3 ~reg_stages:1 () in
   match Compiler.compile ~hw p s with
-  | Error m -> Alcotest.fail m
+  | Error e -> Alcotest.fail (Compiler.error_to_string e)
   | Ok c ->
     (* default schedule inlines, so nothing to materialize, and the result
        must still match the reference (relu applied). *)

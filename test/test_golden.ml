@@ -59,7 +59,7 @@ let test_fig7_golden () =
   in
   let p = Alcop_perfmodel.Params.make ~tiling ~smem_stages:3 ~reg_stages:2 () in
   match Alcop.Compiler.compile ~hw p spec with
-  | Error m -> Alcotest.fail m
+  | Error e -> Alcotest.fail (Alcop.Compiler.error_to_string e)
   | Ok c ->
     Alcotest.(check string) "pipelined IR matches the pinned Fig. 7 form"
       golden

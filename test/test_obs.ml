@@ -1,0 +1,367 @@
+(* Tests for the observability layer: span nesting and ordering, counter
+   arithmetic, the JSONL and Chrome-trace sinks (round-tripped through the
+   in-repo JSON parser), the zero-cost disabled state, the evaluator's
+   cache counters, the structured compile error, and a golden test that
+   the per-buffer legality verdicts for a suite operator are stable. *)
+
+open Alcop_sched
+open Alcop_obs
+
+let hw = Alcop_hw.Hw_config.default
+
+(* A deterministic clock: strictly increasing 1 ms per read. *)
+let install_fake_clock () =
+  let t = ref 0.0 in
+  Obs.set_clock (fun () ->
+      t := !t +. 0.001;
+      !t)
+
+let with_fresh f =
+  Obs.reset ();
+  install_fake_clock ();
+  Fun.protect ~finally:Obs.reset f
+
+(* --- spans --- *)
+
+let test_span_nesting_and_ordering () =
+  with_fresh @@ fun () ->
+  let sink, events = Obs.memory_sink () in
+  Obs.add_sink sink;
+  let r =
+    Obs.with_span "outer" (fun () ->
+        Obs.with_span "inner.a" (fun () -> ());
+        Obs.with_span "inner.b" (fun () -> ());
+        17)
+  in
+  Alcotest.(check int) "value returned through span" 17 r;
+  match events () with
+  | [ Obs.Span_begin { name = bn0; depth = bd0; _ };
+      Obs.Span_begin { name = bn1; depth = bd1; _ };
+      Obs.Span_end { name = en1; dur = edur1; _ };
+      Obs.Span_begin { name = bn2; depth = bd2; _ };
+      Obs.Span_end { name = en2; _ };
+      Obs.Span_end { name = en0; dur = edur0; _ } ] ->
+    Alcotest.(check string) "outer first" "outer" bn0;
+    Alcotest.(check int) "outer depth" 0 bd0;
+    Alcotest.(check string) "inner.a second" "inner.a" bn1;
+    Alcotest.(check int) "inner depth" 1 bd1;
+    Alcotest.(check string) "inner.b third" "inner.b" bn2;
+    Alcotest.(check int) "inner depth" 1 bd2;
+    Alcotest.(check string) "inner.a ends first" "inner.a" en1;
+    Alcotest.(check string) "then inner.b" "inner.b" en2;
+    Alcotest.(check string) "outer ends last" "outer" en0;
+    Alcotest.(check bool) "positive duration" true (edur1 > 0.0);
+    Alcotest.(check bool) "outer covers inner" true (edur0 > edur1)
+  | evs -> Alcotest.failf "unexpected event shape (%d events)" (List.length evs)
+
+let test_span_survives_exception () =
+  with_fresh @@ fun () ->
+  let sink, events = Obs.memory_sink () in
+  Obs.add_sink sink;
+  (try Obs.with_span "boom" (fun () -> failwith "expected") with
+   | Failure _ -> ());
+  let ends =
+    List.filter_map
+      (function
+        | Obs.Span_end { name; fields; _ } -> Some (name, fields)
+        | _ -> None)
+      (events ())
+  in
+  match ends with
+  | [ ("boom", fields) ] ->
+    Alcotest.(check bool) "raised field present" true
+      (List.mem_assoc "raised" fields)
+  | _ -> Alcotest.fail "expected exactly one ended span"
+
+(* --- counters and gauges --- *)
+
+let test_counter_arithmetic () =
+  with_fresh @@ fun () ->
+  Obs.record ();
+  Obs.count "a";
+  Obs.count ~n:5 "a";
+  Obs.count "b";
+  Alcotest.(check int) "a total" 6 (Obs.counter_value "a");
+  Alcotest.(check int) "b total" 1 (Obs.counter_value "b");
+  Alcotest.(check int) "unknown is 0" 0 (Obs.counter_value "zzz");
+  Alcotest.(check (list (pair string int)))
+    "sorted by name"
+    [ ("a", 6); ("b", 1) ]
+    (Obs.counters ());
+  Obs.gauge "g" 1.0;
+  Obs.gauge "g" 0.25;
+  (match Obs.gauge_value "g" with
+   | Some v -> Alcotest.(check (float 1e-9)) "gauge keeps latest" 0.25 v
+   | None -> Alcotest.fail "gauge missing")
+
+let test_disabled_is_noop () =
+  Obs.reset ();
+  Alcotest.(check bool) "disabled after reset" false (Obs.enabled ());
+  let r = Obs.with_span "ignored" (fun () -> 42) in
+  Alcotest.(check int) "span is transparent" 42 r;
+  Obs.count "ignored";
+  Obs.gauge "ignored" 1.0;
+  Alcotest.(check int) "counter not recorded" 0 (Obs.counter_value "ignored");
+  Alcotest.(check bool) "gauge not recorded" true
+    (Obs.gauge_value "ignored" = None)
+
+(* --- JSON emitter / parser --- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [ ("s", Json.Str "a\"b\\c\nd\te"); ("i", Json.Int (-3));
+        ("f", Json.Float 1.5); ("n", Json.Null); ("b", Json.Bool true);
+        ("l", Json.List [ Json.Int 1; Json.Str "x" ]) ]
+  in
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
+  | Error e -> Alcotest.fail e
+
+let test_json_nonfinite_is_null () =
+  Alcotest.(check string) "nan" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string) "inf" "null"
+    (Json.to_string (Json.Float Float.infinity))
+
+(* --- JSONL round-trip of tuner trial events --- *)
+
+let tiny_space () =
+  let mk tb_m =
+    Alcop_perfmodel.Params.make
+      ~tiling:
+        (Tiling.make ~tb_m ~tb_n:32 ~tb_k:16 ~warp_m:16 ~warp_n:16
+           ~warp_k:16 ())
+      ~smem_stages:2 ~reg_stages:1 ()
+  in
+  [| mk 32; mk 64; mk 128 |]
+
+let test_jsonl_tuner_trial_roundtrip () =
+  with_fresh @@ fun () ->
+  let buf = Buffer.create 256 in
+  Obs.add_sink (Sinks.jsonl (Buffer.add_string buf));
+  let costs = [| Some 300.0; None; Some 100.0 |] in
+  let result =
+    Alcop_tune.Tuner.exhaustive ~space:(tiny_space ())
+      ~evaluate:(fun p ->
+        costs.(if p.Alcop_perfmodel.Params.tiling.Tiling.tb_m = 32 then 0
+               else if p.Alcop_perfmodel.Params.tiling.Tiling.tb_m = 64 then 1
+               else 2))
+  in
+  Alcotest.(check int) "three trials" 3 (Array.length result.Alcop_tune.Tuner.trials);
+  let lines =
+    List.filter (fun l -> String.length l > 0)
+      (String.split_on_char '\n' (Buffer.contents buf))
+  in
+  let trials =
+    List.filter_map
+      (fun line ->
+        match Json.of_string line with
+        | Ok j
+          when Json.member "type" j = Some (Json.Str "point")
+               && Json.member "name" j = Some (Json.Str "tuner.trial") ->
+          Json.member "fields" j
+        | Ok _ -> None
+        | Error e -> Alcotest.fail e)
+      lines
+  in
+  Alcotest.(check int) "one record per trial" 3 (List.length trials);
+  let best_curve =
+    List.map
+      (fun f ->
+        Option.bind (Json.member "best_so_far" f) Json.number)
+      trials
+  in
+  Alcotest.(check bool) "best-so-far curve"
+    true
+    (best_curve = [ Some 300.0; Some 300.0; Some 100.0 ]);
+  let failed =
+    List.filter (fun f -> Json.member "cost_cycles" f = Some Json.Null) trials
+  in
+  Alcotest.(check int) "failed trial logged as null" 1 (List.length failed)
+
+(* --- Chrome trace export --- *)
+
+let test_chrome_trace_parseable_and_monotonic () =
+  with_fresh @@ fun () ->
+  let buf = Buffer.create 256 in
+  Obs.add_sink (Sinks.chrome_trace (Buffer.add_string buf));
+  Obs.with_span "phase.one" (fun () -> Obs.gauge "g" 0.5);
+  Obs.with_span "phase.two" (fun () -> ());
+  Obs.reset ();
+  match Json.of_string (String.trim (Buffer.contents buf)) with
+  | Error e -> Alcotest.fail e
+  | Ok doc ->
+    (match Json.member "traceEvents" doc with
+     | Some (Json.List events) ->
+       Alcotest.(check bool) "has events" true (List.length events >= 3);
+       let ts =
+         List.map
+           (fun e ->
+             match Option.bind (Json.member "ts" e) Json.number with
+             | Some t -> t
+             | None -> Alcotest.fail "event without ts")
+           events
+       in
+       List.iteri
+         (fun i t ->
+           if i > 0 then
+             Alcotest.(check bool) "timestamps monotonic" true
+               (t >= List.nth ts (i - 1));
+           Alcotest.(check bool) "timestamps non-negative" true (t >= 0.0))
+         ts;
+       let complete_spans =
+         List.filter
+           (fun e -> Json.member "ph" e = Some (Json.Str "X"))
+           events
+       in
+       Alcotest.(check int) "one complete event per span" 2
+         (List.length complete_spans)
+     | _ -> Alcotest.fail "no traceEvents array")
+
+(* --- evaluator cache counters --- *)
+
+let test_evaluator_cache_counters () =
+  with_fresh @@ fun () ->
+  Obs.record ();
+  let spec = Op_spec.matmul ~name:"obs_eval" ~m:64 ~n:64 ~k:128 () in
+  let p =
+    Alcop_perfmodel.Params.make
+      ~tiling:
+        (Tiling.make ~tb_m:32 ~tb_n:32 ~tb_k:16 ~warp_m:16 ~warp_n:16
+           ~warp_k:16 ())
+      ~smem_stages:2 ~reg_stages:1 ()
+  in
+  let evaluate = Alcop.Compiler.evaluator ~hw spec in
+  let a = evaluate p in
+  let b = evaluate p in
+  Alcotest.(check bool) "memoized" true (a = b);
+  Alcotest.(check int) "one miss" 1 (Obs.counter_value "evaluator.cache_miss");
+  Alcotest.(check int) "one hit" 1 (Obs.counter_value "evaluator.cache_hit");
+  Alcotest.(check int) "one compile" 1 (Obs.counter_value "compile.ok")
+
+(* --- structured compile errors --- *)
+
+let test_structured_launch_failure () =
+  Obs.reset ();
+  let spec = Op_spec.matmul ~name:"obs_launch" ~m:256 ~n:256 ~k:512 () in
+  let p =
+    Alcop_perfmodel.Params.make
+      ~tiling:
+        (Tiling.make ~tb_m:128 ~tb_n:128 ~tb_k:64 ~warp_m:32 ~warp_n:32
+           ~warp_k:16 ())
+      ~smem_stages:8 ~reg_stages:2 ()
+  in
+  match Alcop.Compiler.compile ~hw p spec with
+  | Ok _ -> Alcotest.fail "8-stage 128x128x64 tile must exhaust shared memory"
+  | Error (Alcop.Compiler.Launch_failed f) ->
+    Alcotest.(check string) "kind" "launch"
+      (Alcop.Compiler.error_kind (Alcop.Compiler.Launch_failed f));
+    Alcotest.(check bool) "needed exceeds available" true
+      (f.Alcop_gpusim.Occupancy.needed > f.Alcop_gpusim.Occupancy.available)
+  | Error e ->
+    Alcotest.failf "expected Launch_failed, got %s"
+      (Alcop.Compiler.error_to_string e)
+
+(* --- golden: legality verdicts for a suite operator are stable --- *)
+
+let golden_verdicts =
+  String.concat "\n"
+    [ "buffer A_sh (scope shared): PIPELINED in pipe.shared.ko";
+      "  rule 1 (asynchronous copy): PASS - produced by one asynchronous memory copy (scope shared on sim-A100-SXM4-40GB)";
+      "  rule 2 (sequential load-and-use loop): PASS - sequential load-and-use loop ko (extent 64)";
+      "  rule 3 (synchronization scope): PASS - group pipe.shared.ko: 3 stages on loop ko, synchronized";
+      "buffer B_sh (scope shared): PIPELINED in pipe.shared.ko";
+      "  rule 1 (asynchronous copy): PASS - produced by one asynchronous memory copy (scope shared on sim-A100-SXM4-40GB)";
+      "  rule 2 (sequential load-and-use loop): PASS - sequential load-and-use loop ko (extent 64)";
+      "  rule 3 (synchronization scope): PASS - group pipe.shared.ko: 3 stages on loop ko, synchronized";
+      "buffer A_reg (scope register): PIPELINED in pipe.register.ki";
+      "  rule 1 (asynchronous copy): PASS - produced by one asynchronous memory copy (scope register on sim-A100-SXM4-40GB)";
+      "  rule 2 (sequential load-and-use loop): PASS - sequential load-and-use loop ki (extent 2)";
+      "  rule 3 (synchronization scope): PASS - group pipe.register.ki: 2 stages on loop ki";
+      "buffer B_reg (scope register): PIPELINED in pipe.register.ki";
+      "  rule 1 (asynchronous copy): PASS - produced by one asynchronous memory copy (scope register on sim-A100-SXM4-40GB)";
+      "  rule 2 (sequential load-and-use loop): PASS - sequential load-and-use loop ki (extent 2)";
+      "  rule 3 (synchronization scope): PASS - group pipe.register.ki: 2 stages on loop ki" ]
+
+let test_golden_verdicts_stable () =
+  let spec =
+    match Alcop_workloads.Suites.find "MM_RN50_FC" with
+    | Some s -> s
+    | None -> Alcotest.fail "MM_RN50_FC missing from the suite"
+  in
+  let tiling =
+    Tiling.make ~tb_m:64 ~tb_n:64 ~tb_k:32 ~warp_m:32 ~warp_n:32 ~warp_k:16 ()
+  in
+  let lowered =
+    Lower.run (Schedule.default_gemm ~smem_stages:3 ~reg_stages:2 spec tiling)
+  in
+  let vs =
+    Alcop_pipeline.Analysis.verdicts ~hw ~hints:lowered.Lower.hints
+      lowered.Lower.kernel
+  in
+  Alcotest.(check int) "four hinted buffers" 4 (List.length vs);
+  List.iter
+    (fun (v : Alcop_pipeline.Analysis.buffer_verdict) ->
+      Alcotest.(check int) "three rule checks" 3
+        (List.length v.Alcop_pipeline.Analysis.checks))
+    vs;
+  Alcotest.(check string) "verdict report golden" golden_verdicts
+    (Format.asprintf "%a" Alcop_pipeline.Analysis.pp_verdicts vs)
+
+(* On hardware without asynchronous copies (Volta), shared-memory buffers
+   must get a failing rule-1 verdict while the report still covers every
+   hinted buffer. *)
+let test_verdict_reports_failure () =
+  let spec = Op_spec.matmul ~name:"obs_volta" ~m:64 ~n:64 ~k:128 () in
+  let tiling =
+    Tiling.make ~tb_m:32 ~tb_n:32 ~tb_k:16 ~warp_m:16 ~warp_n:16 ~warp_k:16 ()
+  in
+  let lowered =
+    Lower.run (Schedule.default_gemm ~smem_stages:2 ~reg_stages:2 spec tiling)
+  in
+  let vs =
+    Alcop_pipeline.Analysis.verdicts ~hw:Alcop_hw.Hw_config.volta_v100
+      ~hints:lowered.Lower.hints lowered.Lower.kernel
+  in
+  match
+    List.find_opt
+      (fun (v : Alcop_pipeline.Analysis.buffer_verdict) ->
+        v.Alcop_pipeline.Analysis.verdict_buffer = "A_sh")
+      vs
+  with
+  | Some v ->
+    Alcotest.(check bool) "A_sh not pipelined" false
+      v.Alcop_pipeline.Analysis.pipelined;
+    let c1 = List.hd v.Alcop_pipeline.Analysis.checks in
+    Alcotest.(check int) "first check is rule 1" 1
+      c1.Alcop_pipeline.Analysis.rule;
+    Alcotest.(check bool) "rule 1 failed" false
+      c1.Alcop_pipeline.Analysis.passed;
+    Alcotest.(check bool) "detail names the cause" true
+      (String.length c1.Alcop_pipeline.Analysis.detail > 0)
+  | None -> Alcotest.fail "A_sh verdict missing"
+
+let suite =
+  [ ( "obs",
+      [ Alcotest.test_case "span nesting and ordering" `Quick
+          test_span_nesting_and_ordering;
+        Alcotest.test_case "span survives exception" `Quick
+          test_span_survives_exception;
+        Alcotest.test_case "counter arithmetic" `Quick test_counter_arithmetic;
+        Alcotest.test_case "disabled state is a no-op" `Quick
+          test_disabled_is_noop;
+        Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+        Alcotest.test_case "non-finite floats are null" `Quick
+          test_json_nonfinite_is_null;
+        Alcotest.test_case "jsonl tuner trial round-trip" `Quick
+          test_jsonl_tuner_trial_roundtrip;
+        Alcotest.test_case "chrome trace parseable + monotonic" `Quick
+          test_chrome_trace_parseable_and_monotonic;
+        Alcotest.test_case "evaluator cache counters" `Quick
+          test_evaluator_cache_counters;
+        Alcotest.test_case "structured launch failure" `Quick
+          test_structured_launch_failure;
+        Alcotest.test_case "golden legality verdicts" `Quick
+          test_golden_verdicts_stable;
+        Alcotest.test_case "verdict reports failures" `Quick
+          test_verdict_reports_failure ] ) ]

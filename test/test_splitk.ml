@@ -95,7 +95,7 @@ let test_functional_correctness () =
           ~reg_stages ()
       in
       match Compiler.compile ~hw p s with
-      | Error m -> Alcotest.fail m
+      | Error e -> Alcotest.fail (Compiler.error_to_string e)
       | Ok c ->
         (match Compiler.verify ~atol:1e-9 c with
          | Ok _ -> ()

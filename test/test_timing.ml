@@ -78,7 +78,7 @@ let cycles_of ?(spec = spec_longk) ?(smem_stages = 1) ?(reg_stages = 1) () =
   in
   match Alcop.Compiler.compile ~hw p spec with
   | Ok c -> c.Alcop.Compiler.latency_cycles
-  | Error m -> Alcotest.failf "compile failed: %s" m
+  | Error e -> Alcotest.failf "compile failed: %s" (Alcop.Compiler.error_to_string e)
 
 let test_pipelining_speeds_up_long_reduction () =
   let base = cycles_of () in
@@ -135,7 +135,7 @@ let test_bank_conflicts_hurt () =
   let c p =
     match Alcop.Compiler.compile ~hw p spec_longk with
     | Ok c -> c.Alcop.Compiler.latency_cycles
-    | Error m -> Alcotest.failf "compile failed: %s" m
+    | Error e -> Alcotest.failf "compile failed: %s" (Alcop.Compiler.error_to_string e)
   in
   Alcotest.(check bool) "no swizzle slower" true (c noswz > c swz)
 
