@@ -309,6 +309,42 @@ let run_csv () =
 
 (* --- Bechamel self-benchmarks of the compiler itself --- *)
 
+(* Machine-readable perf trajectory, written at the repo root so CI and
+   successive commits can diff it. Schema "alcop-selfbench-v1":
+     { "schema": "alcop-selfbench-v1",
+       "generated_by": <command>,
+       "machine": <simulated hw name>,
+       "unit": "ops_per_sec",
+       "benchmarks": [ { "id": <bechamel test id>,
+                         "ns_per_run": <float>,
+                         "ops_per_sec": <float> }, ... ] }
+   Benchmarks are sorted by id; ops_per_sec = 1e9 / ns_per_run. *)
+let write_bench_json rows =
+  let open Alcop_obs.Json in
+  let doc =
+    Obj
+      [ ("schema", Str "alcop-selfbench-v1");
+        ("generated_by", Str "dune exec bench/main.exe -- selfbench");
+        ("machine", Str hw.Alcop_hw.Hw_config.name);
+        ("unit", Str "ops_per_sec");
+        ("benchmarks",
+         List
+           (List.map
+              (fun (id, ns) ->
+                Obj
+                  [ ("id", Str id); ("ns_per_run", Float ns);
+                    ("ops_per_sec",
+                     Float (if ns > 0.0 then 1e9 /. ns else 0.0)) ])
+              rows)) ]
+  in
+  let oc = open_out "BENCH_gpusim.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string doc);
+      output_char oc '\n');
+  Printf.printf "wrote BENCH_gpusim.json (%d benchmarks)\n%!" (List.length rows)
+
 let run_selfbench () =
   header "Compiler throughput (Bechamel, monotonic clock)";
   let open Bechamel in
@@ -364,10 +400,12 @@ let run_selfbench () =
       | Some [ est ] -> rows := (name, est) :: !rows
       | Some _ | None -> ())
     results;
+  let sorted = List.sort compare !rows in
   List.iter
     (fun (name, est) ->
       Printf.printf "%-40s %14.1f ns/run (%.1f us)\n" name est (est /. 1000.0))
-    (List.sort compare !rows)
+    sorted;
+  write_bench_json sorted
 
 let experiments =
   [ ("fig1b", run_fig1b); ("fig10", run_fig10); ("table3", run_table3);

@@ -3,6 +3,7 @@
      alcop ops                       -- list the built-in operator suite
      alcop show MM_RN50_FC           -- print input and pipelined IR
      alcop time MM_RN50_FC           -- simulate one schedule, with breakdown
+     alcop profile MM_RN50_FC        -- per-stage stall attribution + trace
      alcop tune MM_RN50_FC -m xgb+   -- run a tuner
      alcop verify <op>               -- functional check on a small operator
 
@@ -209,6 +210,131 @@ let time_cmd =
     (Cmd.info "time" ~doc:"Simulate one schedule and print the breakdown.")
     Term.(const run $ spec_arg $ params_term $ trace_out)
 
+(* alcop profile: replay the simulated launch with the recording probe and
+   print where every cycle went; optionally export the simulated-time
+   Chrome trace and compare the analytical/bottleneck models against the
+   simulator over the whole Fig. 10 suite. *)
+let profile_cmd =
+  let dashboard params =
+    Printf.printf
+      "\n== model accuracy dashboard (schedule %s) ==\n"
+      (Alcop_perfmodel.Params.to_string params);
+    Printf.printf "%-14s %12s %12s %12s %10s %10s  %-7s %-10s %s\n" "operator"
+      "analytical" "bottleneck" "simulator" "resid(an)" "resid(bt)" "model"
+      "sim-stall" "agree";
+    let ana_rs = ref [] and btl_rs = ref [] in
+    List.iter
+      (fun spec ->
+        let name = spec.Alcop_sched.Op_spec.name in
+        match Compiler.compile ~hw params spec with
+        | Error e ->
+          Printf.printf "%-14s %s\n" name
+            ("compile fail: " ^ Compiler.error_kind e)
+        | Ok c ->
+          let sim = c.Compiler.timing.Alcop_gpusim.Timing.total_cycles in
+          let dominant =
+            match
+              Alcop_gpusim.Profile.run ~op:name ~groups:c.Compiler.groups
+                c.Compiler.timing_request
+            with
+            | Ok p ->
+              Alcop_gpusim.Timing.stall_class_name
+                (Alcop_gpusim.Profile.dominant_stall p)
+            | Error _ -> "?"
+          in
+          (match Alcop_perfmodel.Model.predict hw spec params with
+           | Error f ->
+             Format.printf "%-14s model failure: %a@." name
+               Alcop_gpusim.Occupancy.pp_failure f
+           | Ok m ->
+             let ana = m.Alcop_perfmodel.Model.cycles in
+             let memory_bound = m.Alcop_perfmodel.Model.smem_bound in
+             let r_ana = Alcop_perfmodel.Residual.make ~predicted:ana ~actual:sim in
+             ana_rs := r_ana :: !ana_rs;
+             let btl = Alcop_perfmodel.Bottleneck.predict_cycles hw spec params in
+             let btl_str, resid_btl_str =
+               match btl with
+               | Some b ->
+                 let r = Alcop_perfmodel.Residual.make ~predicted:b ~actual:sim in
+                 btl_rs := r :: !btl_rs;
+                 ( Printf.sprintf "%12.0f" b,
+                   Printf.sprintf "%+9.1f%%"
+                     (100.0 *. r.Alcop_perfmodel.Residual.signed_rel) )
+               | None -> (Printf.sprintf "%12s" "-", Printf.sprintf "%10s" "-")
+             in
+             Printf.printf "%-14s %12.0f %s %12.0f %+9.1f%% %s  %-7s %-10s %s\n"
+               name ana btl_str sim
+               (100.0 *. r_ana.Alcop_perfmodel.Residual.signed_rel)
+               resid_btl_str
+               (Alcop_perfmodel.Residual.model_bound_name ~memory_bound)
+               dominant
+               (if Alcop_perfmodel.Residual.bound_agreement ~memory_bound
+                     ~sim_stall:dominant
+                then "yes" else "NO")))
+      Alcop_workloads.Suites.fig10;
+    let pct v = 100.0 *. v in
+    Printf.printf "mean |residual|: analytical %.1f%%"
+      (pct (Alcop_perfmodel.Residual.mean_abs !ana_rs));
+    if !btl_rs <> [] then
+      Printf.printf "  bottleneck %.1f%%"
+        (pct (Alcop_perfmodel.Residual.mean_abs !btl_rs));
+    print_newline ()
+  in
+  let run spec params trace_out jsonl_out compare_model =
+    with_compiled params spec (fun c ->
+        match
+          Alcop_gpusim.Profile.run ~op:spec.Alcop_sched.Op_spec.name
+            ~schedule:(Alcop_perfmodel.Params.to_string params)
+            ~groups:c.Compiler.groups c.Compiler.timing_request
+        with
+        | Error f ->
+          Format.printf "cannot profile: %a@."
+            Alcop_gpusim.Occupancy.pp_failure f;
+          exit 1
+        | Ok p ->
+          print_string (Alcop_gpusim.Profile.report p);
+          (match trace_out with
+           | Some path ->
+             Alcop_gpusim.Profile.write_chrome_trace path p;
+             Printf.printf
+               "\nChrome trace (simulated time, 1 cycle = 1 us) written to %s\n"
+               path
+           | None -> ());
+          (match jsonl_out with
+           | Some path ->
+             Alcop_gpusim.Profile.write_jsonl path p;
+             Printf.printf "JSONL event log written to %s\n" path
+           | None -> ());
+          if compare_model then dashboard params)
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace-event JSON file of *simulated* time: \
+                   per-threadblock stall timelines and per-stage async-copy \
+                   tracks (open in chrome://tracing or Perfetto).")
+  in
+  let jsonl_out =
+    Arg.(value & opt (some string) None
+         & info [ "jsonl-out" ] ~docv:"FILE"
+             ~doc:"Write the same profile events as a JSONL log.")
+  in
+  let compare_model =
+    Arg.(value & flag
+         & info [ "compare-model" ]
+             ~doc:"Append a model-accuracy dashboard: analytical (Table I) \
+                   and bottleneck predictions vs. the simulator over the \
+                   Fig. 10 suite, with residuals and the stall class each \
+                   model's bound assumption gets wrong.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Profile one schedule inside the simulated GPU: stall \
+             attribution per pipeline stage, roofline, and a simulated-time \
+             Chrome trace.")
+    Term.(const run $ spec_arg $ params_term $ trace_out $ jsonl_out
+          $ compare_model)
+
 let method_conv =
   Arg.enum
     [ ("grid", Alcop_tune.Tuner.Grid); ("xgb", Alcop_tune.Tuner.Xgb);
@@ -401,5 +527,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ ops_cmd; show_cmd; time_cmd; model_cmd; tune_cmd; explain_cmd;
-            verify_cmd ]))
+          [ ops_cmd; show_cmd; time_cmd; profile_cmd; model_cmd; tune_cmd;
+            explain_cmd; verify_cmd ]))

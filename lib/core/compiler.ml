@@ -20,6 +20,8 @@ type compiled = {
   kernel : Kernel.t;  (** pipelined *)
   groups : Alcop_pipeline.Analysis.group list;
   trace : Alcop_gpusim.Trace.event array;
+  timing_request : Alcop_gpusim.Timing.request;
+      (** the exact launch the simulator timed — replayable by [Profile] *)
   timing : Alcop_gpusim.Timing.kernel_timing;
   latency_cycles : float;
       (** kernel plus materialization of non-inlined element-wise stages *)
@@ -169,8 +171,8 @@ let compile ?(hw = Alcop_hw.Hw_config.default) ?(extra_regs_per_thread = 0)
              Obs.count "compile.ok";
              Obs.add_field "latency_cycles" (Alcop_obs.Json.Float latency_cycles);
              Ok
-               { schedule; params; lowered; kernel; groups; trace; timing;
-                 latency_cycles })))
+               { schedule; params; lowered; kernel; groups; trace;
+                 timing_request = request; timing; latency_cycles })))
 
 (* Measurement function for the tuner: simulated cycles, memoized per
    schedule point. *)

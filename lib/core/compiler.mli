@@ -11,6 +11,9 @@ type compiled = {
   kernel : Kernel.t;  (** pipelined *)
   groups : Alcop_pipeline.Analysis.group list;
   trace : Alcop_gpusim.Trace.event array;
+  timing_request : Alcop_gpusim.Timing.request;
+      (** the exact launch the simulator timed — replayable by
+          [Alcop_gpusim.Profile] *)
   timing : Alcop_gpusim.Timing.kernel_timing;
   latency_cycles : float;
       (** kernel + materialization of non-inlined element-wise stages +

@@ -1,0 +1,385 @@
+(* Simulated-time profiler: re-runs the timing simulator's waves with a
+   recording probe attached and turns the raw clock advances into
+   per-threadblock timelines, per-stage stall buckets, a text roofline
+   report and a Chrome trace of *simulated* time.
+
+   Because the simulator is deterministic and [Timing.plan] hands us
+   exactly the wave configs [Timing.run] used, the profiled waves replay
+   the very machine states the reported kernel latency came from — the
+   recording changes nothing but bookkeeping. *)
+
+module Obs = Alcop_obs.Obs
+module Json = Alcop_obs.Json
+module Sinks = Alcop_obs.Sinks
+
+type segment = {
+  sg_class : Timing.stall_class;
+  sg_group : string option;
+  sg_stage : int;  (** pipeline stage slot; -1 when not tied to a stage *)
+  sg_start : float;
+  sg_stop : float;
+}
+
+type copy_flight = {
+  cf_group : string option;
+  cf_stage : int;  (** batch ordinal mod stages; -1 when ungrouped *)
+  cf_batch : int;
+  cf_level : Trace.level;
+  cf_bytes : int;
+  cf_issue : float;
+  cf_land : float;
+}
+
+type tb_profile = {
+  tb_index : int;
+  tb_cycles : float;
+  tb_segments : segment array;  (** contiguous, in time order *)
+  tb_flights : copy_flight array;
+}
+
+type wave_profile = {
+  w_label : string;  (** ["full"] or ["tail"] *)
+  w_count : int;  (** how many identical waves the kernel runs *)
+  w_residents : int;
+  w_active_sms : int;
+  w_result : Timing.wave_result;
+  w_tbs : tb_profile array;
+  w_critical : int;  (** index of the slowest (critical-path) threadblock *)
+}
+
+type t = {
+  p_op : string;
+  p_schedule : string;
+  p_timing : Timing.kernel_timing;
+  p_waves : wave_profile list;  (** full wave first when both exist *)
+  p_stages : (string * int) list;  (** pipeline group id -> stage count *)
+}
+
+let stages_of t gid =
+  match List.assoc_opt gid t.p_stages with Some s -> max 1 s | None -> 1
+
+(* --- recording --- *)
+
+let record_wave ~stages label count (cfg : Timing.config) trace =
+  let advances : Timing.advance list ref = ref [] in
+  let flights : Timing.flight list ref = ref [] in
+  let probe =
+    { Timing.on_advance = (fun a -> advances := a :: !advances);
+      on_flight = (fun f -> flights := f :: !flights) }
+  in
+  let result = Timing.simulate_wave ~probe cfg trace in
+  let seg_of (a : Timing.advance) =
+    let stage =
+      match a.Timing.adv_group with
+      | Some g when a.Timing.adv_ordinal >= 0 ->
+        a.Timing.adv_ordinal mod stages g
+      | _ -> -1
+    in
+    { sg_class = a.Timing.adv_class; sg_group = a.Timing.adv_group;
+      sg_stage = stage; sg_start = a.Timing.adv_start;
+      sg_stop = a.Timing.adv_stop }
+  in
+  let flight_of (f : Timing.flight) =
+    let stage =
+      match f.Timing.fl_group with
+      | Some g when f.Timing.fl_batch >= 0 -> f.Timing.fl_batch mod stages g
+      | _ -> -1
+    in
+    { cf_group = f.Timing.fl_group; cf_stage = stage;
+      cf_batch = f.Timing.fl_batch; cf_level = f.Timing.fl_level;
+      cf_bytes = f.Timing.fl_bytes; cf_issue = f.Timing.fl_issue;
+      cf_land = f.Timing.fl_land }
+  in
+  let tbs =
+    Array.init cfg.Timing.residents (fun i ->
+        let segs =
+          List.rev_map seg_of
+            (List.filter (fun (a : Timing.advance) -> a.Timing.adv_tb = i)
+               !advances)
+        in
+        let fls =
+          List.rev_map flight_of
+            (List.filter (fun (f : Timing.flight) -> f.Timing.fl_tb = i)
+               !flights)
+        in
+        let cycles =
+          List.fold_left (fun acc s -> Float.max acc s.sg_stop) 0.0 segs
+        in
+        { tb_index = i; tb_cycles = cycles;
+          tb_segments = Array.of_list segs;
+          tb_flights = Array.of_list fls })
+  in
+  let critical = ref 0 in
+  Array.iteri
+    (fun i tb -> if tb.tb_cycles > tbs.(!critical).tb_cycles then critical := i)
+    tbs;
+  { w_label = label; w_count = count; w_residents = cfg.Timing.residents;
+    w_active_sms = cfg.Timing.active_sms; w_result = result; w_tbs = tbs;
+    w_critical = !critical }
+
+let run ?(op = "kernel") ?(schedule = "")
+    ~(groups : Alcop_pipeline.Analysis.group list) (req : Timing.request) =
+  match Timing.run req with
+  | Error f -> Error f
+  | Ok timing ->
+    (match Timing.plan req with
+     | Error f -> Error f
+     | Ok pl ->
+       let stage_list =
+         List.map
+           (fun (g : Alcop_pipeline.Analysis.group) ->
+             (g.Alcop_pipeline.Analysis.id, g.Alcop_pipeline.Analysis.stages))
+           groups
+       in
+       let stages gid =
+         match List.assoc_opt gid stage_list with
+         | Some s -> max 1 s
+         | None -> 1
+       in
+       let waves =
+         List.filter_map Fun.id
+           [ Option.map
+               (fun cfg ->
+                 record_wave ~stages "full" pl.Timing.full_waves cfg req.trace)
+               pl.Timing.full_cfg;
+             Option.map
+               (fun cfg -> record_wave ~stages "tail" 1 cfg req.trace)
+               pl.Timing.tail_cfg ]
+       in
+       Ok
+         { p_op = op; p_schedule = schedule; p_timing = timing;
+           p_waves = waves; p_stages = stage_list })
+
+(* --- aggregation --- *)
+
+let class_cycles (tb : tb_profile) cls =
+  Array.fold_left
+    (fun acc s ->
+      if s.sg_class = cls then acc +. (s.sg_stop -. s.sg_start) else acc)
+    0.0 tb.tb_segments
+
+(* Per (group, stage) stall totals of one threadblock: only wait segments
+   carry a stage slot, so this is the latency the pipeline failed to hide
+   at each stage. *)
+let stage_stalls (tb : tb_profile) =
+  let tbl : (string * int, float) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (fun s ->
+      match s.sg_group with
+      | Some g when s.sg_stage >= 0 ->
+        let key = (g, s.sg_stage) in
+        let prior = Option.value ~default:0.0 (Hashtbl.find_opt tbl key) in
+        Hashtbl.replace tbl key (prior +. (s.sg_stop -. s.sg_start))
+      | _ -> ())
+    tb.tb_segments;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let representative t = match t.p_waves with w :: _ -> Some w | [] -> None
+
+let binding_resource t =
+  match representative t with
+  | None -> "none"
+  | Some w ->
+    let r = w.w_result in
+    let c = r.Timing.cycles in
+    if c <= 0.0 then "none"
+    else
+      let candidates =
+        [ ("tensor cores", r.Timing.compute_busy /. c);
+          ("DRAM bandwidth", r.Timing.dram_busy /. c);
+          ("LLC bandwidth", r.Timing.llc_busy /. c);
+          ("shared-memory ports", r.Timing.smem_busy /. c) ]
+      in
+      fst
+        (List.fold_left
+           (fun (bn, bv) (n, v) -> if v > bv then (n, v) else (bn, bv))
+           ("tensor cores", -1.0) candidates)
+
+let dominant_stall t =
+  match representative t with
+  | None -> Timing.Sync_wait
+  | Some w ->
+    let tb = w.w_tbs.(w.w_critical) in
+    fst
+      (List.fold_left
+         (fun (bc, bv) cls ->
+           let v = class_cycles tb cls in
+           if v > bv then (cls, v) else (bc, bv))
+         (Timing.Sync_wait, -1.0)
+         (List.filter (fun c -> c <> Timing.Compute) Timing.all_stall_classes))
+
+(* --- text report --- *)
+
+let report t =
+  let buf = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let tm = t.p_timing in
+  line "profile: %s%s" t.p_op
+    (if String.equal t.p_schedule "" then "" else "  [" ^ t.p_schedule ^ "]");
+  line "kernel:  %.0f cycles (%.1f us), %d wave%s, %d TB/SM (limiter: %s), launch %.0f cycles"
+    tm.Timing.total_cycles tm.Timing.microseconds tm.Timing.n_waves
+    (if tm.Timing.n_waves = 1 then "" else "s")
+    tm.Timing.tbs_per_sm tm.Timing.occupancy_limiter
+    Timing.launch_overhead_cycles;
+  (match representative t with
+   | Some w when w.w_result.Timing.cycles > 0.0 ->
+     let r = w.w_result in
+     let c = r.Timing.cycles in
+     line
+       "roofline (%s wave): compute %4.1f%% | dram %4.1f%% | llc %4.1f%% | smem %4.1f%%  ->  binding: %s"
+       w.w_label
+       (100.0 *. r.Timing.compute_busy /. c)
+       (100.0 *. r.Timing.dram_busy /. c)
+       (100.0 *. r.Timing.llc_busy /. c)
+       (100.0 *. r.Timing.smem_busy /. c)
+       (binding_resource t)
+   | _ -> ());
+  List.iter
+    (fun w ->
+      line "";
+      line "wave %s x%d: %d TB/SM on %d SMs, %.0f cycles" w.w_label w.w_count
+        w.w_residents w.w_active_sms w.w_result.Timing.cycles;
+      let tb = w.w_tbs.(w.w_critical) in
+      if tb.tb_cycles > 0.0 then begin
+        line "  stall breakdown (critical TB %d, %.0f cycles):" tb.tb_index
+          tb.tb_cycles;
+        let shown =
+          List.filter_map
+            (fun cls ->
+              let cyc = class_cycles tb cls in
+              if cyc > 0.0 then Some (cls, cyc) else None)
+            Timing.all_stall_classes
+        in
+        let total = List.fold_left (fun a (_, c) -> a +. c) 0.0 shown in
+        List.iter
+          (fun (cls, cyc) ->
+            line "    %-10s %5.1f%%  %12.1f cycles"
+              (Timing.stall_class_name cls)
+              (100.0 *. cyc /. tb.tb_cycles)
+              cyc)
+          shown;
+        line "    %-10s %5.1f%%  %12.1f cycles" "total"
+          (100.0 *. total /. tb.tb_cycles)
+          total;
+        let per_stage = stage_stalls tb in
+        if per_stage <> [] then begin
+          line "  per-stage wait stalls (latency the pipeline failed to hide):";
+          List.iter
+            (fun ((g, stage), cyc) ->
+              line "    %s stage %d/%d: %10.1f cycles (%4.1f%%)" g stage
+                (stages_of t g) cyc
+                (100.0 *. cyc /. tb.tb_cycles))
+            per_stage
+        end
+      end)
+    t.p_waves;
+  Buffer.contents buf
+
+(* --- export --- *)
+
+(* Track layout: one Chrome process per wave, and within it one "exec"
+   thread per threadblock (the contiguous stall segments) plus one thread
+   per (threadblock, group, stage) showing async copies in flight — ring
+   slots of one stage never overlap, so each is a clean track. Timestamps
+   are raw simulated cycles; the sink is installed with [ts_to_us:Fun.id]
+   so one cycle renders as one microsecond. *)
+let chrome_events t =
+  let events = ref [] in
+  let add e = events := e :: !events in
+  (* first event anchors the sink origin at simulated time 0 *)
+  add
+    (Obs.Point
+       { name = "profile"; ts = 0.0;
+         fields =
+           [ ("op", Json.Str t.p_op); ("schedule", Json.Str t.p_schedule);
+             ("total_cycles", Json.Float t.p_timing.Timing.total_cycles);
+             ("#process_name", Json.Str "alcop profile") ] });
+  List.iteri
+    (fun wi w ->
+      let pid = wi + 2 in
+      let pname =
+        Printf.sprintf "wave %s x%d (%d TB/SM, %d SMs)" w.w_label w.w_count
+          w.w_residents w.w_active_sms
+      in
+      Array.iter
+        (fun tb ->
+          let exec_tid = (tb.tb_index * 32) + 1 in
+          let exec_route extra =
+            [ ("#pid", Json.Int pid); ("#tid", Json.Int exec_tid);
+              ("#process_name", Json.Str pname);
+              ("#thread_name",
+               Json.Str (Printf.sprintf "tb%d exec" tb.tb_index)) ]
+            @ extra
+          in
+          Array.iter
+            (fun s ->
+              let name =
+                match s.sg_group with
+                | Some g when s.sg_stage >= 0 ->
+                  Printf.sprintf "%s %s[s%d]"
+                    (Timing.stall_class_name s.sg_class) g s.sg_stage
+                | _ -> Timing.stall_class_name s.sg_class
+              in
+              add
+                (Obs.Span_end
+                   { name; ts = s.sg_start; dur = s.sg_stop -. s.sg_start;
+                     depth = 0;
+                     fields =
+                       exec_route
+                         [ ("class",
+                            Json.Str (Timing.stall_class_name s.sg_class));
+                           ("stage", Json.Int s.sg_stage) ] }))
+            tb.tb_segments;
+          (* async copy flights, one track per (group, stage) ring slot *)
+          Array.iter
+            (fun f ->
+              match f.cf_group with
+              | Some g when f.cf_stage >= 0 ->
+                let tid = exec_tid + 1 + f.cf_stage in
+                add
+                  (Obs.Span_end
+                     { name = Printf.sprintf "copy %s b%d (%dB)" g f.cf_batch
+                           f.cf_bytes;
+                       ts = f.cf_issue; dur = f.cf_land -. f.cf_issue;
+                       depth = 0;
+                       fields =
+                         [ ("#pid", Json.Int pid); ("#tid", Json.Int tid);
+                           ("#thread_name",
+                            Json.Str
+                              (Printf.sprintf "tb%d %s s%d" tb.tb_index g
+                                 f.cf_stage));
+                           ("bytes", Json.Int f.cf_bytes);
+                           ("batch", Json.Int f.cf_batch);
+                           ("level",
+                            Json.Str
+                              (match f.cf_level with
+                               | Trace.From_global -> "global"
+                               | Trace.From_shared -> "shared")) ] })
+              | _ -> ())
+            tb.tb_flights)
+        w.w_tbs;
+      (* cumulative stall counters over the critical threadblock of the
+         representative wave only — one counter track per stall class *)
+      if wi = 0 then begin
+        let tb = w.w_tbs.(w.w_critical) in
+        let totals = Hashtbl.create 8 in
+        Array.iter
+          (fun s ->
+            let cls = Timing.stall_class_name s.sg_class in
+            let prior = Option.value ~default:0.0 (Hashtbl.find_opt totals cls) in
+            let now = prior +. (s.sg_stop -. s.sg_start) in
+            Hashtbl.replace totals cls now;
+            add (Obs.Gauge { name = "stall." ^ cls; value = now; ts = s.sg_stop }))
+          tb.tb_segments
+      end)
+    t.p_waves;
+  List.rev !events
+
+let emit_to (sink : Obs.sink) t =
+  List.iter sink.Obs.emit (chrome_events t);
+  sink.Obs.close ()
+
+let write_chrome_trace path t =
+  emit_to (Sinks.chrome_trace_file ~ts_to_us:Fun.id path) t
+
+let write_jsonl path t = emit_to (Sinks.jsonl_file path) t

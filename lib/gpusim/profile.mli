@@ -1,0 +1,91 @@
+(** Simulated-time profiler.
+
+    Re-runs the timing simulator's waves with a recording {!Timing.probe}
+    attached and turns the raw clock advances into per-threadblock
+    timelines, per-stage stall buckets, a text roofline report, and a
+    Chrome trace of {e simulated} time (one track per threadblock plus one
+    per async-copy stage slot). Deterministic: the profiled waves replay
+    exactly the machine states behind the latency {!Timing.run} reported. *)
+
+type segment = {
+  sg_class : Timing.stall_class;
+  sg_group : string option;
+  sg_stage : int;  (** pipeline stage slot; [-1] when not tied to a stage *)
+  sg_start : float;
+  sg_stop : float;
+}
+
+type copy_flight = {
+  cf_group : string option;
+  cf_stage : int;  (** batch ordinal mod stages; [-1] when ungrouped *)
+  cf_batch : int;
+  cf_level : Trace.level;
+  cf_bytes : int;
+  cf_issue : float;
+  cf_land : float;
+}
+
+type tb_profile = {
+  tb_index : int;
+  tb_cycles : float;
+  tb_segments : segment array;
+      (** contiguous in time: per-class sums telescope to [tb_cycles] *)
+  tb_flights : copy_flight array;
+}
+
+type wave_profile = {
+  w_label : string;  (** ["full"] or ["tail"] *)
+  w_count : int;  (** how many identical waves the kernel runs *)
+  w_residents : int;
+  w_active_sms : int;
+  w_result : Timing.wave_result;
+  w_tbs : tb_profile array;
+  w_critical : int;  (** index of the slowest (critical-path) threadblock *)
+}
+
+type t = {
+  p_op : string;
+  p_schedule : string;
+  p_timing : Timing.kernel_timing;
+  p_waves : wave_profile list;  (** full wave first when both exist *)
+  p_stages : (string * int) list;  (** pipeline group id -> stage count *)
+}
+
+val run :
+  ?op:string ->
+  ?schedule:string ->
+  groups:Alcop_pipeline.Analysis.group list ->
+  Timing.request ->
+  (t, Occupancy.failure) result
+
+val class_cycles : tb_profile -> Timing.stall_class -> float
+(** Total cycles of one threadblock attributed to one stall class. *)
+
+val stage_stalls : tb_profile -> ((string * int) * float) list
+(** Wait-stall cycles per (group, stage slot), sorted — the latency the
+    pipeline failed to hide at each stage. *)
+
+val representative : t -> wave_profile option
+(** The wave whose cycles dominate the kernel (full when one exists). *)
+
+val binding_resource : t -> string
+(** The busiest server of the representative wave, by busy fraction. *)
+
+val dominant_stall : t -> Timing.stall_class
+(** Largest non-[Compute] stall class of the critical threadblock. *)
+
+val report : t -> string
+(** Human-readable report: kernel summary, roofline, per-wave stall
+    breakdown (summing to 100% of the critical threadblock's cycles) and
+    per-stage wait stalls. *)
+
+val chrome_events : t -> Alcop_obs.Obs.event list
+(** The profile as [Obs] events with simulated-cycle timestamps, routed
+    onto per-threadblock and per-stage tracks via the Chrome sink's
+    reserved [#pid]/[#tid] fields. *)
+
+val write_chrome_trace : string -> t -> unit
+(** Write the Chrome trace (simulated time, 1 cycle = 1 us). *)
+
+val write_jsonl : string -> t -> unit
+(** Write the same events as a JSONL log. *)

@@ -21,7 +21,14 @@
    Table I (cache locality, wave quantization, bank conflicts, issue
    overhead, launch overhead, deterministic residual perturbation), so that
    learned cost models retain an edge over the analytical model alone
-   (paper Sec. IV-C). *)
+   (paper Sec. IV-C).
+
+   Every advance of a threadblock's simulated clock can additionally be
+   observed through a [probe]: the engine labels each interval with the
+   stall class that caused it (the substrate of [Profile]), and reports
+   each load's issue-to-land flight for in-flight timeline rendering. With
+   no probe installed the bookkeeping degenerates to a handful of integer
+   increments, so the tuner's hot path is unaffected. *)
 
 type config = {
   hw : Alcop_hw.Hw_config.t;
@@ -40,16 +47,116 @@ type server = { mutable next_free : float; mutable busy : float }
 
 let server () = { next_free = 0.0; busy = 0.0 }
 
-let serve srv ~now ~cost =
+(* [serve_ex] also exposes when the request entered service, i.e. how long
+   it queued behind earlier requests — the bandwidth-contention signal the
+   stall attribution needs. *)
+let serve_ex srv ~now ~cost =
   let start = Float.max now srv.next_free in
   let finish = start +. cost in
   srv.next_free <- finish;
   srv.busy <- srv.busy +. cost;
-  finish
+  (start, finish)
+
+let serve srv ~now ~cost = snd (serve_ex srv ~now ~cost)
+
+(* --- stall attribution --- *)
+
+type stall_class =
+  | Compute
+  | Dram_bw
+  | Llc_bw
+  | Smem_port
+  | Sync_wait
+  | Issue
+  | Launch
+
+let stall_class_name = function
+  | Compute -> "compute"
+  | Dram_bw -> "dram_bw"
+  | Llc_bw -> "llc_bw"
+  | Smem_port -> "smem_port"
+  | Sync_wait -> "sync_wait"
+  | Issue -> "issue"
+  | Launch -> "launch"
+
+let all_stall_classes =
+  [ Compute; Dram_bw; Llc_bw; Smem_port; Sync_wait; Issue; Launch ]
+
+(* Cause composition of a set of outstanding loads: how much of their
+   completion time went to DRAM service/queueing, LLC service/queueing,
+   shared-memory throughput, and fixed round-trip latency. When a consumer
+   stalls on those loads the dominant component classifies the stall:
+   queue-heavy loads mean the stall is a bandwidth problem (more pipeline
+   stages will NOT hide it), latency-heavy loads mean it is hideable
+   latency (the Fig. 1b story). *)
+type mix = {
+  mutable mx_dram : float;
+  mutable mx_llc : float;
+  mutable mx_smem : float;
+  mutable mx_lat : float;
+}
+
+let mix () = { mx_dram = 0.0; mx_llc = 0.0; mx_smem = 0.0; mx_lat = 0.0 }
+
+let mix_reset m =
+  m.mx_dram <- 0.0;
+  m.mx_llc <- 0.0;
+  m.mx_smem <- 0.0;
+  m.mx_lat <- 0.0
+
+let mix_copy m =
+  { mx_dram = m.mx_dram; mx_llc = m.mx_llc; mx_smem = m.mx_smem;
+    mx_lat = m.mx_lat }
+
+let mix_add dst src =
+  dst.mx_dram <- dst.mx_dram +. src.mx_dram;
+  dst.mx_llc <- dst.mx_llc +. src.mx_llc;
+  dst.mx_smem <- dst.mx_smem +. src.mx_smem;
+  dst.mx_lat <- dst.mx_lat +. src.mx_lat
+
+let dominant m =
+  if m.mx_dram > 0.0 && m.mx_dram >= m.mx_llc && m.mx_dram >= m.mx_smem
+     && m.mx_dram >= m.mx_lat
+  then Dram_bw
+  else if m.mx_llc > 0.0 && m.mx_llc >= m.mx_smem && m.mx_llc >= m.mx_lat then
+    Llc_bw
+  else if m.mx_smem > 0.0 && m.mx_smem >= m.mx_lat then Smem_port
+  else Sync_wait
+
+type advance = {
+  adv_tb : int;
+  adv_class : stall_class;
+  adv_group : string option;
+      (** the pipeline group whose wait caused the interval, if any *)
+  adv_ordinal : int;
+      (** ordinal of the consumed batch within its group (stage slot =
+          ordinal mod stages); -1 for intervals not tied to a batch *)
+  adv_start : float;
+  adv_stop : float;
+}
+
+type flight = {
+  fl_tb : int;
+  fl_group : string option;
+  fl_batch : int;  (** batch ordinal within the group; -1 when ungrouped *)
+  fl_async : bool;
+  fl_level : Trace.level;
+  fl_bytes : int;
+  fl_issue : float;
+  fl_land : float;
+}
+
+type probe = {
+  on_advance : advance -> unit;
+  on_flight : flight -> unit;
+}
 
 type pipe_acct = {
   mutable open_batch : float;
-  batches : float Queue.t;
+  mutable committed : int;  (** batches committed so far *)
+  mutable taken : int;  (** batches consumed by waits so far *)
+  open_mix : mix;
+  batches : (float * mix) Queue.t;
 }
 
 type tb = {
@@ -68,6 +175,8 @@ type tb = {
   mutable at_boundary : bool;
       (** a barrier or synchronized wait was just crossed: the next compute
           cannot benefit from hoisted loads (nothing moves above a barrier) *)
+  sync_mix : mix;  (** cause composition behind [sync_recent] *)
+  due_mix : mix;  (** cause composition behind [sync_due] *)
   pipes : (string, pipe_acct) Hashtbl.t;
 }
 
@@ -83,11 +192,14 @@ let pipe_of tb gid =
   match Hashtbl.find_opt tb.pipes gid with
   | Some p -> p
   | None ->
-    let p = { open_batch = 0.0; batches = Queue.create () } in
+    let p =
+      { open_batch = 0.0; committed = 0; taken = 0; open_mix = mix ();
+        batches = Queue.create () }
+    in
     Hashtbl.replace tb.pipes gid p;
     p
 
-let simulate_wave (cfg : config) (trace : Trace.event array) =
+let simulate_wave ?probe (cfg : config) (trace : Trace.event array) =
   let hw = cfg.hw in
   let active = float_of_int (max 1 cfg.active_sms) in
   let dram = server () and llc = server () and smem = server ()
@@ -107,36 +219,75 @@ let simulate_wave (cfg : config) (trace : Trace.event array) =
     +. (cfg.miss_rate
         *. (hw.Alcop_hw.Hw_config.dram_latency -. hw.Alcop_hw.Hw_config.llc_latency))
   in
+  let tracking = Option.is_some probe in
+  let att i cls group ordinal start stop =
+    match probe with
+    | Some p when stop > start ->
+      p.on_advance
+        { adv_tb = i; adv_class = cls; adv_group = group;
+          adv_ordinal = ordinal; adv_start = start; adv_stop = stop }
+    | _ -> ()
+  in
   let tbs =
     Array.init cfg.residents (fun _ ->
         { time = 0.0; cursor = 0; sync_recent = 0.0; sync_due = 0.0;
-          all_outstanding = 0.0; at_boundary = false; pipes = Hashtbl.create 4 })
+          all_outstanding = 0.0; at_boundary = false; sync_mix = mix ();
+          due_mix = mix (); pipes = Hashtbl.create 4 })
   in
   let n = Array.length trace in
-  let step tb =
-    let now = tb.time +. cfg.issue_overhead in
+  let step i tb =
+    let t0 = tb.time in
+    let now = t0 +. cfg.issue_overhead in
+    att i Issue None (-1) t0 now;
     (match trace.(tb.cursor) with
      | Trace.Load { level; bytes; async; group } ->
        let b = float_of_int bytes in
+       let lmix = if tracking then Some (mix ()) else None in
        let completion =
          match level with
          | Trace.From_global ->
-           let l = serve llc ~now ~cost:(b /. llc_rate) in
-           let d = serve dram ~now ~cost:(b *. cfg.miss_rate /. dram_rate) in
-           Float.max l d +. load_latency
+           let lf = serve llc ~now ~cost:(b /. llc_rate) in
+           let df = serve dram ~now ~cost:(b *. cfg.miss_rate /. dram_rate) in
+           (match lmix with
+            | Some m ->
+              m.mx_llc <- Float.max 0.0 (lf -. now);
+              m.mx_dram <- Float.max 0.0 (df -. now);
+              m.mx_lat <- load_latency
+            | None -> ());
+           Float.max lf df +. load_latency
          | Trace.From_shared ->
-           serve smem ~now ~cost:(b *. cfg.smem_penalty /. smem_rate)
-           +. hw.Alcop_hw.Hw_config.smem_latency
+           let sf = serve smem ~now ~cost:(b *. cfg.smem_penalty /. smem_rate) in
+           (match lmix with
+            | Some m ->
+              m.mx_smem <- Float.max 0.0 (sf -. now);
+              m.mx_lat <- hw.Alcop_hw.Hw_config.smem_latency
+            | None -> ());
+           sf +. hw.Alcop_hw.Hw_config.smem_latency
        in
        tb.all_outstanding <- Float.max tb.all_outstanding completion;
-       if async then begin
-         match group with
-         | Some gid ->
-           let p = pipe_of tb gid in
-           p.open_batch <- Float.max p.open_batch completion
-         | None -> tb.sync_recent <- Float.max tb.sync_recent completion
-       end
-       else tb.sync_recent <- Float.max tb.sync_recent completion;
+       let batch_ord = ref (-1) in
+       (if async then begin
+          match group with
+          | Some gid ->
+            let p = pipe_of tb gid in
+            p.open_batch <- Float.max p.open_batch completion;
+            batch_ord := p.committed;
+            (match lmix with Some m -> mix_add p.open_mix m | None -> ())
+          | None ->
+            tb.sync_recent <- Float.max tb.sync_recent completion;
+            (match lmix with Some m -> mix_add tb.sync_mix m | None -> ())
+        end
+        else begin
+          tb.sync_recent <- Float.max tb.sync_recent completion;
+          (match lmix with Some m -> mix_add tb.sync_mix m | None -> ())
+        end);
+       (match probe with
+        | Some p ->
+          p.on_flight
+            { fl_tb = i; fl_group = group; fl_batch = !batch_ord;
+              fl_async = async; fl_level = level; fl_bytes = bytes;
+              fl_issue = now; fl_land = completion }
+        | None -> ());
        tb.time <- now
      | Trace.Store { bytes } ->
        let completion =
@@ -147,34 +298,64 @@ let simulate_wave (cfg : config) (trace : Trace.event array) =
        tb.time <- now
      | Trace.Commit gid ->
        let p = pipe_of tb gid in
-       Queue.push p.open_batch p.batches;
+       Queue.push
+         (p.open_batch, if tracking then mix_copy p.open_mix else p.open_mix)
+         p.batches;
        p.open_batch <- 0.0;
+       p.committed <- p.committed + 1;
+       if tracking then mix_reset p.open_mix;
        tb.time <- now
      | Trace.Wait_oldest gid ->
        let p = pipe_of tb gid in
-       let ready = match Queue.take_opt p.batches with Some c -> c | None -> 0.0 in
+       let ready, rmix =
+         match Queue.take_opt p.batches with
+         | Some (c, m) -> (c, m)
+         | None -> (0.0, tb.due_mix)
+       in
+       let ordinal = p.taken in
+       p.taken <- p.taken + 1;
        if List.mem gid cfg.barrier_groups then tb.at_boundary <- true;
-       tb.time <- Float.max now ready
+       let t = Float.max now ready in
+       att i (dominant rmix) (Some gid) ordinal now t;
+       tb.time <- t
      | Trace.Acquire _ | Trace.Release _ ->
        (* Stage-slot accounting has no timing effect in a lockstep
           threadblock model: releases precede acquires in program order. *)
        tb.time <- now
      | Trace.Barrier ->
        tb.at_boundary <- true;
-       tb.time <- Float.max now tb.all_outstanding
+       let t = Float.max now tb.all_outstanding in
+       att i Sync_wait None (-1) now t;
+       tb.time <- t
      | Trace.Compute { flops } ->
        if tb.at_boundary then begin
          (* loads issued since the boundary could not be hoisted above it *)
          tb.sync_due <- Float.max tb.sync_due tb.sync_recent;
          tb.sync_recent <- 0.0;
+         if tracking then begin
+           mix_add tb.due_mix tb.sync_mix;
+           mix_reset tb.sync_mix
+         end;
          tb.at_boundary <- false
        end;
        let start = Float.max now tb.sync_due in
+       att i (dominant tb.due_mix) None (-1) now start;
        tb.sync_due <- Float.max tb.sync_due tb.sync_recent;
        tb.sync_recent <- 0.0;
-       tb.time <- serve compute ~now:start ~cost:(float_of_int flops /. compute_rate));
+       if tracking then begin
+         mix_add tb.due_mix tb.sync_mix;
+         mix_reset tb.sync_mix
+       end;
+       let finish = serve compute ~now:start ~cost:(float_of_int flops /. compute_rate) in
+       att i Compute None (-1) start finish;
+       tb.time <- finish);
     tb.cursor <- tb.cursor + 1;
-    if tb.cursor >= n then tb.time <- Float.max tb.time tb.all_outstanding
+    if tb.cursor >= n then begin
+      (* drain: the epilogue waits for every outstanding store/load *)
+      let t = Float.max tb.time tb.all_outstanding in
+      att i Sync_wait None (-1) tb.time t;
+      tb.time <- t
+    end
   in
   (* Advance the earliest threadblock one event at a time so server queues
      interleave in global time order. *)
@@ -186,7 +367,7 @@ let simulate_wave (cfg : config) (trace : Trace.event array) =
           best := i)
       tbs;
     if !best >= 0 then begin
-      step tbs.(!best);
+      step !best tbs.(!best);
       drive ()
     end
   in
@@ -250,7 +431,18 @@ let bank_conflict_penalty ~swizzle ~tb_k ~elem_bytes =
     if row mod 128 = 0 then 3.0 else 2.0
   end
 
-let run (req : request) =
+(* The wave plan: how the grid quantizes into full and tail waves, and the
+   per-wave simulation configs. Shared by [run] and the [Profile] recorder
+   so both simulate exactly the same machine states. *)
+type plan = {
+  plan_occ : Occupancy.t;
+  full_waves : int;
+  remainder : int;  (** threadblocks in the partial tail wave *)
+  full_cfg : config option;  (** [Some] iff [full_waves > 0] *)
+  tail_cfg : config option;  (** [Some] iff [remainder > 0] *)
+}
+
+let plan (req : request) =
   let hw = req.hw in
   match
     Occupancy.compute hw ~smem_per_tb:req.smem_per_tb
@@ -267,30 +459,94 @@ let run (req : request) =
           ~grid_z:req.grid_z ~tb_m:req.tb_m ~tb_n:req.tb_n ~tb_k:req.tb_k
           ~elem_bytes:req.elem_bytes ~resident_tbs:(residents * active)
       in
-      ( { hw; residents; active_sms = active; warps_per_tb = req.warps_per_tb;
-          miss_rate = loc.Locality.miss_rate;
-          smem_penalty =
-            bank_conflict_penalty ~swizzle:req.swizzle ~tb_k:req.tb_k
-              ~elem_bytes:req.elem_bytes;
-          issue_overhead = 4.0;
-          barrier_groups = req.barrier_groups },
-        loc )
+      { hw; residents; active_sms = active; warps_per_tb = req.warps_per_tb;
+        miss_rate = loc.Locality.miss_rate;
+        smem_penalty =
+          bank_conflict_penalty ~swizzle:req.swizzle ~tb_k:req.tb_k
+            ~elem_bytes:req.elem_bytes;
+        issue_overhead = 4.0;
+        barrier_groups = req.barrier_groups }
     in
-    let full_result =
-      if full_waves > 0 then begin
-        let cfg, _ = wave_cfg occ.Occupancy.tbs_per_sm hw.Alcop_hw.Hw_config.num_sms in
-        Some (cfg, simulate_wave cfg req.trace)
-      end
+    let full_cfg =
+      if full_waves > 0 then
+        Some (wave_cfg occ.Occupancy.tbs_per_sm hw.Alcop_hw.Hw_config.num_sms)
       else None
     in
-    let tail_result =
+    let tail_cfg =
       if rem > 0 then begin
         let active = min hw.Alcop_hw.Hw_config.num_sms rem in
-        let residents = (rem + active - 1) / active in
-        let cfg, _ = wave_cfg residents active in
-        Some (cfg, simulate_wave cfg req.trace)
+        Some (wave_cfg ((rem + active - 1) / active) active)
       end
       else None
+    in
+    Ok { plan_occ = occ; full_waves; remainder = rem; full_cfg; tail_cfg }
+
+(* A cheap bucket-only recorder: per-threadblock stall-class totals of one
+   simulated wave, reported for the slowest (critical-path) threadblock.
+   [run] uses it to publish [timing.stall.*] gauges when observability is
+   on; [Profile] keeps full timelines instead. *)
+let critical_stall_fractions wave_result advances =
+  let totals : (int * stall_class, float) Hashtbl.t = Hashtbl.create 16 in
+  let ends : (int, float) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      let key = (a.adv_tb, a.adv_class) in
+      let prior = Option.value ~default:0.0 (Hashtbl.find_opt totals key) in
+      Hashtbl.replace totals key (prior +. (a.adv_stop -. a.adv_start));
+      let e = Option.value ~default:0.0 (Hashtbl.find_opt ends a.adv_tb) in
+      Hashtbl.replace ends a.adv_tb (Float.max e a.adv_stop))
+    advances;
+  let critical =
+    Hashtbl.fold
+      (fun tb e (bt, be) -> if e > be then (tb, e) else (bt, be))
+      ends (0, 0.0)
+    |> fst
+  in
+  if wave_result.cycles <= 0.0 then []
+  else
+    List.filter_map
+      (fun cls ->
+        match Hashtbl.find_opt totals (critical, cls) with
+        | Some c -> Some (cls, c /. wave_result.cycles)
+        | None -> Some (cls, 0.0))
+      all_stall_classes
+
+let run (req : request) =
+  let hw = req.hw in
+  match plan req with
+  | Error f -> Error f
+  | Ok pl ->
+    let occ = pl.plan_occ in
+    let full_waves = pl.full_waves and rem = pl.remainder in
+    (* When observability is on, attach a bucket recorder to the
+       representative wave (the full wave when one exists, else the tail)
+       so the stall breakdown rides along at no extra simulation cost. *)
+    let advances : advance list ref = ref [] in
+    let gauge_probe =
+      if Alcop_obs.Obs.enabled () then
+        Some
+          { on_advance = (fun a -> advances := a :: !advances);
+            on_flight = (fun _ -> ()) }
+      else None
+    in
+    let representative_is_full = pl.full_cfg <> None in
+    let full_result =
+      Option.map
+        (fun cfg ->
+          ( cfg,
+            simulate_wave
+              ?probe:(if representative_is_full then gauge_probe else None)
+              cfg req.trace ))
+        pl.full_cfg
+    in
+    let tail_result =
+      Option.map
+        (fun cfg ->
+          ( cfg,
+            simulate_wave
+              ?probe:(if representative_is_full then None else gauge_probe)
+              cfg req.trace ))
+        pl.tail_cfg
     in
     let wave_cycles =
       match full_result with Some (_, r) -> r.cycles | None -> 0.0
@@ -320,9 +576,10 @@ let run (req : request) =
       | Some (_, r), _ | None, Some (_, r) -> Some r
       | None, None -> None
     in
-    (* Surface the representative wave's busy breakdown and the occupancy
-       decision as telemetry — this is exactly the data behind the paper's
-       ablation figures, and it is free when no sink is installed. *)
+    (* Surface the representative wave's busy breakdown, the stall
+       attribution and the occupancy decision as telemetry — this is
+       exactly the data behind the paper's ablation figures, and it is
+       free when no sink is installed. *)
     if Alcop_obs.Obs.enabled () then begin
       let open Alcop_obs in
       (match wave_busy with
@@ -331,7 +588,12 @@ let run (req : request) =
          Obs.gauge "timing.busy.compute" (frac r.compute_busy);
          Obs.gauge "timing.busy.dram" (frac r.dram_busy);
          Obs.gauge "timing.busy.llc" (frac r.llc_busy);
-         Obs.gauge "timing.busy.smem" (frac r.smem_busy)
+         Obs.gauge "timing.busy.smem" (frac r.smem_busy);
+         List.iter
+           (fun (cls, f) ->
+             if cls <> Launch then
+               Obs.gauge ("timing.stall." ^ stall_class_name cls) f)
+           (critical_stall_fractions r !advances)
        | _ -> ());
       Obs.gauge "timing.tbs_per_sm" (float_of_int occ.Occupancy.tbs_per_sm);
       Obs.gauge "timing.n_waves" (float_of_int n_waves);

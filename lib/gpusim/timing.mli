@@ -33,7 +33,60 @@ type wave_result = {
   smem_busy : float;
 }
 
-val simulate_wave : config -> Trace.event array -> wave_result
+(** {1 Stall attribution}
+
+    Every advance of a threadblock's simulated clock carries a stall
+    class. The intervals reported for one threadblock are contiguous and
+    non-overlapping, so per-class totals sum exactly to that
+    threadblock's finish time (the telescoping invariant [Profile] and
+    the tests rely on). *)
+
+type stall_class =
+  | Compute    (** tensor cores doing useful work (incl. queueing for them) *)
+  | Dram_bw    (** waiting on loads dominated by DRAM bandwidth/queueing *)
+  | Llc_bw     (** waiting on loads dominated by LLC bandwidth/queueing *)
+  | Smem_port  (** waiting on shared-memory throughput (incl. conflicts) *)
+  | Sync_wait  (** barriers, drains, and pure-latency waits *)
+  | Issue      (** fixed per-event issue overhead *)
+  | Launch     (** kernel launch overhead — never inside a wave *)
+
+val stall_class_name : stall_class -> string
+
+val all_stall_classes : stall_class list
+
+type advance = {
+  adv_tb : int;                 (** threadblock index within the wave *)
+  adv_class : stall_class;
+  adv_group : string option;
+      (** pipeline group whose wait caused the interval, if any *)
+  adv_ordinal : int;
+      (** ordinal of the consumed batch within its group (stage slot =
+          ordinal mod stages); [-1] for intervals not tied to a batch *)
+  adv_start : float;
+  adv_stop : float;
+}
+
+type flight = {
+  fl_tb : int;
+  fl_group : string option;
+  fl_batch : int;  (** batch ordinal within the group; [-1] when ungrouped *)
+  fl_async : bool;
+  fl_level : Trace.level;
+  fl_bytes : int;
+  fl_issue : float;
+  fl_land : float;
+}
+
+type probe = {
+  on_advance : advance -> unit;
+  on_flight : flight -> unit;
+}
+
+val simulate_wave : ?probe:probe -> config -> Trace.event array -> wave_result
+(** With [?probe], reports every clock advance ([on_advance]) and every
+    load's issue-to-land flight ([on_advance] intervals of one threadblock
+    are contiguous from 0 to its finish time). Without a probe the
+    attribution bookkeeping is skipped entirely. *)
 
 type request = {
   hw : Alcop_hw.Hw_config.t;
@@ -76,11 +129,27 @@ val jitter : int -> float
 
 val bank_conflict_penalty : swizzle:bool -> tb_k:int -> elem_bytes:int -> float
 
+(** {1 Wave planning} *)
+
+type plan = {
+  plan_occ : Occupancy.t;
+  full_waves : int;
+  remainder : int;        (** threadblocks in the partial tail wave *)
+  full_cfg : config option;  (** [Some] iff [full_waves > 0] *)
+  tail_cfg : config option;  (** [Some] iff [remainder > 0] *)
+}
+
+val plan : request -> (plan, Occupancy.failure) result
+(** How the grid quantizes into full and tail waves, and the per-wave
+    simulation configs. [run] and [Profile] both build on this, so a
+    profiled wave replays exactly the machine state [run] timed. *)
+
 val run : request -> (kernel_timing, Occupancy.failure) result
 (** Simulate a whole kernel launch. [Error] when the threadblock exceeds
     per-threadblock hardware resources (the schedule "fails to compile").
     When an [Alcop_obs] sink is installed, emits gauges for the
-    compute/DRAM/LLC/smem busy fractions ([timing.busy.*]) and the
-    occupancy decision ([timing.tbs_per_sm], [timing.n_waves],
-    [timing.miss_rate], plus a [timing.occupancy] point carrying the
-    limiter). *)
+    compute/DRAM/LLC/smem busy fractions ([timing.busy.*]), the
+    critical-threadblock stall fractions of the representative wave
+    ([timing.stall.<class>]) and the occupancy decision
+    ([timing.tbs_per_sm], [timing.n_waves], [timing.miss_rate], plus a
+    [timing.occupancy] point carrying the limiter). *)

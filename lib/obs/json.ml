@@ -27,13 +27,18 @@ let escape s =
     s;
   Buffer.contents buf
 
-(* Shortest-ish float form that stays valid JSON: "%.12g" drops trailing
-   noise, and integral values keep a ".0" so they re-parse as floats. *)
+(* Shortest round-tripping float form that stays valid JSON: "%.12g" when
+   it re-parses to the same double (drops trailing noise), else the
+   always-exact "%.17g". Integral values keep a ".0" so they re-parse as
+   floats. *)
 let float_repr f =
   match Float.classify_float f with
   | FP_nan | FP_infinite -> "null"
   | FP_zero | FP_normal | FP_subnormal ->
-    let s = Printf.sprintf "%.12g" f in
+    let short = Printf.sprintf "%.12g" f in
+    let s =
+      if float_of_string short = f then short else Printf.sprintf "%.17g" f
+    in
     if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
 
 let rec to_buffer buf = function

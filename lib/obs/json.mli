@@ -19,7 +19,9 @@ val to_buffer : Buffer.t -> t -> unit
 
 val to_string : t -> string
 (** Compact (single-line) serialization. Non-finite floats serialize as
-    [null] — JSON has no NaN/infinity. *)
+    [null] — JSON has no NaN/infinity. Finite floats use the shortest of
+    ["%.12g"] / ["%.17g"] that re-parses to the identical double, so
+    serialize-then-parse round-trips every finite [Float] exactly. *)
 
 val of_string : string -> (t, string) result
 (** Parse one JSON document. Numbers with a fraction or exponent parse as

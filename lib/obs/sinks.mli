@@ -11,14 +11,24 @@ val jsonl : (string -> unit) -> Obs.sink
 
 val jsonl_file : string -> Obs.sink
 
-val chrome_trace : (string -> unit) -> Obs.sink
+val chrome_trace : ?ts_to_us:(float -> float) -> (string -> unit) -> Obs.sink
 (** Chrome [chrome://tracing] / Perfetto trace-event JSON: spans become
     complete ("X") events, gauges become counter ("C") events, points
-    become instant ("i") events. Timestamps are microseconds relative to
-    the first event and are written sorted, hence monotonic. The whole
-    document is written on [close]. *)
+    become instant ("i") events. Timestamps are relative to the first
+    event and are written sorted, hence monotonic. The whole document is
+    written on [close].
 
-val chrome_trace_file : string -> Obs.sink
+    [ts_to_us] converts a clock delta to Chrome microseconds (default
+    [( *. ) 1e6], i.e. the clock is wall-clock seconds); a simulated-time
+    producer whose clock ticks in its own unit passes its own scale, e.g.
+    [Fun.id] to display one simulated cycle per microsecond.
+
+    Span and point fields named ["#pid"] / ["#tid"] (ints) route the event
+    onto that process/thread track, and ["#process_name"] /
+    ["#thread_name"] (strings) label the track through Chrome metadata
+    events; reserved (["#"]-prefixed) fields are stripped from [args]. *)
+
+val chrome_trace_file : ?ts_to_us:(float -> float) -> string -> Obs.sink
 
 val console_summary : (string -> unit) -> Obs.sink
 (** Human-readable summary printed on [close]: the span tree with

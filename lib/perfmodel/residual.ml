@@ -1,0 +1,44 @@
+(* Model-accuracy residuals: pure arithmetic comparing a model's predicted
+   cycles against the simulator's, plus the bound-agreement judgement the
+   `--compare-model` dashboard prints. Lives in perfmodel (no simulator
+   dependency): callers supply both numbers and the simulator's dominant
+   stall-class name. *)
+
+type t = {
+  predicted : float;
+  actual : float;
+  signed_rel : float;  (** (predicted - actual) / actual *)
+  abs_rel : float;
+  log_ratio : float;  (** log(predicted / actual); 0 = perfect *)
+}
+
+let make ~predicted ~actual =
+  let signed_rel =
+    if actual > 0.0 then (predicted -. actual) /. actual else Float.nan
+  in
+  let log_ratio =
+    if actual > 0.0 && predicted > 0.0 then Float.log (predicted /. actual)
+    else Float.nan
+  in
+  { predicted; actual; signed_rel;
+    abs_rel = Float.abs signed_rel; log_ratio }
+
+let mean_abs residuals =
+  match List.filter (fun r -> not (Float.is_nan r.abs_rel)) residuals with
+  | [] -> Float.nan
+  | rs ->
+    List.fold_left (fun acc r -> acc +. r.abs_rel) 0.0 rs
+    /. float_of_int (List.length rs)
+
+(* The analytical model (Table I) decides between a memory-bound and a
+   compute-bound regime; the simulator's stall attribution names the
+   binding resource directly. They agree when the model's regime covers
+   the simulator's dominant stall class. *)
+let memory_stalls = [ "dram_bw"; "llc_bw"; "smem_port"; "sync_wait" ]
+
+let model_bound_name ~memory_bound =
+  if memory_bound then "memory" else "compute"
+
+let bound_agreement ~memory_bound ~sim_stall =
+  if memory_bound then List.mem sim_stall memory_stalls
+  else not (List.mem sim_stall memory_stalls)

@@ -1,0 +1,28 @@
+(** Model-accuracy residuals for the [--compare-model] dashboard: pure
+    arithmetic over (predicted, actual) cycle pairs, plus the
+    bound-agreement judgement between the analytical model's regime and
+    the simulator's dominant stall class. No simulator dependency — the
+    caller supplies both sides. *)
+
+type t = {
+  predicted : float;
+  actual : float;
+  signed_rel : float;  (** [(predicted - actual) / actual] *)
+  abs_rel : float;
+  log_ratio : float;  (** [log (predicted / actual)]; 0 = perfect *)
+}
+
+val make : predicted:float -> actual:float -> t
+(** Relative fields are [nan] when a side is non-positive. *)
+
+val mean_abs : t list -> float
+(** Mean of [abs_rel] over the residuals with finite values; [nan] for an
+    empty list. *)
+
+val model_bound_name : memory_bound:bool -> string
+
+val bound_agreement : memory_bound:bool -> sim_stall:string -> bool
+(** Does the analytical model's regime ([memory_bound]) cover the
+    simulator's dominant stall class ([sim_stall], a
+    {!Alcop_gpusim.Timing.stall_class_name})? Memory regime covers
+    [dram_bw]/[llc_bw]/[smem_port]/[sync_wait]; compute covers the rest. *)

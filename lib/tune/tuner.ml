@@ -52,10 +52,33 @@ let best_within (r : result) k =
 
 let best (r : result) = best_within r (Array.length r.trials)
 
+(* Stall attribution of the trial just measured: the timing simulator
+   publishes [timing.stall.<class>] gauges for the representative wave of
+   the last launch it timed, so right after [evaluate] those gauges
+   describe *this* trial — except on evaluator cache hits, where they are
+   stale; tuners measure each point once, so fresh in practice. *)
+let stall_prefix = "timing.stall."
+
+let last_stall_breakdown () =
+  let plen = String.length stall_prefix in
+  let entries =
+    List.filter_map
+      (fun (name, v) ->
+        if String.length name > plen && String.sub name 0 plen = stall_prefix
+        then Some (String.sub name plen (String.length name - plen),
+                   Alcop_obs.Json.Float v)
+        else None)
+      (Alcop_obs.Obs.gauges ())
+  in
+  match entries with
+  | [] -> Alcop_obs.Json.Null
+  | entries -> Alcop_obs.Json.Obj entries
+
 (* Per-trial telemetry: one point event per measured trial carrying the
-   best-so-far cost, so search-efficiency curves (paper Fig. 13) are
-   reconstructible from the event log alone. Trials are numbered in
-   measurement order, starting at 1. *)
+   best-so-far cost and the stall breakdown of the losing (or winning)
+   schedule, so search-efficiency curves (paper Fig. 13) — and *why* each
+   rejected candidate lost — are reconstructible from the event log alone.
+   Trials are numbered in measurement order, starting at 1. *)
 let trial_recorder () =
   let best = ref None in
   let ordinal = ref 0 in
@@ -75,7 +98,9 @@ let trial_recorder () =
           ("index", Json.Int t.index);
           ("schedule", Json.Str (Alcop_perfmodel.Params.to_string t.params));
           ("cost_cycles", opt_float t.cost);
-          ("best_so_far", opt_float !best) ];
+          ("best_so_far", opt_float !best);
+          ("stall",
+           if t.cost = None then Json.Null else last_stall_breakdown ()) ];
       Obs.count "tuner.trials";
       if t.cost = None then Obs.count "tuner.compile_failures"
     end

@@ -22,4 +22,5 @@ let () =
      @ Test_des.suite
      @ Test_analysis_detail.suite
      @ Test_obs.suite
+     @ Test_profile.suite
      @ Test_property.suite)

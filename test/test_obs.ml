@@ -123,6 +123,36 @@ let test_json_nonfinite_is_null () =
   Alcotest.(check string) "inf" "null"
     (Json.to_string (Json.Float Float.infinity))
 
+(* Serialize-then-parse must return the bit-identical double — "%.12g"
+   alone silently loses the low bits of e.g. 0.1 +. 0.2 on the way through
+   Tuning_log. The emitter falls back to "%.17g" when the short form
+   doesn't round-trip. *)
+let float_roundtrips f =
+  match Json.of_string (Json.to_string (Json.Float f)) with
+  | Ok (Json.Float f') -> Int64.bits_of_float f' = Int64.bits_of_float f
+  | Ok _ | Error _ -> false
+
+let test_json_float_shortest_roundtrip () =
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%h round-trips" f)
+        true (float_roundtrips f))
+    [ 0.1 +. 0.2; 1.0 /. 3.0; Float.max_float; Float.min_float; epsilon_float;
+      1e22; 4. *. atan 1.; 1.5; 0.0; -0.0; 123456789.123456789 ]
+
+let prop_json_float_roundtrip =
+  QCheck.Test.make ~name:"json float round-trip (random doubles)" ~count:1000
+    (* exponents span the full double range; pfloat alone rarely leaves
+       [0, 1e308] mantissa-dense regions where %.12g suffices *)
+    QCheck.(
+      map
+        (fun (m, e, neg) ->
+          let f = Float.ldexp m (e mod 2047 - 1023) in
+          if neg then -.f else f)
+        (triple (float_bound_exclusive 1.0) int bool))
+    (fun f -> if Float.is_finite f then float_roundtrips f else true)
+
 (* --- JSONL round-trip of tuner trial events --- *)
 
 let tiny_space () =
@@ -216,6 +246,33 @@ let test_chrome_trace_parseable_and_monotonic () =
        in
        Alcotest.(check int) "one complete event per span" 2
          (List.length complete_spans)
+     | _ -> Alcotest.fail "no traceEvents array")
+
+(* Regression for the time-origin bug fixed in PR 1: the origin anchors at
+   the first event *seen* (a Span_begin anchors at the span's start), so a
+   trace whose first recorded item is a counter event — before any span —
+   must still come out with every timestamp non-negative. *)
+let test_chrome_origin_counter_first () =
+  with_fresh @@ fun () ->
+  let buf = Buffer.create 256 in
+  Obs.add_sink (Sinks.chrome_trace (Buffer.add_string buf));
+  Obs.count "warmup";  (* first recorded item: a counter, no open span *)
+  Obs.count "warmup";
+  Obs.with_span "later.work" (fun () -> Obs.gauge "g" 1.0);
+  Obs.reset ();
+  match Json.of_string (String.trim (Buffer.contents buf)) with
+  | Error e -> Alcotest.fail e
+  | Ok doc ->
+    (match Json.member "traceEvents" doc with
+     | Some (Json.List events) ->
+       Alcotest.(check bool) "has events" true (List.length events >= 4);
+       List.iter
+         (fun e ->
+           match Option.bind (Json.member "ts" e) Json.number with
+           | Some t ->
+             Alcotest.(check bool) "no negative timestamps" true (t >= 0.0)
+           | None -> Alcotest.fail "event without ts")
+         events
      | _ -> Alcotest.fail "no traceEvents array")
 
 (* --- evaluator cache counters --- *)
@@ -353,10 +410,15 @@ let suite =
         Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
         Alcotest.test_case "non-finite floats are null" `Quick
           test_json_nonfinite_is_null;
+        Alcotest.test_case "float shortest round-trip" `Quick
+          test_json_float_shortest_roundtrip;
+        QCheck_alcotest.to_alcotest prop_json_float_roundtrip;
         Alcotest.test_case "jsonl tuner trial round-trip" `Quick
           test_jsonl_tuner_trial_roundtrip;
         Alcotest.test_case "chrome trace parseable + monotonic" `Quick
           test_chrome_trace_parseable_and_monotonic;
+        Alcotest.test_case "chrome origin with counter first" `Quick
+          test_chrome_origin_counter_first;
         Alcotest.test_case "evaluator cache counters" `Quick
           test_evaluator_cache_counters;
         Alcotest.test_case "structured launch failure" `Quick
