@@ -8,7 +8,9 @@
    Experiment ids: fig1b fig10 table3 fig11 fig12 fig13 table1 fig23 scaling
    selfbench.
    [selfbench] uses Bechamel to measure the compiler's own throughput
-   (lowering, the pipelining pass, trace extraction, timing simulation). *)
+   (lowering, the pipelining pass, trace extraction, timing simulation,
+   and a compile-cache hit); `bench compare OLD.json NEW.json` diffs two
+   selfbench outputs and prints warn-only regression annotations for CI. *)
 
 open Alcop
 
@@ -48,7 +50,18 @@ let run_fig1b () =
 
 let run_fig10 () =
   header "Fig. 10 - single-operator speedup over TVM (exhaustive search)";
+  (* The five variants sweep nested schedule spaces, so most points after
+     the first variant come out of the shared compile cache; report the
+     hit rate this experiment achieved. *)
+  let session = Session.for_hw hw in
+  let before = Session.stats session in
   let result = Experiments.fig10 ~hw () in
+  let after = Session.stats session in
+  let d = { after with
+            Session.hits = after.Session.hits - before.Session.hits;
+            misses = after.Session.misses - before.Session.misses;
+            evictions = after.Session.evictions - before.Session.evictions }
+  in
   Printf.printf "%-16s" "operator";
   List.iter (fun v -> Printf.printf "%17s" v.Variants.name) Variants.all;
   print_newline ();
@@ -63,6 +76,10 @@ let run_fig10 () =
   Printf.printf "%-16s" "geomean";
   List.iter (fun (_, g) -> Printf.printf "%17.3f" g) result.Experiments.geomeans;
   print_newline ();
+  Printf.printf
+    "compile cache: %d entries, %d hits / %d misses (%.1f%% hit rate), %d evicted\n"
+    d.Session.entries d.Session.hits d.Session.misses
+    (100.0 *. Session.hit_rate d) d.Session.evictions;
   print_string
     "paper: ALCOP 1.23x mean / 1.73x max over TVM; TVM DB ~ ALCOP w/o ML&MS\n\
      << ALCOP w/o ML < ALCOP; no gain on short-reduction or huge-output ops.\n"
@@ -370,6 +387,12 @@ let run_selfbench () =
   in
   let groups = Alcop_pipeline.Pass.groups pass_result in
   let kernel = pass_result.Alcop_pipeline.Pass.kernel in
+  (* Cold compiles go through a pass-through session; the -hit benchmark
+     measures a fingerprint + cache lookup on a pre-warmed caching session,
+     i.e. what a repeated schedule point costs a tuner or variant sweep. *)
+  let cold = Session.create ~hw ~cache:false () in
+  let warm = Session.create ~hw () in
+  ignore (Session.compile warm params spec);
   let tests =
     Test.make_grouped ~name:"alcop"
       [ Test.make ~name:"lower" (Staged.stage (fun () ->
@@ -382,7 +405,9 @@ let run_selfbench () =
         Test.make ~name:"trace-extract" (Staged.stage (fun () ->
             ignore (Alcop_gpusim.Trace.extract ~groups kernel)));
         Test.make ~name:"compile+simulate" (Staged.stage (fun () ->
-            ignore (Compiler.compile ~hw params spec)));
+            ignore (Session.compile cold params spec)));
+        Test.make ~name:"session-evaluate-hit" (Staged.stage (fun () ->
+            ignore (Session.compile warm params spec)));
         Test.make ~name:"analytical-model" (Staged.stage (fun () ->
             ignore (Alcop_perfmodel.Model.predict hw spec params))) ]
   in
@@ -407,6 +432,66 @@ let run_selfbench () =
     sorted;
   write_bench_json sorted
 
+(* --- selfbench comparison (CI perf tripwire, warn-only) --- *)
+
+(* Read an "alcop-selfbench-v1" file into id -> ops_per_sec. *)
+let read_bench_json path =
+  let ic = open_in path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let open Alcop_obs.Json in
+  match of_string contents with
+  | Ok (Obj fields) ->
+    let benchmarks =
+      match List.assoc_opt "benchmarks" fields with
+      | Some (List bs) -> bs
+      | _ -> []
+    in
+    List.filter_map
+      (function
+        | Obj b ->
+          (match List.assoc_opt "id" b, List.assoc_opt "ops_per_sec" b with
+           | Some (Str id), Some (Float ops) -> Some (id, ops)
+           | Some (Str id), Some (Int ops) -> Some (id, float_of_int ops)
+           | _ -> None)
+        | _ -> None)
+      benchmarks
+  | Ok _ | Error _ ->
+    Printf.eprintf "%s: not an alcop-selfbench-v1 file\n" path;
+    exit 1
+
+(* Warn-only regression check: never fails the build (simulated-hardware
+   throughput on shared CI runners is too noisy to gate on), but prints a
+   GitHub-annotation warning for every benchmark that lost more than
+   [tolerance] of its ops/sec against the committed baseline. *)
+let run_compare old_path new_path =
+  let tolerance = 0.20 in
+  let old_rows = read_bench_json old_path in
+  let new_rows = read_bench_json new_path in
+  Printf.printf "%-40s %14s %14s %9s\n" "benchmark" "old ops/s" "new ops/s"
+    "ratio";
+  List.iter
+    (fun (id, new_ops) ->
+      match List.assoc_opt id old_rows with
+      | None -> Printf.printf "%-40s %14s %14.1f %9s\n" id "(new)" new_ops "-"
+      | Some old_ops ->
+        let ratio = if old_ops > 0.0 then new_ops /. old_ops else 1.0 in
+        Printf.printf "%-40s %14.1f %14.1f %8.2fx\n" id old_ops new_ops ratio;
+        if ratio < 1.0 -. tolerance then
+          Printf.printf
+            "::warning::selfbench regression: %s at %.2fx of baseline \
+             (%.1f -> %.1f ops/s)\n"
+            id ratio old_ops new_ops)
+    new_rows;
+  List.iter
+    (fun (id, _) ->
+      if not (List.mem_assoc id new_rows) then
+        Printf.printf "::warning::selfbench benchmark disappeared: %s\n" id)
+    old_rows
+
 let experiments =
   [ ("fig1b", run_fig1b); ("fig10", run_fig10); ("table3", run_table3);
     ("fig11", run_fig11); ("fig12", run_fig12); ("fig13", run_fig13);
@@ -417,6 +502,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
   | [ "list" ] -> List.iter (fun (n, _) -> print_endline n) experiments
+  | [ "compare"; old_path; new_path ] -> run_compare old_path new_path
   | [] | [ "all" ] ->
     Printf.printf "ALCOP reproduction - all experiments on %s\n"
       hw.Alcop_hw.Hw_config.name;

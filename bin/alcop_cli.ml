@@ -96,12 +96,48 @@ let ops_cmd =
   Cmd.v (Cmd.info "ops" ~doc:"List the built-in operator suite.")
     Term.(const run $ const ())
 
-let with_compiled params spec f =
-  match Compiler.compile ~hw params spec with
+(* Every CLI compile goes through a [Session]: the shared per-hardware one
+   by default, or a pass-through session under --no-cache. The CLI also
+   switches the pass manager's post-pass IR validation on — one-shot
+   commands can afford the structural check the tuning hot path skips. *)
+let session_of ~no_cache =
+  Passman.set_validate_ir true;
+  if no_cache then Session.create ~hw ~cache:false () else Session.for_hw hw
+
+let with_compiled ?(session = Session.for_hw hw) params spec f =
+  Passman.set_validate_ir true;
+  match Session.compile session params spec with
   | Ok c -> f c
   | Error e ->
     Printf.eprintf "compile error: %s\n" (Compiler.error_to_string e);
     exit 1
+
+(* --dump-ir-after=PASS: print the intermediate kernel right after the
+   named pass. Installed before compiling; unknown names are a CLI error
+   listing the valid IR-producing passes. *)
+let install_dump_ir = function
+  | None -> ()
+  | Some pass ->
+    (match
+       Passman.set_dump ~after:pass (fun name kernel ->
+           Printf.printf "=== IR after pass %s ===\n%s\n" name
+             (Alcop_ir.Kernel.to_string kernel))
+     with
+     | Ok () -> ()
+     | Error msg ->
+       Printf.eprintf "%s\n" msg;
+       exit 2)
+
+let dump_ir_term =
+  Arg.(value & opt (some string) None
+       & info [ "dump-ir-after" ] ~docv:"PASS"
+           ~doc:"Print the intermediate kernel IR right after the named \
+                 compile pass (IR-producing passes: lower, pipeline).")
+
+let no_cache_term =
+  Arg.(value & flag
+       & info [ "no-cache" ]
+           ~doc:"Bypass the content-addressed compilation cache.")
 
 (* File-backed sinks open their file eagerly; turn an unwritable path into a
    clean CLI error instead of an uncaught Sys_error. *)
@@ -113,7 +149,8 @@ let install_file_sink make path =
     exit 1
 
 let show_cmd =
-  let run spec params before cuda =
+  let run spec params before cuda dump_ir =
+    install_dump_ir dump_ir;
     with_compiled params spec (fun c ->
         if before then begin
           print_endline "=== Input IR (unpipelined) ===";
@@ -151,14 +188,15 @@ let show_cmd =
   in
   Cmd.v
     (Cmd.info "show" ~doc:"Print the (pipelined) IR of an operator's kernel.")
-    Term.(const run $ spec_arg $ params_term $ before $ cuda)
+    Term.(const run $ spec_arg $ params_term $ before $ cuda $ dump_ir_term)
 
 let time_cmd =
-  let run spec params trace_out =
+  let run spec params trace_out no_cache =
     (match trace_out with
      | Some path -> install_file_sink Alcop_obs.Sinks.chrome_trace_file path
      | None -> ());
-    with_compiled params spec (fun c ->
+    let session = session_of ~no_cache in
+    with_compiled ~session params spec (fun c ->
         let t = c.Compiler.timing in
         Printf.printf "schedule:       %s\n"
           (Alcop_perfmodel.Params.to_string params);
@@ -193,6 +231,8 @@ let time_cmd =
              p.Alcop_perfmodel.Model.cycles
              (if p.Alcop_perfmodel.Model.smem_bound then "load" else "compute")
          | Error _ -> ());
+        if not no_cache then
+          Printf.printf "%s\n" (Session.summary session);
         match trace_out with
         | Some path ->
           Alcop_obs.Obs.reset ();
@@ -208,7 +248,7 @@ let time_cmd =
   in
   Cmd.v
     (Cmd.info "time" ~doc:"Simulate one schedule and print the breakdown.")
-    Term.(const run $ spec_arg $ params_term $ trace_out)
+    Term.(const run $ spec_arg $ params_term $ trace_out $ no_cache_term)
 
 (* alcop profile: replay the simulated launch with the recording probe and
    print where every cycle went; optionally export the simulated-time
@@ -226,7 +266,7 @@ let profile_cmd =
     List.iter
       (fun spec ->
         let name = spec.Alcop_sched.Op_spec.name in
-        match Compiler.compile ~hw params spec with
+        match Session.compile (Session.for_hw hw) params spec with
         | Error e ->
           Printf.printf "%-14s %s\n" name
             ("compile fail: " ^ Compiler.error_kind e)
@@ -342,12 +382,13 @@ let method_conv =
       ("xgb+", Alcop_tune.Tuner.Analytical_xgb) ]
 
 let tune_cmd =
-  let run spec method_ budget seed log log_jsonl =
+  let run spec method_ budget seed log log_jsonl no_cache =
     (match log_jsonl with
      | Some path -> install_file_sink Alcop_obs.Sinks.jsonl_file path
      | None -> ());
+    let session = session_of ~no_cache in
+    let evaluate = Variants.evaluator ~hw ~session Variants.alcop spec in
     let space = Variants.space Variants.alcop spec in
-    let evaluate = Variants.evaluator ~hw Variants.alcop spec in
     Printf.printf "space: %d schedules; method: %s; budget: %d\n%!"
       (Array.length space)
       (Alcop_tune.Tuner.method_to_string method_)
@@ -366,6 +407,8 @@ let tune_cmd =
     (match Alcop_tune.Tuner.best result with
      | Some best -> Printf.printf "best in %d trials: %.0f cycles\n" budget best
      | None -> Printf.printf "no trial compiled\n");
+    if not no_cache then
+      Printf.printf "%s\n" (Session.summary session);
     (match log with
      | Some path ->
        Alcop_tune.Tuning_log.write_file ~path
@@ -398,7 +441,8 @@ let tune_cmd =
                    curve).")
   in
   Cmd.v (Cmd.info "tune" ~doc:"Tune an operator's schedule.")
-    Term.(const run $ spec_arg $ method_ $ budget $ seed $ log $ log_jsonl)
+    Term.(const run $ spec_arg $ method_ $ budget $ seed $ log $ log_jsonl
+          $ no_cache_term)
 
 let model_cmd =
   let run spec params =
@@ -424,7 +468,7 @@ let model_cmd =
       Printf.printf "  N_tb_per_SM    = %10d\n" m.tbs_per_sm;
       (match
          Alcop_perfmodel.Bottleneck.predict_cycles hw spec params,
-         Compiler.evaluator ~hw spec params
+         Session.evaluate (Session.for_hw hw) params spec
        with
        | Some b, Some sim ->
          Printf.printf "  bottleneck model: %.0f cycles; simulator: %.0f cycles\n"
@@ -440,10 +484,13 @@ let model_cmd =
    paper's three legality rules passed or failed, and why), the per-phase
    compile timings, and the simulator's busy/occupancy gauges. *)
 let explain_cmd =
-  let run spec params =
+  let run spec params dump_ir =
+    install_dump_ir dump_ir;
     let sink, events = Alcop_obs.Obs.memory_sink () in
     Alcop_obs.Obs.add_sink sink;
-    let result = Compiler.compile ~hw params spec in
+    (* A fresh process: the first session compile is always a cold miss, so
+       the per-pass spans below are real compile timings, not cache hits. *)
+    let result = Session.compile (session_of ~no_cache:false) params spec in
     let captured = events () in
     let gauges = Alcop_obs.Obs.gauges () in
     Alcop_obs.Obs.reset ();
@@ -497,7 +544,7 @@ let explain_cmd =
        ~doc:"Explain one schedule: the per-buffer legality verdicts of the \
              pipelining pass, the per-phase compile timings and the \
              simulator gauges.")
-    Term.(const run $ spec_arg $ params_term)
+    Term.(const run $ spec_arg $ params_term $ dump_ir_term)
 
 let verify_cmd =
   let run spec params =

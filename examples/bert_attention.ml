@@ -22,7 +22,7 @@ let sweep spec =
     (* a tiling valid for both: n = 384 or 64, so tb_n = 32 works *)
     Tiling.make ~tb_m:64 ~tb_n:32 ~tb_k:32 ~warp_m:32 ~warp_n:16 ~warp_k:16 ()
   in
-  let evaluate = Compiler.evaluator ~hw spec in
+  let evaluate = Session.evaluator (Session.for_hw hw) spec in
   let base =
     Option.get
       (evaluate

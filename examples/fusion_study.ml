@@ -43,8 +43,9 @@ let () =
     (String.concat ", "
        (List.map (fun (t, _, _) -> t) l1.Lower.materialize));
   let c1 =
-    match Compiler.compile ~hw (Alcop_perfmodel.Params.make ~tiling
-                                  ~smem_stages:3 ~reg_stages:2 ()) spec with
+    match Session.compile (Session.for_hw hw)
+            (Alcop_perfmodel.Params.make ~tiling
+               ~smem_stages:3 ~reg_stages:2 ()) spec with
     | Ok c -> c
     | Error e -> failwith (Compiler.error_to_string e)
   in
@@ -116,7 +117,7 @@ let () =
   time "fused (case 2):" ~inline_elemwise:true;
   time "materialized:" ~inline_elemwise:false;
   let p = Alcop_perfmodel.Params.make ~tiling ~smem_stages:3 ~reg_stages:1 () in
-  (match Compiler.compile ~hw p spec with
+  (match Session.compile (Session.for_hw hw) p spec with
    | Ok c ->
      Format.printf "    end-to-end latency (fused): %.0f cycles@."
        c.Compiler.latency_cycles;

@@ -73,7 +73,12 @@ let materialize_cycles (hw : Alcop_hw.Hw_config.t) (lowered : Lower.lowered) =
     0.0 lowered.Lower.materialize
 
 (* [extra_regs_per_thread] models compilers that prefetch without cp.async
-   (pre-Ampere double buffering): the in-flight tile occupies registers. *)
+   (pre-Ampere double buffering): the in-flight tile occupies registers.
+
+   Each phase is one named pass run through [Passman.run]: the pass manager
+   owns the obs span, the per-pass wall-time gauge, optional post-pass IR
+   validation and the --dump-ir-after hook, so this function reads as the
+   plain pipeline of paper Fig. 4. *)
 let compile ?(hw = Alcop_hw.Hw_config.default) ?(extra_regs_per_thread = 0)
     (params : Alcop_perfmodel.Params.t) (spec : Op_spec.t) =
   Obs.with_span "compile"
@@ -92,7 +97,7 @@ let compile ?(hw = Alcop_hw.Hw_config.default) ?(extra_regs_per_thread = 0)
   let smem_stages = params.Alcop_perfmodel.Params.smem_stages in
   let reg_stages = params.Alcop_perfmodel.Params.reg_stages in
   match
-    Obs.with_span "compile.schedule" (fun () ->
+    Passman.run ~name:"schedule" (fun () ->
         Schedule.default_gemm ~smem_stages ~reg_stages
           ~inner_fuse:params.Alcop_perfmodel.Params.inner_fuse spec tiling)
   with
@@ -101,11 +106,20 @@ let compile ?(hw = Alcop_hw.Hw_config.default) ?(extra_regs_per_thread = 0)
     let schedule =
       Schedule.set_swizzle schedule params.Alcop_perfmodel.Params.swizzle
     in
-    (match Obs.with_span "compile.lower" (fun () -> Lower.run schedule) with
+    (match
+       Passman.run ~name:"lower"
+         ~ir_of:(fun (l : Lower.lowered) -> Some l.Lower.kernel)
+         (fun () -> Lower.run schedule)
+     with
      | exception Lower.Lowering_error m -> fail (Lowering_failed m)
      | lowered ->
        (match
-          Obs.with_span "compile.pipeline" (fun () ->
+          Passman.run ~name:"pipeline"
+            ~ir_of:(function
+              | Ok (r : Alcop_pipeline.Pass.result) ->
+                Some r.Alcop_pipeline.Pass.kernel
+              | Error _ -> None)
+            (fun () ->
               Alcop_pipeline.Pass.run ~hw ~hints:lowered.Lower.hints
                 lowered.Lower.kernel)
         with
@@ -121,7 +135,7 @@ let compile ?(hw = Alcop_hw.Hw_config.default) ?(extra_regs_per_thread = 0)
           let kernel = result.Alcop_pipeline.Pass.kernel in
           let groups = Alcop_pipeline.Pass.groups result in
           let trace =
-            Obs.with_span "compile.trace" (fun () ->
+            Passman.run ~name:"trace" (fun () ->
                 Alcop_gpusim.Trace.extract ~groups kernel)
           in
           let elem_bytes = Dtype.size_bytes spec.Op_spec.dtype in
@@ -157,7 +171,7 @@ let compile ?(hw = Alcop_hw.Hw_config.default) ?(extra_regs_per_thread = 0)
                   groups }
           in
           (match
-             Obs.with_span "compile.timing" (fun () ->
+             Passman.run ~name:"timing" (fun () ->
                  Alcop_gpusim.Timing.run request)
            with
            | Error f -> fail (Launch_failed f)
@@ -173,29 +187,6 @@ let compile ?(hw = Alcop_hw.Hw_config.default) ?(extra_regs_per_thread = 0)
              Ok
                { schedule; params; lowered; kernel; groups; trace;
                  timing_request = request; timing; latency_cycles })))
-
-(* Measurement function for the tuner: simulated cycles, memoized per
-   schedule point. *)
-let evaluator ?(hw = Alcop_hw.Hw_config.default) ?(extra_regs = fun _ -> 0)
-    (spec : Op_spec.t) =
-  let cache = Hashtbl.create 128 in
-  fun (params : Alcop_perfmodel.Params.t) ->
-    let k = Alcop_perfmodel.Params.to_string params in
-    match Hashtbl.find_opt cache k with
-    | Some v ->
-      Obs.count "evaluator.cache_hit";
-      v
-    | None ->
-      Obs.count "evaluator.cache_miss";
-      let v =
-        match
-          compile ~hw ~extra_regs_per_thread:(extra_regs params) params spec
-        with
-        | Ok c -> Some c.latency_cycles
-        | Error _ -> None
-      in
-      Hashtbl.replace cache k v;
-      v
 
 (* Functional verification: run the pipelined kernel in the strict
    interpreter on deterministic inputs and compare against the host

@@ -48,22 +48,17 @@ val compile :
   Alcop_perfmodel.Params.t ->
   Op_spec.t ->
   (compiled, error) result
-(** Compile one operator under one schedule point. [Error] covers schedule
-    construction failures, lowering failures, pipelining-legality
+(** Compile one operator under one schedule point, cold — no caching.
+    Almost every caller wants {!Session.compile} instead, which memoizes
+    the result under a content fingerprint of the inputs. [Error] covers
+    schedule construction failures, lowering failures, pipelining-legality
     rejections and launch failures (resource exhaustion).
     [extra_regs_per_thread] models compilers that prefetch without
-    cp.async. Each phase runs inside an [Alcop_obs] span named
-    [compile.schedule] / [compile.lower] / [compile.pipeline] /
-    [compile.trace] / [compile.timing]. *)
-
-val evaluator :
-  ?hw:Alcop_hw.Hw_config.t ->
-  ?extra_regs:(Alcop_perfmodel.Params.t -> int) ->
-  Op_spec.t ->
-  Alcop_perfmodel.Params.t ->
-  float option
-(** Measurement function for the tuner: simulated cycles, memoized per
-    schedule point; [None] = failed to compile. *)
+    cp.async. Each phase runs through {!Passman.run} as a named pass —
+    [schedule] / [lower] / [pipeline] / [trace] / [timing] — inside an
+    [Alcop_obs] span named [compile.<pass>], with a [pass.<pass>.ms]
+    wall-time gauge, optional post-pass IR validation and the
+    [--dump-ir-after] hook. *)
 
 val verify : ?atol:float -> compiled -> (float, float) result
 (** Execute the pipelined kernel (and the split-K reduction, if any) in the

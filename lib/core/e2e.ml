@@ -5,7 +5,12 @@
    remainder identical across compilers (softmax, normalization,
    activations, pooling — operators pipelining does not apply to). The
    remainder is sized from the model's [overhead_fraction] of the TVM
-   baseline, matching profiler splits. *)
+   baseline, matching profiler splits.
+
+   All per-operator latencies route through the shared per-hardware
+   [Session] (via [Variants.best_latency] and [Xla_like.latency]): models
+   share operators (e.g. the BERT matmuls appear in several models), so
+   after the first model most lookups are cache hits. *)
 
 open Alcop_workloads
 

@@ -9,8 +9,9 @@ val geomean : float list -> float
 
 val best_latency :
   ?hw:Alcop_hw.Hw_config.t -> Variants.t -> Op_spec.t -> float option
-(** Exhaustive-search best latency, memoized across experiments (keyed by
-    variant and operator name; one hardware configuration per process). *)
+(** Exhaustive-search best latency. Shared across experiments through the
+    per-hardware {!Session} artifact cache: re-deriving a variant's best
+    point costs one cache lookup per schedule point. *)
 
 val tflops : ?hw:Alcop_hw.Hw_config.t -> Op_spec.t -> float -> float
 

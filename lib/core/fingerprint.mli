@@ -1,0 +1,43 @@
+(** Content-addressed fingerprints of compilation inputs.
+
+    A fingerprint is the MD5 digest of a canonical JSON rendering of
+    everything that determines a compilation's result: the operator
+    specification, the schedule point, the hardware configuration and the
+    extra register pressure a compiler variant models. Two compile requests
+    receive the same fingerprint exactly when the compiler would produce
+    bit-identical output for both — which is what makes fingerprints safe
+    as keys of the {!Session} artifact cache.
+
+    Floats (hardware rates, latencies) are rendered with
+    {!Alcop_obs.Json.float_repr}, the shortest round-tripping form, so
+    equal doubles always canonicalize to equal text and the digest never
+    depends on printf locale or precision accidents. *)
+
+type t
+(** An MD5 digest; total order and equality are structural. *)
+
+val to_hex : t -> string
+(** 32 lowercase hex characters. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** {2 Canonical JSON forms}
+
+    Exposed so tests can pin the canonicalization (in particular the float
+    path) independently of the digest. *)
+
+val json_of_hw : Alcop_hw.Hw_config.t -> Alcop_obs.Json.t
+val json_of_spec : Alcop_sched.Op_spec.t -> Alcop_obs.Json.t
+val json_of_params : Alcop_perfmodel.Params.t -> Alcop_obs.Json.t
+
+val of_json : Alcop_obs.Json.t -> t
+(** Digest of the canonical serialization of an arbitrary JSON document. *)
+
+val compile_key :
+  hw:Alcop_hw.Hw_config.t ->
+  extra_regs_per_thread:int ->
+  Alcop_perfmodel.Params.t ->
+  Alcop_sched.Op_spec.t ->
+  t
+(** The cache key of one [Compiler.compile] invocation. *)

@@ -48,7 +48,7 @@ let template_points (spec : Op_spec.t) =
 (* Best library latency for an operator: best template, times the expert
    factor. [None] when no template fits the shape at all. *)
 let best_latency ?(hw = Alcop_hw.Hw_config.default) (spec : Op_spec.t) =
-  let evaluate = Compiler.evaluator ~hw spec in
+  let evaluate = Session.evaluator (Session.for_hw hw) spec in
   let best =
     List.fold_left
       (fun acc p ->

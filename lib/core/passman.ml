@@ -1,0 +1,89 @@
+(* The pass manager: compile phases as first-class, instrumented passes.
+   See the interface for the contract. *)
+
+module Obs = Alcop_obs.Obs
+
+type info = {
+  name : string;
+  title : string;
+  produces_ir : bool;
+}
+
+let pipeline =
+  [ { name = "schedule"; produces_ir = false;
+      title = "construct the GEMM schedule (tiling, pipelining hints)" };
+    { name = "lower"; produces_ir = true;
+      title = "lower the schedule to the canonical tensor-core loop nest" };
+    { name = "pipeline"; produces_ir = true;
+      title = "multi-stage multi-level pipelining transformation" };
+    { name = "trace"; produces_ir = false;
+      title = "extract the representative threadblock event trace" };
+    { name = "timing"; produces_ir = false;
+      title = "event-driven timing simulation" } ]
+
+let find name = List.find_opt (fun p -> String.equal p.name name) pipeline
+
+let names = List.map (fun p -> p.name) pipeline
+
+let ir_pass_names =
+  List.filter_map (fun p -> if p.produces_ir then Some p.name else None)
+    pipeline
+
+(* --- IR dump hook --- *)
+
+let dump_hook : (string * (string -> Alcop_ir.Kernel.t -> unit)) option ref =
+  ref None
+
+let set_dump ~after f =
+  match find after with
+  | Some { produces_ir = true; _ } ->
+    dump_hook := Some (after, f);
+    Ok ()
+  | Some { produces_ir = false; _ } ->
+    Error
+      (Printf.sprintf "pass %s produces no IR to dump (IR passes: %s)" after
+         (String.concat ", " ir_pass_names))
+  | None ->
+    Error
+      (Printf.sprintf "unknown pass %s (passes: %s)" after
+         (String.concat ", " names))
+
+let clear_dump () = dump_hook := None
+
+(* --- post-pass validation --- *)
+
+let validate_flag = ref false
+let set_validate_ir v = validate_flag := v
+let validate_ir () = !validate_flag
+
+(* --- running one pass --- *)
+
+let check_ir name kernel =
+  match Alcop_ir.Validate.check kernel with
+  | Ok () -> ()
+  | Error errors ->
+    Obs.count ("pass." ^ name ^ ".validate_fail");
+    raise (Alcop_ir.Validate.Invalid errors)
+
+let run ~name ?ir_of f =
+  let result =
+    if not (Obs.enabled ()) then f ()
+    else
+      Obs.with_span ("compile." ^ name) @@ fun () ->
+      let t0 = Obs.now () in
+      let r = f () in
+      Obs.gauge ("pass." ^ name ^ ".ms") (1e3 *. (Obs.now () -. t0));
+      Obs.count ("pass." ^ name ^ ".runs");
+      r
+  in
+  (match ir_of with
+   | None -> ()
+   | Some extract ->
+     (match extract result with
+      | None -> ()
+      | Some kernel ->
+        if !validate_flag then check_ir name kernel;
+        (match !dump_hook with
+         | Some (after, dump) when String.equal after name -> dump name kernel
+         | Some _ | None -> ())));
+  result

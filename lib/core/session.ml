@@ -1,0 +1,151 @@
+(* The compilation session: a content-addressed artifact cache in front of
+   [Compiler.compile]. See the interface for the contract. *)
+
+open Alcop_sched
+module Obs = Alcop_obs.Obs
+
+type entry = {
+  outcome : (Compiler.compiled, Compiler.error) result;
+  gauges : (string * float) list;
+      (* [timing.*] gauges captured right after the cold compile, re-published
+         on every hit so gauge readers stay consistent with the latest
+         evaluation *)
+}
+
+type stats = {
+  entries : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+type t = {
+  hw : Alcop_hw.Hw_config.t;
+  capacity : int;
+  cache : bool;
+  table : (Fingerprint.t, entry) Hashtbl.t;
+  order : Fingerprint.t Queue.t;  (* insertion order, for FIFO eviction *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(hw = Alcop_hw.Hw_config.default) ?(capacity = 8192)
+    ?(cache = true) () =
+  if capacity < 1 then invalid_arg "Session.create: capacity must be >= 1";
+  { hw; capacity; cache;
+    table = Hashtbl.create (min capacity 1024);
+    order = Queue.create ();
+    hits = 0; misses = 0; evictions = 0 }
+
+let hw t = t.hw
+let cache_enabled t = t.cache
+
+let stats t =
+  { entries = Hashtbl.length t.table;
+    hits = t.hits; misses = t.misses; evictions = t.evictions }
+
+let hit_rate (s : stats) =
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
+
+let clear t =
+  Hashtbl.reset t.table;
+  Queue.clear t.order;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0
+
+let summary t =
+  let s = stats t in
+  Printf.sprintf
+    "compile cache: %d entries, %d hits / %d misses (%.1f%% hit rate), %d \
+     evicted"
+    s.entries s.hits s.misses (100.0 *. hit_rate s) s.evictions
+
+(* --- the global per-hardware registry --- *)
+
+let registry : (Fingerprint.t, t) Hashtbl.t = Hashtbl.create 4
+
+let for_hw hw =
+  let key = Fingerprint.of_json (Fingerprint.json_of_hw hw) in
+  match Hashtbl.find_opt registry key with
+  | Some s -> s
+  | None ->
+    let s = create ~hw () in
+    Hashtbl.add registry key s;
+    s
+
+let default () = for_hw Alcop_hw.Hw_config.default
+
+let global_stats () =
+  Hashtbl.fold
+    (fun _ t acc ->
+      let s = stats t in
+      { entries = acc.entries + s.entries;
+        hits = acc.hits + s.hits;
+        misses = acc.misses + s.misses;
+        evictions = acc.evictions + s.evictions })
+    registry
+    { entries = 0; hits = 0; misses = 0; evictions = 0 }
+
+(* --- the cache proper --- *)
+
+let timing_prefix = "timing."
+
+let timing_gauges () =
+  List.filter
+    (fun (name, _) ->
+      String.length name >= String.length timing_prefix
+      && String.sub name 0 (String.length timing_prefix) = timing_prefix)
+    (Obs.gauges ())
+
+let evict_to_capacity t =
+  while Hashtbl.length t.table >= t.capacity && not (Queue.is_empty t.order) do
+    let oldest = Queue.pop t.order in
+    if Hashtbl.mem t.table oldest then begin
+      Hashtbl.remove t.table oldest;
+      t.evictions <- t.evictions + 1;
+      Obs.count "session.cache.evict"
+    end
+  done
+
+let compile t ?(extra_regs_per_thread = 0) (params : Alcop_perfmodel.Params.t)
+    (spec : Op_spec.t) =
+  if not t.cache then
+    Compiler.compile ~hw:t.hw ~extra_regs_per_thread params spec
+  else begin
+    let key =
+      Fingerprint.compile_key ~hw:t.hw ~extra_regs_per_thread params spec
+    in
+    match Hashtbl.find_opt t.table key with
+    | Some e ->
+      t.hits <- t.hits + 1;
+      Obs.count "session.cache.hit";
+      List.iter (fun (name, v) -> Obs.gauge name v) e.gauges;
+      e.outcome
+    | None ->
+      t.misses <- t.misses + 1;
+      Obs.count "session.cache.miss";
+      let outcome =
+        Compiler.compile ~hw:t.hw ~extra_regs_per_thread params spec
+      in
+      let gauges =
+        match outcome with Ok _ -> timing_gauges () | Error _ -> []
+      in
+      evict_to_capacity t;
+      Hashtbl.replace t.table key { outcome; gauges };
+      Queue.push key t.order;
+      Obs.gauge "session.cache.entries"
+        (float_of_int (Hashtbl.length t.table));
+      outcome
+  end
+
+let evaluate t ?extra_regs_per_thread params spec =
+  match compile t ?extra_regs_per_thread params spec with
+  | Ok c -> Some c.Compiler.latency_cycles
+  | Error _ -> None
+
+let evaluator t ?(extra_regs = fun _ -> 0) (spec : Op_spec.t) =
+  fun (params : Alcop_perfmodel.Params.t) ->
+    evaluate t ~extra_regs_per_thread:(extra_regs params) params spec

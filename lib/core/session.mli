@@ -1,0 +1,94 @@
+(** The compilation session: a content-addressed artifact cache in front of
+    {!Compiler.compile}.
+
+    Every tuner, compiler variant and experiment evaluates schedule points
+    through a session. The cache key is a {!Fingerprint} of (operator
+    spec, schedule point, hardware config, extra register pressure), so a
+    point compiled once is never compiled or re-simulated again — the
+    paper's E2/E4/E5 experiments sweep five compiler variants over heavily
+    overlapping schedule spaces, and search-based schedulers live or die by
+    the cost of evaluating candidates. Both successful [compiled] artifacts
+    and structured compile errors are memoized (failed points recur in
+    sweeps just as often as good ones).
+
+    The store is in-memory and capacity-bounded (FIFO eviction). Hit, miss
+    and eviction totals are kept per session and also published as
+    [session.cache.hit] / [session.cache.miss] / [session.cache.evict]
+    counters through [Alcop_obs].
+
+    On a cache hit the [timing.*] gauges captured at the entry's cold
+    compile are re-published, so gauge readers (e.g. the tuner's per-trial
+    stall breakdown) always see values consistent with the latest
+    evaluation, cached or not.
+
+    Not thread-safe, like the compiler itself. *)
+
+type t
+
+type stats = {
+  entries : int;     (** resident cache entries *)
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val create :
+  ?hw:Alcop_hw.Hw_config.t -> ?capacity:int -> ?cache:bool -> unit -> t
+(** A fresh session. [capacity] bounds resident entries (default 8192);
+    [cache:false] makes the session a transparent pass-through that
+    neither stores nor counts (the CLI's [--no-cache]). *)
+
+val for_hw : Alcop_hw.Hw_config.t -> t
+(** The shared session for a hardware config, from a global registry keyed
+    by the config's fingerprint: all variants, tuners and experiments
+    targeting the same machine share one artifact store. Scaled or
+    cross-generation machines (experiment E9) each get their own. *)
+
+val default : unit -> t
+(** [for_hw Alcop_hw.Hw_config.default]. *)
+
+val hw : t -> Alcop_hw.Hw_config.t
+val cache_enabled : t -> bool
+
+val compile :
+  t ->
+  ?extra_regs_per_thread:int ->
+  Alcop_perfmodel.Params.t ->
+  Alcop_sched.Op_spec.t ->
+  (Compiler.compiled, Compiler.error) result
+(** The memoized equivalent of {!Compiler.compile} on this session's
+    hardware. Deterministic: a hit returns the artifact bit-identically as
+    the cold compile produced it. *)
+
+val evaluate :
+  t ->
+  ?extra_regs_per_thread:int ->
+  Alcop_perfmodel.Params.t ->
+  Alcop_sched.Op_spec.t ->
+  float option
+(** [latency_cycles] of {!compile}; [None] = failed to compile or launch. *)
+
+val evaluator :
+  t ->
+  ?extra_regs:(Alcop_perfmodel.Params.t -> int) ->
+  Alcop_sched.Op_spec.t ->
+  Alcop_perfmodel.Params.t ->
+  float option
+(** Measurement function for the tuners, closed over one operator. *)
+
+val stats : t -> stats
+(** [hits + misses] telescopes to the total number of (cache-enabled)
+    {!compile}/{!evaluate} calls on this session. *)
+
+val hit_rate : stats -> float
+(** hits / (hits + misses); 0 when nothing was evaluated. *)
+
+val clear : t -> unit
+(** Drop all entries and zero the counters. *)
+
+val summary : t -> string
+(** One line: entries, hits, misses, hit rate, evictions. *)
+
+val global_stats : unit -> stats
+(** Aggregate over every registry session ({!for_hw}); sessions made with
+    {!create} are not included. *)

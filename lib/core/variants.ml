@@ -57,8 +57,17 @@ let extra_regs (v : t) (spec : Op_spec.t) (p : Alcop_perfmodel.Params.t) =
 let space (v : t) (spec : Op_spec.t) =
   Alcop_tune.Space.enumerate ~restriction:v.restriction spec
 
-let evaluator ?(hw = Alcop_hw.Hw_config.default) (v : t) (spec : Op_spec.t) =
-  Compiler.evaluator ~hw ~extra_regs:(extra_regs v spec) spec
+(* All variants evaluate through the shared per-hardware [Session]: their
+   schedule spaces are nested subsets of each other (Space restrictions),
+   so in a five-variant sweep most points after the first variant are cache
+   hits. The extra-register term is part of the fingerprint, which keeps
+   cp.async and register-prefetch compilations distinct. *)
+let evaluator ?(hw = Alcop_hw.Hw_config.default) ?session (v : t)
+    (spec : Op_spec.t) =
+  let session =
+    match session with Some s -> s | None -> Session.for_hw hw
+  in
+  Session.evaluator session ~extra_regs:(extra_regs v spec) spec
 
 (* Best simulated latency of a compiler variant on one operator under
    exhaustive schedule search; [None] if nothing in the space launches. *)

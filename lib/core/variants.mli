@@ -26,8 +26,11 @@ val extra_regs : t -> Op_spec.t -> Alcop_perfmodel.Params.t -> int
 val space : t -> Op_spec.t -> Alcop_perfmodel.Params.t array
 
 val evaluator :
-  ?hw:Alcop_hw.Hw_config.t -> t -> Op_spec.t ->
+  ?hw:Alcop_hw.Hw_config.t -> ?session:Session.t -> t -> Op_spec.t ->
   Alcop_perfmodel.Params.t -> float option
+(** Measurement function routed through the compile cache: the shared
+    per-hardware session by default, or an explicit [session] (e.g. a
+    pass-through one for [--no-cache]). *)
 
 val best_latency : ?hw:Alcop_hw.Hw_config.t -> t -> Op_spec.t -> float option
 (** Best simulated latency under exhaustive schedule search (the paper's

@@ -40,7 +40,7 @@ let own_codegen_latency ?(hw = Alcop_hw.Hw_config.default) (spec : Op_spec.t) =
   match heuristic_point spec with
   | None -> None
   | Some p ->
-    (match Compiler.evaluator ~hw spec p with
+    (match Session.evaluate (Session.for_hw hw) p spec with
      | Some c -> Some (c *. codegen_factor)
      | None -> None)
 

@@ -391,13 +391,28 @@ let group_infos ~(hw : Alcop_hw.Hw_config.t) (kernel : Kernel.t) infos =
     groups
   end
 
-let run ~(hw : Alcop_hw.Hw_config.t) ~(hints : Hints.t) (kernel : Kernel.t) =
+(* The analysis proper; legality violations surface as [Rejected] from the
+   rule checks deep inside. [run] is the result-returning entry point the
+   compiler consumes; [run_exn] keeps the exception-style interface as a
+   thin wrapper for callers that treat a rejection as fatal. *)
+let run_internal ~(hw : Alcop_hw.Hw_config.t) ~(hints : Hints.t)
+    (kernel : Kernel.t) =
   if hints = [] then { groups = [] }
   else begin
     let sites = collect_sites hints kernel.Kernel.body in
     let infos = List.map (info_of_hint ~hw kernel sites) (List.rev hints) in
     { groups = group_infos ~hw kernel infos }
   end
+
+let run ~hw ~hints kernel =
+  match run_internal ~hw ~hints kernel with
+  | analysis -> Ok analysis
+  | exception Rejected r -> Error r
+
+let run_exn ~hw ~hints kernel =
+  match run ~hw ~hints kernel with
+  | Ok analysis -> analysis
+  | Error r -> raise (Rejected r)
 
 (* --- Structured per-buffer legality verdicts --------------------------
 

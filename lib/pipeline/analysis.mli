@@ -57,9 +57,15 @@ val group_of_buffer : t -> string -> group option
 val member_names : group -> string list
 val is_pipelined : t -> string -> bool
 
-val run : hw:Alcop_hw.Hw_config.t -> hints:Hints.t -> Kernel.t -> t
-(** @raise Rejected when a hinted buffer fails one of the paper's three
-    legality rules or a structural precondition. *)
+val run :
+  hw:Alcop_hw.Hw_config.t -> hints:Hints.t -> Kernel.t ->
+  (t, rejection) result
+(** [Error] when a hinted buffer fails one of the paper's three legality
+    rules or a structural precondition. Never raises {!Rejected}. *)
+
+val run_exn : hw:Alcop_hw.Hw_config.t -> hints:Hints.t -> Kernel.t -> t
+(** Thin wrapper over {!run}.
+    @raise Rejected on the first legality violation. *)
 
 (** {2 Structured per-buffer legality verdicts}
 

@@ -15,14 +15,14 @@ let groups r = r.analysis.Analysis.groups
 
 let run ~hw ~hints kernel =
   match Analysis.run ~hw ~hints kernel with
-  | analysis ->
+  | Ok analysis ->
     let kernel = Transform.run analysis kernel in
     Validate.check_exn kernel;
     Alcop_obs.Obs.count "pipeline.pass.ok";
     Alcop_obs.Obs.count ~n:(List.length analysis.Analysis.groups)
       "pipeline.groups";
     Ok { kernel; analysis }
-  | exception Analysis.Rejected rejection ->
+  | Error rejection ->
     Alcop_obs.Obs.count "pipeline.pass.rejected";
     Alcop_obs.Obs.count
       (Printf.sprintf "pipeline.rejected.rule%d" rejection.Analysis.rule);

@@ -55,8 +55,9 @@ let best (r : result) = best_within r (Array.length r.trials)
 (* Stall attribution of the trial just measured: the timing simulator
    publishes [timing.stall.<class>] gauges for the representative wave of
    the last launch it timed, so right after [evaluate] those gauges
-   describe *this* trial — except on evaluator cache hits, where they are
-   stale; tuners measure each point once, so fresh in practice. *)
+   describe *this* trial. That holds on compile-cache hits too: the shared
+   [Session] re-publishes the [timing.*] gauges captured at the entry's
+   cold compile, so the gauges always belong to the point just evaluated. *)
 let stall_prefix = "timing.stall."
 
 let last_stall_breakdown () =
@@ -75,13 +76,18 @@ let last_stall_breakdown () =
   | entries -> Alcop_obs.Json.Obj entries
 
 (* Per-trial telemetry: one point event per measured trial carrying the
-   best-so-far cost and the stall breakdown of the losing (or winning)
-   schedule, so search-efficiency curves (paper Fig. 13) — and *why* each
-   rejected candidate lost — are reconstructible from the event log alone.
-   Trials are numbered in measurement order, starting at 1. *)
+   best-so-far cost, the stall breakdown of the losing (or winning)
+   schedule, and whether the measurement came out of the compile cache —
+   so search-efficiency curves (paper Fig. 13), *why* each rejected
+   candidate lost, and how much the shared [Session] saved are all
+   reconstructible from the event log alone. Trials are numbered in
+   measurement order, starting at 1. *)
 let trial_recorder () =
   let best = ref None in
   let ordinal = ref 0 in
+  let cache_hits =
+    ref (Alcop_obs.Obs.counter_value "session.cache.hit")
+  in
   fun (t : trial) ->
     if Alcop_obs.Obs.enabled () then begin
       incr ordinal;
@@ -91,6 +97,12 @@ let trial_recorder () =
           | Some b when b <= c -> ()
           | _ -> best := Some c)
        | None -> ());
+      (* The session bumps [session.cache.hit] during [evaluate]; a delta
+         since the previous trial means this measurement was served from
+         the cache. *)
+      let hits_now = Alcop_obs.Obs.counter_value "session.cache.hit" in
+      let cached = hits_now > !cache_hits in
+      cache_hits := hits_now;
       let open Alcop_obs in
       let opt_float = function Some f -> Json.Float f | None -> Json.Null in
       Obs.point "tuner.trial"
@@ -99,10 +111,12 @@ let trial_recorder () =
           ("schedule", Json.Str (Alcop_perfmodel.Params.to_string t.params));
           ("cost_cycles", opt_float t.cost);
           ("best_so_far", opt_float !best);
+          ("cached", Json.Bool cached);
           ("stall",
            if t.cost = None then Json.Null else last_stall_breakdown ()) ];
       Obs.count "tuner.trials";
-      if t.cost = None then Obs.count "tuner.compile_failures"
+      if t.cost = None then Obs.count "tuner.compile_failures";
+      if cached then Obs.count "tuner.trials_cached"
     end
 
 (* Target encoding for the learned model: higher is better, scale-free. *)

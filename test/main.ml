@@ -14,6 +14,9 @@ let () =
      @ Test_perfmodel.suite
      @ Test_tune.suite
      @ Test_compiler.suite
+     @ Test_fingerprint.suite
+     @ Test_passman.suite
+     @ Test_session.suite
      @ Test_workloads.suite
      @ Test_splitk.suite
      @ Test_codegen.suite

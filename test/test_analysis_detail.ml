@@ -16,7 +16,7 @@ let canonical () =
   let l =
     Lower.run (Schedule.default_gemm ~smem_stages:3 ~reg_stages:2 spec tiling)
   in
-  (l, Alcop_pipeline.Analysis.run ~hw ~hints:l.Lower.hints l.Lower.kernel)
+  (l, Alcop_pipeline.Analysis.run_exn ~hw ~hints:l.Lower.hints l.Lower.kernel)
 
 let test_group_ordering_outermost_first () =
   let _, a = canonical () in
@@ -98,13 +98,13 @@ let test_pipeline_loop_skips_indexing_loops () =
   let kernel = Kernel.make ~name:"nest" ~inputs:[ a ] ~outputs:[ c ] ~body in
   let hints = [ Alcop_pipeline.Hints.make ~buffer:"S" ~stages:2 () ] in
   match Alcop_pipeline.Analysis.run ~hw ~hints kernel with
-  | analysis ->
+  | Ok analysis ->
     (match analysis.Alcop_pipeline.Analysis.groups with
      | [ g ] ->
        Alcotest.(check string) "pipeline loop is t, not p" "t"
          g.Alcop_pipeline.Analysis.loop_var
      | _ -> Alcotest.fail "expected one group")
-  | exception Alcop_pipeline.Analysis.Rejected r ->
+  | Error r ->
     Alcotest.failf "unexpected rejection: %a" Alcop_pipeline.Analysis.pp_rejection r
 
 (* ... and the transformed version of that nest still runs correctly. *)

@@ -47,7 +47,7 @@ let test_compile_materialized_elemwise () =
      | Error diff -> Alcotest.failf "mismatch %g" diff)
 
 let test_evaluator_caches_and_fails () =
-  let evaluate = Compiler.evaluator ~hw spec in
+  let evaluate = Session.evaluator (Session.create ~hw ()) spec in
   let ok = evaluate params in
   Alcotest.(check bool) "compiles" true (ok <> None);
   let big =

@@ -1,0 +1,98 @@
+(* Tests for the content-addressed compilation fingerprints: determinism,
+   sensitivity to every key component, and the canonical float rendering
+   the digests depend on. *)
+
+open Alcop_sched
+open Alcop
+
+let hw = Alcop_hw.Hw_config.ampere_a100
+
+let spec = Op_spec.matmul ~name:"fp_test" ~m:256 ~n:128 ~k:512 ()
+
+let tiling =
+  Tiling.make ~tb_m:64 ~tb_n:64 ~tb_k:32 ~warp_m:32 ~warp_n:32 ~warp_k:16 ()
+
+let params = Alcop_perfmodel.Params.make ~tiling ~smem_stages:3 ~reg_stages:2 ()
+
+let key ?(hw = hw) ?(extra = 0) p s =
+  Fingerprint.compile_key ~hw ~extra_regs_per_thread:extra p s
+
+let test_deterministic () =
+  let a = key params spec and b = key params spec in
+  Alcotest.(check bool) "equal inputs, equal fingerprint" true
+    (Fingerprint.equal a b);
+  Alcotest.(check string) "hex stable" (Fingerprint.to_hex a)
+    (Fingerprint.to_hex b);
+  Alcotest.(check int) "hex length" 32 (String.length (Fingerprint.to_hex a))
+
+let test_sensitive_to_each_component () =
+  let base = key params spec in
+  let p' = Alcop_perfmodel.Params.make ~tiling ~smem_stages:2 ~reg_stages:2 () in
+  Alcotest.(check bool) "schedule point changes the key" false
+    (Fingerprint.equal base (key p' spec));
+  let s' = Op_spec.matmul ~name:"fp_test" ~m:256 ~n:128 ~k:1024 () in
+  Alcotest.(check bool) "operator shape changes the key" false
+    (Fingerprint.equal base (key params s'));
+  Alcotest.(check bool) "hardware changes the key" false
+    (Fingerprint.equal base (key ~hw:Alcop_hw.Hw_config.volta_v100 params spec));
+  Alcotest.(check bool) "extra register pressure changes the key" false
+    (Fingerprint.equal base (key ~extra:8 params spec))
+
+let test_name_does_not_matter_but_shape_does () =
+  (* The operator *name* is presentation, but it names the same
+     computation only when the shape matches — it IS part of the key
+     (suite operators are keyed by their identity). Pin that choice. *)
+  let renamed = Op_spec.matmul ~name:"fp_other" ~m:256 ~n:128 ~k:512 () in
+  Alcotest.(check bool) "renamed operator re-keys" false
+    (Fingerprint.equal (key params spec) (key params renamed))
+
+(* --- canonical float rendering (satellite: float-keyed stability) --- *)
+
+let test_float_repr_examples () =
+  let repr = Alcop_obs.Json.float_repr in
+  Alcotest.(check string) "short decimal stays short" "0.1" (repr 0.1);
+  Alcotest.(check string) "integral float keeps its marker" "1.0" (repr 1.0);
+  Alcotest.(check bool) "tenth-of-three round-trips" true
+    (float_of_string (repr (0.3 /. 3.0)) = 0.3 /. 3.0);
+  (* Two ways of computing the same double must render identically. *)
+  let a = 0.1 +. 0.2 and b = 0.3000000000000000444089209850062616169452667236328125 in
+  Alcotest.(check bool) "same double" true (a = b);
+  Alcotest.(check string) "same rendering" (repr a) (repr b)
+
+let prop_float_repr_roundtrip =
+  QCheck.Test.make ~name:"float_repr round-trips every finite double"
+    ~count:1000
+    QCheck.(float_bound_exclusive 1e12)
+    (fun f ->
+      let f = if Float.is_nan f || Float.is_integer f then Float.abs f +. 0.5 else f in
+      float_of_string (Alcop_obs.Json.float_repr f) = f)
+
+let prop_hw_json_float_stability =
+  (* Scaling a hardware rate by x then dividing by x again must produce a
+     fingerprint equal to the original whenever the float round-trips —
+     i.e. the digest depends only on the double's value. *)
+  QCheck.Test.make ~name:"hw fingerprint depends only on float values"
+    ~count:200
+    QCheck.(float_range 0.125 8.0)
+    (fun x ->
+      let open Alcop_hw in
+      let hw1 = { hw with Hw_config.clock_ghz = hw.Hw_config.clock_ghz } in
+      let scaled = hw.Hw_config.clock_ghz *. x /. x in
+      let hw2 = { hw with Hw_config.clock_ghz = scaled } in
+      if scaled = hw.Hw_config.clock_ghz then
+        Fingerprint.equal
+          (Fingerprint.of_json (Fingerprint.json_of_hw hw1))
+          (Fingerprint.of_json (Fingerprint.json_of_hw hw2))
+      else true)
+
+let suite =
+  [ ( "fingerprint",
+      [ Alcotest.test_case "deterministic" `Quick test_deterministic;
+        Alcotest.test_case "sensitive to every component" `Quick
+          test_sensitive_to_each_component;
+        Alcotest.test_case "operator identity is part of the key" `Quick
+          test_name_does_not_matter_but_shape_does;
+        Alcotest.test_case "float_repr examples" `Quick
+          test_float_repr_examples;
+        QCheck_alcotest.to_alcotest prop_float_repr_roundtrip;
+        QCheck_alcotest.to_alcotest prop_hw_json_float_stability ] ) ]

@@ -275,7 +275,7 @@ let test_chrome_origin_counter_first () =
          events
      | _ -> Alcotest.fail "no traceEvents array")
 
-(* --- evaluator cache counters --- *)
+(* --- session cache counters --- *)
 
 let test_evaluator_cache_counters () =
   with_fresh @@ fun () ->
@@ -288,12 +288,13 @@ let test_evaluator_cache_counters () =
            ~warp_k:16 ())
       ~smem_stages:2 ~reg_stages:1 ()
   in
-  let evaluate = Alcop.Compiler.evaluator ~hw spec in
+  let session = Alcop.Session.create ~hw () in
+  let evaluate = Alcop.Session.evaluator session spec in
   let a = evaluate p in
   let b = evaluate p in
   Alcotest.(check bool) "memoized" true (a = b);
-  Alcotest.(check int) "one miss" 1 (Obs.counter_value "evaluator.cache_miss");
-  Alcotest.(check int) "one hit" 1 (Obs.counter_value "evaluator.cache_hit");
+  Alcotest.(check int) "one miss" 1 (Obs.counter_value "session.cache.miss");
+  Alcotest.(check int) "one hit" 1 (Obs.counter_value "session.cache.hit");
   Alcotest.(check int) "one compile" 1 (Obs.counter_value "compile.ok")
 
 (* --- structured compile errors --- *)

@@ -92,7 +92,7 @@ let test_model_correlates_with_simulator () =
   let sample =
     List.filteri (fun i _ -> i mod 17 = 0) (Array.to_list space)
   in
-  let evaluate = Alcop.Compiler.evaluator ~hw spec in
+  let evaluate = Alcop.Session.evaluator (Alcop.Session.create ~hw ()) spec in
   let pairs =
     List.filter_map
       (fun p ->

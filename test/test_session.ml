@@ -1,0 +1,131 @@
+(* Tests for the compilation session (the content-addressed artifact cache):
+   bit-identical results vs. cold compiles, counter telescoping, eviction,
+   pass-through mode and the shared per-hardware registry. *)
+
+open Alcop_sched
+open Alcop
+
+let hw = Alcop_hw.Hw_config.ampere_a100
+
+let spec = Op_spec.matmul ~name:"sess_test" ~m:128 ~n:64 ~k:256 ()
+
+let space =
+  Alcop_tune.Space.enumerate ~restriction:Alcop_tune.Space.full spec
+
+let tiling =
+  Tiling.make ~tb_m:64 ~tb_n:64 ~tb_k:32 ~warp_m:32 ~warp_n:32 ~warp_k:16 ()
+
+let params = Alcop_perfmodel.Params.make ~tiling ~smem_stages:3 ~reg_stages:2 ()
+
+let test_hit_returns_identical_artifact () =
+  let session = Session.create ~hw () in
+  match Session.compile session params spec, Session.compile session params spec with
+  | Ok cold, Ok hit ->
+    Alcotest.(check bool) "latency bit-identical" true
+      (cold.Compiler.latency_cycles = hit.Compiler.latency_cycles);
+    Alcotest.(check bool) "timing bit-identical" true
+      (cold.Compiler.timing = hit.Compiler.timing);
+    Alcotest.(check bool) "same artifact, not a re-compile" true
+      (cold == hit);
+    let s = Session.stats session in
+    Alcotest.(check int) "one hit" 1 s.Session.hits;
+    Alcotest.(check int) "one miss" 1 s.Session.misses
+  | _ -> Alcotest.fail "compile failed"
+
+let test_errors_are_memoized () =
+  let session = Session.create ~hw () in
+  let big =
+    Alcop_perfmodel.Params.make
+      ~tiling:(Tiling.make ~tb_m:256 ~tb_n:128 ~tb_k:64 ~warp_m:64 ~warp_n:64
+                 ~warp_k:32 ())
+      ~smem_stages:4 ~reg_stages:2 ()
+  in
+  Alcotest.(check bool) "fails" true (Session.evaluate session big spec = None);
+  Alcotest.(check bool) "fails again" true (Session.evaluate session big spec = None);
+  let s = Session.stats session in
+  Alcotest.(check int) "failure hit from cache" 1 s.Session.hits
+
+let test_eviction_fifo () =
+  let session = Session.create ~hw ~capacity:2 () in
+  let p i =
+    Alcop_perfmodel.Params.make ~tiling ~smem_stages:(1 + i) ~reg_stages:1 ()
+  in
+  ignore (Session.evaluate session (p 0) spec);
+  ignore (Session.evaluate session (p 1) spec);
+  ignore (Session.evaluate session (p 2) spec);  (* evicts p0 *)
+  let s = Session.stats session in
+  Alcotest.(check int) "capacity bound" 2 s.Session.entries;
+  Alcotest.(check int) "one eviction" 1 s.Session.evictions;
+  ignore (Session.evaluate session (p 0) spec);  (* p0 is gone: a miss *)
+  let s = Session.stats session in
+  Alcotest.(check int) "evicted entry misses" 4 s.Session.misses;
+  Alcotest.(check int) "no hits" 0 s.Session.hits
+
+let test_no_cache_pass_through () =
+  let session = Session.create ~hw ~cache:false () in
+  let a = Session.evaluate session params spec in
+  let b = Session.evaluate session params spec in
+  Alcotest.(check bool) "same result" true (a = b);
+  let s = Session.stats session in
+  Alcotest.(check int) "no entries" 0 s.Session.entries;
+  Alcotest.(check int) "no hits" 0 s.Session.hits;
+  Alcotest.(check int) "no misses" 0 s.Session.misses
+
+let test_registry_shared_per_hw () =
+  let a = Session.for_hw hw and b = Session.for_hw hw in
+  Alcotest.(check bool) "same session object" true (a == b);
+  let v100 = Session.for_hw Alcop_hw.Hw_config.volta_v100 in
+  Alcotest.(check bool) "different hw, different session" true (not (a == v100))
+
+let test_clear () =
+  let session = Session.create ~hw () in
+  ignore (Session.evaluate session params spec);
+  ignore (Session.evaluate session params spec);
+  Session.clear session;
+  let s = Session.stats session in
+  Alcotest.(check int) "entries dropped" 0 s.Session.entries;
+  Alcotest.(check int) "counters zeroed" 0 (s.Session.hits + s.Session.misses)
+
+(* --- the satellite qcheck property: cached evaluation is bit-identical to
+   a cold [Compiler.compile], and hit/miss counters telescope to the total
+   number of evaluations. --- *)
+
+let prop_cached_equals_cold =
+  QCheck.Test.make
+    ~name:"session evaluation == cold compile; counters telescope"
+    ~count:60
+    QCheck.(int_bound (Array.length space - 1))
+    (fun i ->
+      let p = space.(i) in
+      let session = Session.create ~hw () in
+      let cold =
+        match Compiler.compile ~hw p spec with
+        | Ok c -> Some (c.Compiler.latency_cycles, c.Compiler.timing)
+        | Error _ -> None
+      in
+      let view = function
+        | Ok (c : Compiler.compiled) ->
+          Some (c.Compiler.latency_cycles, c.Compiler.timing)
+        | Error _ -> None
+      in
+      let first = view (Session.compile session p spec) in
+      let second = view (Session.compile session p spec) in
+      let s = Session.stats session in
+      first = cold && second = cold
+      && s.Session.hits + s.Session.misses = 2
+      && s.Session.hits = 1)
+
+let suite =
+  [ ( "session",
+      [ Alcotest.test_case "hit returns the identical artifact" `Quick
+          test_hit_returns_identical_artifact;
+        Alcotest.test_case "errors are memoized" `Quick
+          test_errors_are_memoized;
+        Alcotest.test_case "FIFO eviction at capacity" `Quick
+          test_eviction_fifo;
+        Alcotest.test_case "cache:false is a pass-through" `Quick
+          test_no_cache_pass_through;
+        Alcotest.test_case "registry shares sessions per hardware" `Quick
+          test_registry_shared_per_hw;
+        Alcotest.test_case "clear" `Quick test_clear;
+        QCheck_alcotest.to_alcotest prop_cached_equals_cold ] ) ]
