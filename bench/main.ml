@@ -6,11 +6,13 @@
      dune exec bench/main.exe -- list    -- list experiment ids
 
    Experiment ids: fig1b fig10 table3 fig11 fig12 fig13 table1 fig23 scaling
-   selfbench.
+   selfbench report.
    [selfbench] uses Bechamel to measure the compiler's own throughput
    (lowering, the pipelining pass, trace extraction, timing simulation,
    and a compile-cache hit); `bench compare OLD.json NEW.json` diffs two
-   selfbench outputs and prints warn-only regression annotations for CI. *)
+   selfbench outputs and prints warn-only regression annotations for CI
+   (add `--strict [--tolerance FRAC]` to exit nonzero on regressions);
+   [report] writes the self-contained HTML experiment report. *)
 
 open Alcop
 
@@ -276,14 +278,10 @@ let opt_csv = function Some v -> Printf.sprintf "%.6f" v | None -> ""
 let run_csv () =
   header "CSV export (results/)";
   (try Unix.mkdir "results" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-  let fig10 = Experiments.fig10 ~hw () in
-  write_csv "results/fig10.csv"
-    ("operator" :: List.map (fun v -> v.Variants.name) Variants.all)
-    (List.map
-       (fun (r : Experiments.fig10_row) ->
-         r.Experiments.op
-         :: List.map (fun (_, s) -> Printf.sprintf "%.6f" s) r.Experiments.speedups)
-       fig10.Experiments.rows);
+  let fig10_header, fig10_rows =
+    Experiments.fig10_csv (Experiments.fig10 ~hw ())
+  in
+  write_csv "results/fig10.csv" fig10_header fig10_rows;
   write_csv "results/table3.csv"
     [ "model"; "speedup_over_tvm"; "speedup_over_xla" ]
     (List.map
@@ -298,31 +296,14 @@ let run_csv () =
        (fun (r : Experiments.fig11_row) ->
          [ r.Experiments.op11; opt_csv r.Experiments.normalized_to_library ])
        (Experiments.fig11 ~hw ()));
-  write_csv "results/fig12.csv"
-    [ "operator"; "ours_at_10"; "ours_at_50"; "bottleneck_at_10";
-      "bottleneck_at_50" ]
-    (List.map
-       (fun (r : Experiments.fig12_row) ->
-         let cell l k = opt_csv (Option.join (List.assoc_opt k l)) in
-         [ r.Experiments.op12; cell r.Experiments.ours_top 10;
-           cell r.Experiments.ours_top 50;
-           cell r.Experiments.bottleneck_top 10;
-           cell r.Experiments.bottleneck_top 50 ])
-       (Experiments.fig12 ~hw ()));
-  let fig13 = Experiments.fig13 ~hw () in
-  write_csv "results/fig13.csv"
-    [ "operator"; "method"; "budget"; "best_in_budget" ]
-    (List.concat_map
-       (fun (r : Experiments.fig13_row) ->
-         List.concat_map
-           (fun (m, budgets) ->
-             List.map
-               (fun (b, v) ->
-                 [ r.Experiments.op13; m; string_of_int b;
-                   opt_csv (Option.join (Some v)) ])
-               budgets)
-           r.Experiments.per_method)
-       fig13)
+  let fig12_header, fig12_rows =
+    Experiments.fig12_csv (Experiments.fig12 ~hw ())
+  in
+  write_csv "results/fig12.csv" fig12_header fig12_rows;
+  let fig13_header, fig13_rows =
+    Experiments.fig13_csv (Experiments.fig13 ~hw ())
+  in
+  write_csv "results/fig13.csv" fig13_header fig13_rows
 
 (* --- Bechamel self-benchmarks of the compiler itself --- *)
 
@@ -463,14 +444,25 @@ let read_bench_json path =
     Printf.eprintf "%s: not an alcop-selfbench-v1 file\n" path;
     exit 1
 
-(* Warn-only regression check: never fails the build (simulated-hardware
-   throughput on shared CI runners is too noisy to gate on), but prints a
+(* Regression check between two selfbench outputs. The default mode is
+   warn-only — it never fails the build (simulated-hardware throughput on
+   shared CI runners is too noisy to gate on) but prints a
    GitHub-annotation warning for every benchmark that lost more than
-   [tolerance] of its ops/sec against the committed baseline. *)
-let run_compare old_path new_path =
-  let tolerance = 0.20 in
+   [tolerance] of its ops/sec against the committed baseline. With
+   [~strict:true] every such regression — and every disappeared benchmark
+   — makes the process exit nonzero, for local gating and for the CI
+   smoke that compares a file against itself (which must always pass). *)
+let run_compare ?(strict = false) ?(tolerance = 0.20) old_path new_path =
   let old_rows = read_bench_json old_path in
   let new_rows = read_bench_json new_path in
+  let failures = ref 0 in
+  let complain fmt =
+    Printf.ksprintf
+      (fun msg ->
+        incr failures;
+        Printf.printf "::%s::%s\n" (if strict then "error" else "warning") msg)
+      fmt
+  in
   Printf.printf "%-40s %14s %14s %9s\n" "benchmark" "old ops/s" "new ops/s"
     "ratio";
   List.iter
@@ -481,33 +473,69 @@ let run_compare old_path new_path =
         let ratio = if old_ops > 0.0 then new_ops /. old_ops else 1.0 in
         Printf.printf "%-40s %14.1f %14.1f %8.2fx\n" id old_ops new_ops ratio;
         if ratio < 1.0 -. tolerance then
-          Printf.printf
-            "::warning::selfbench regression: %s at %.2fx of baseline \
-             (%.1f -> %.1f ops/s)\n"
-            id ratio old_ops new_ops)
+          complain
+            "selfbench regression: %s at %.2fx of baseline (%.1f -> %.1f \
+             ops/s, tolerance %.0f%%)"
+            id ratio old_ops new_ops (100.0 *. tolerance))
     new_rows;
   List.iter
     (fun (id, _) ->
       if not (List.mem_assoc id new_rows) then
-        Printf.printf "::warning::selfbench benchmark disappeared: %s\n" id)
-    old_rows
+        complain "selfbench benchmark disappeared: %s" id)
+    old_rows;
+  if strict && !failures > 0 then begin
+    Printf.printf "strict compare: %d failure%s\n" !failures
+      (if !failures = 1 then "" else "s");
+    exit 1
+  end
+
+(* --- HTML experiment report --- *)
+
+let run_report () =
+  header "HTML experiment report";
+  Exp_report.write ~hw "report.html";
+  Printf.printf "wrote report.html\n%!"
 
 let experiments =
   [ ("fig1b", run_fig1b); ("fig10", run_fig10); ("table3", run_table3);
     ("fig11", run_fig11); ("fig12", run_fig12); ("fig13", run_fig13);
     ("table1", run_table1); ("fig23", run_fig23); ("scaling", run_scaling);
-    ("csv", run_csv); ("selfbench", run_selfbench) ]
+    ("csv", run_csv); ("selfbench", run_selfbench); ("report", run_report) ]
+
+(* compare OLD NEW [--strict] [--tolerance FRAC] *)
+let parse_compare rest =
+  let strict = ref false and tolerance = ref 0.20 and paths = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--strict" :: rest -> strict := true; go rest
+    | "--tolerance" :: v :: rest ->
+      (match float_of_string_opt v with
+       | Some t when t >= 0.0 -> tolerance := t
+       | _ ->
+         Printf.eprintf "compare: bad --tolerance %s\n" v;
+         exit 2);
+      go rest
+    | p :: rest -> paths := p :: !paths; go rest
+  in
+  go rest;
+  match List.rev !paths with
+  | [ old_path; new_path ] ->
+    run_compare ~strict:!strict ~tolerance:!tolerance old_path new_path
+  | _ ->
+    Printf.eprintf
+      "usage: compare OLD.json NEW.json [--strict] [--tolerance FRAC]\n";
+    exit 2
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
   | [ "list" ] -> List.iter (fun (n, _) -> print_endline n) experiments
-  | [ "compare"; old_path; new_path ] -> run_compare old_path new_path
+  | "compare" :: rest -> parse_compare rest
   | [] | [ "all" ] ->
     Printf.printf "ALCOP reproduction - all experiments on %s\n"
       hw.Alcop_hw.Hw_config.name;
     List.iter
-      (fun (name, f) -> if name <> "csv" then f ())
+      (fun (name, f) -> if name <> "csv" && name <> "report" then f ())
       experiments
   | names ->
     List.iter

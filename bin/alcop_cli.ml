@@ -140,10 +140,15 @@ let no_cache_term =
            ~doc:"Bypass the content-addressed compilation cache.")
 
 (* File-backed sinks open their file eagerly; turn an unwritable path into a
-   clean CLI error instead of an uncaught Sys_error. *)
+   clean CLI error instead of an uncaught Sys_error. [reset_at_exit]
+   guarantees the sink is closed (file flushed, Chrome trace document
+   written) even when a later step exits early — e.g. [with_compiled]'s
+   [exit 1] on a compile error. *)
 let install_file_sink make path =
   match make path with
-  | sink -> Alcop_obs.Obs.add_sink sink
+  | sink ->
+    Alcop_obs.Obs.add_sink sink;
+    Alcop_obs.Obs.reset_at_exit ()
   | exception Sys_error msg ->
     Printf.eprintf "cannot open %s: %s\n" path msg;
     exit 1
@@ -566,6 +571,77 @@ let verify_cmd =
              the host reference.")
     Term.(const run $ spec_arg $ params_term)
 
+(* alcop trace summary|diff: offline analytics over JSONL event logs
+   (written by --jsonl-out / --log-jsonl or any Sinks.jsonl consumer). *)
+let load_trace path =
+  match Alcop_obs.Trace_reader.load path with
+  | Ok t -> t
+  | Error msg ->
+    Printf.eprintf "cannot read trace %s: %s\n" path msg;
+    exit 1
+
+let trace_file_arg ~p ~docv =
+  Arg.(required & pos p (some file) None
+       & info [] ~docv ~doc:"JSONL event log.")
+
+let trace_summary_cmd =
+  let run path =
+    List.iter print_endline (Alcop_obs.Analytics.summary_lines (load_trace path))
+  in
+  Cmd.v
+    (Cmd.info "summary"
+       ~doc:"Summarize a JSONL event log: span table with duration \
+             percentiles, critical path, counters, gauges, histograms.")
+    Term.(const run $ trace_file_arg ~p:0 ~docv:"TRACE")
+
+let trace_diff_cmd =
+  let run old_path new_path =
+    let old_trace = load_trace old_path and new_trace = load_trace new_path in
+    List.iter print_endline
+      (Alcop_obs.Analytics.diff_lines ~old_trace ~new_trace)
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Diff two JSONL event logs: per-span-name duration deltas and, \
+             for profiler traces, the stall-class cycle deltas whose sum \
+             accounts exactly for the total cycle delta.")
+    Term.(const run $ trace_file_arg ~p:0 ~docv:"OLD"
+          $ trace_file_arg ~p:1 ~docv:"NEW")
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:"Offline analytics over JSONL event logs (summary, diff).")
+    [ trace_summary_cmd; trace_diff_cmd ]
+
+let report_cmd =
+  let run out results_dir bench_json =
+    Exp_report.write ~hw ~results_dir ~bench_json out;
+    Printf.printf "HTML report written to %s\n" out
+  in
+  let out =
+    Arg.(value & opt string "report.html"
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output HTML file.")
+  in
+  let results_dir =
+    Arg.(value & opt string "results"
+         & info [ "results-dir" ] ~docv:"DIR"
+             ~doc:"Directory with the figure CSVs written by `bench csv`; \
+                   figures are recomputed when absent.")
+  in
+  let bench_json =
+    Arg.(value & opt string "BENCH_gpusim.json"
+         & info [ "bench-json" ] ~docv:"FILE"
+             ~doc:"Selfbench trajectory file (schema alcop-selfbench-v1).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Write the self-contained HTML experiment report: figures 10, \
+             12 and 13, the compiler selfbench, and a stall-class diff \
+             explaining the pipelining speedup. Single file, inline SVG, \
+             no scripts.")
+    Term.(const run $ out $ results_dir $ bench_json)
+
 let () =
   let info =
     Cmd.info "alcop" ~version:"1.0"
@@ -575,4 +651,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ ops_cmd; show_cmd; time_cmd; profile_cmd; model_cmd; tune_cmd;
-            explain_cmd; verify_cmd ]))
+            explain_cmd; verify_cmd; trace_cmd; report_cmd ]))

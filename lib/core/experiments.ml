@@ -394,3 +394,40 @@ let generations
       in
       { machine = hw.Alcop_hw.Hw_config.name; gen_speedup = geomean speedups })
     [ Alcop_hw.Hw_config.volta_v100; Alcop_hw.Hw_config.ampere_a100 ]
+
+(* ------------------------------------------------------------------ *)
+(* CSV shapes of the headline figures: (header, rows) pairs shared by the
+   bench CSV export and the HTML report's recompute fallback, so
+   results/*.csv and a standalone report agree cell for cell. *)
+
+let csv_opt = function Some v -> Printf.sprintf "%.6f" v | None -> ""
+
+let fig10_csv (r : fig10_result) =
+  ( "operator" :: List.map (fun v -> v.Variants.name) Variants.all,
+    List.map
+      (fun row ->
+        row.op
+        :: List.map (fun (_, s) -> Printf.sprintf "%.6f" s) row.speedups)
+      r.rows )
+
+let fig12_csv rows =
+  ( [ "operator"; "ours_at_10"; "ours_at_50"; "bottleneck_at_10";
+      "bottleneck_at_50" ],
+    List.map
+      (fun r ->
+        let cell l k = csv_opt (Option.join (List.assoc_opt k l)) in
+        [ r.op12; cell r.ours_top 10; cell r.ours_top 50;
+          cell r.bottleneck_top 10; cell r.bottleneck_top 50 ])
+      rows )
+
+let fig13_csv rows =
+  ( [ "operator"; "method"; "budget"; "best_in_budget" ],
+    List.concat_map
+      (fun r ->
+        List.concat_map
+          (fun (m, budgets) ->
+            List.map
+              (fun (b, v) -> [ r.op13; m; string_of_int b; csv_opt v ])
+              budgets)
+          r.per_method)
+      rows )

@@ -126,3 +126,14 @@ type generation_row = {
 }
 
 val generations : ?subset:Op_spec.t list -> unit -> generation_row list
+
+(** {2 CSV shapes}
+
+    [(header, rows)] pairs shared by the bench CSV export and the HTML
+    report's recompute fallback, so [results/*.csv] and a standalone
+    report agree cell for cell. Optional cells (compile failures) render
+    as empty strings. *)
+
+val fig10_csv : fig10_result -> string list * string list list
+val fig12_csv : fig12_row list -> string list * string list list
+val fig13_csv : fig13_row list -> string list * string list list

@@ -72,7 +72,11 @@ let run ~name ?ir_of f =
       Obs.with_span ("compile." ^ name) @@ fun () ->
       let t0 = Obs.now () in
       let r = f () in
-      Obs.gauge ("pass." ^ name ^ ".ms") (1e3 *. (Obs.now () -. t0));
+      let ms = 1e3 *. (Obs.now () -. t0) in
+      Obs.gauge ("pass." ^ name ^ ".ms") ms;
+      (* the gauge keeps only the latest run; the histogram keeps the
+         distribution across a session's many compiles *)
+      Obs.observe ("pass." ^ name ^ ".ms") ms;
       Obs.count ("pass." ^ name ^ ".runs");
       r
   in

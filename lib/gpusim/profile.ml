@@ -176,6 +176,23 @@ let stage_stalls (tb : tb_profile) =
 
 let representative t = match t.p_waves with w :: _ -> Some w | [] -> None
 
+(* Per-class cycles of the kernel's critical threadblock (critical TB of
+   the representative wave), named for trace/report consumers. Zero
+   classes are dropped; because the segments are contiguous, the listed
+   classes still sum exactly to that threadblock's cycles — which is what
+   lets a stall *diff* between two variants account for the whole cycle
+   delta. *)
+let stall_breakdown t =
+  match representative t with
+  | None -> []
+  | Some w ->
+    let tb = w.w_tbs.(w.w_critical) in
+    List.filter_map
+      (fun cls ->
+        let cyc = class_cycles tb cls in
+        if cyc > 0.0 then Some (Timing.stall_class_name cls, cyc) else None)
+      Timing.all_stall_classes
+
 let binding_resource t =
   match representative t with
   | None -> "none"

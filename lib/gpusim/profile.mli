@@ -68,6 +68,13 @@ val stage_stalls : tb_profile -> ((string * int) * float) list
 val representative : t -> wave_profile option
 (** The wave whose cycles dominate the kernel (full when one exists). *)
 
+val stall_breakdown : t -> (string * float) list
+(** Per-stall-class cycles of the critical threadblock of the
+    representative wave, in {!Timing.all_stall_classes} order with zero
+    classes dropped. The classes partition that threadblock's time, so
+    the values sum exactly to its cycle count — a stall diff between two
+    variants therefore accounts for the whole cycle delta. *)
+
 val binding_resource : t -> string
 (** The busiest server of the representative wave, by busy fraction. *)
 

@@ -598,6 +598,9 @@ let run (req : request) =
       Obs.gauge "timing.tbs_per_sm" (float_of_int occ.Occupancy.tbs_per_sm);
       Obs.gauge "timing.n_waves" (float_of_int n_waves);
       Obs.gauge "timing.miss_rate" miss_rate;
+      (* histogram, not gauge: across a tuning sweep or batch compile the
+         distribution of kernel latencies is the interesting object *)
+      Obs.observe "timing.kernel.cycles" total_cycles;
       Obs.point "timing.occupancy"
         [ ("limiter", Json.Str occ.Occupancy.limiter);
           ("tbs_per_sm", Json.Int occ.Occupancy.tbs_per_sm);

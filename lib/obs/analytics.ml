@@ -1,0 +1,272 @@
+(* Analyses over reconstructed traces: per-span-name duration statistics
+   (with log-bucket histograms and percentiles), critical-path extraction
+   through the span forest, and diffs — span-level between two runs of the
+   same pipeline, and stall-class-level between two profiler traces, the
+   table that explains *why* one variant is faster.
+
+   All durations are in the producing clock's unit (wall-clock seconds for
+   the compiler, simulated cycles for the gpusim profiler); nothing here
+   assumes a unit, and renderers print bare numbers. *)
+
+(* --- per-name span statistics --- *)
+
+type span_stats = {
+  ss_name : string;
+  ss_count : int;
+  ss_total : float;  (* sum of durations *)
+  ss_self : float;  (* total minus time in children *)
+  ss_hist : Obs.histogram;  (* of individual durations *)
+}
+
+let span_stats (trace : Trace_reader.trace) =
+  let table : (string, span_stats) Hashtbl.t = Hashtbl.create 16 in
+  Trace_reader.iter_spans
+    (fun s ->
+      let child_total =
+        List.fold_left
+          (fun acc (c : Trace_reader.span) -> acc +. c.sp_dur)
+          0.0 s.sp_children
+      in
+      let self = Float.max 0.0 (s.sp_dur -. child_total) in
+      let prev =
+        match Hashtbl.find_opt table s.sp_name with
+        | Some st -> st
+        | None ->
+          { ss_name = s.sp_name; ss_count = 0; ss_total = 0.0; ss_self = 0.0;
+            ss_hist = Obs.hist_empty () }
+      in
+      Hashtbl.replace table s.sp_name
+        { prev with
+          ss_count = prev.ss_count + 1;
+          ss_total = prev.ss_total +. s.sp_dur;
+          ss_self = prev.ss_self +. self;
+          ss_hist = Obs.hist_observe prev.ss_hist s.sp_dur })
+    trace.tr_spans;
+  Hashtbl.fold (fun _ st acc -> st :: acc) table []
+  |> List.sort (fun a b ->
+         match compare b.ss_total a.ss_total with
+         | 0 -> compare a.ss_name b.ss_name
+         | c -> c)
+
+(* --- critical path --- *)
+
+type critical_node = {
+  cn_name : string;
+  cn_dur : float;
+  cn_self : float;  (* dur minus the chosen child's dur *)
+  cn_depth : int;
+}
+
+(* Greedy longest-child descent: from a span, the critical path follows
+   the child with the largest duration. Sequential children all lie on
+   the wall-clock path, but the dominant child is the one worth showing
+   (and recursing into); its siblings are folded into cn_self. *)
+let critical_path (root : Trace_reader.span) =
+  let rec go (s : Trace_reader.span) acc =
+    let longest =
+      List.fold_left
+        (fun best (c : Trace_reader.span) ->
+          match best with
+          | Some (b : Trace_reader.span) when b.sp_dur >= c.sp_dur -> best
+          | _ -> Some c)
+        None s.sp_children
+    in
+    let chosen = match longest with Some c -> c.Trace_reader.sp_dur | None -> 0.0 in
+    let node =
+      { cn_name = s.sp_name; cn_dur = s.sp_dur;
+        cn_self = Float.max 0.0 (s.sp_dur -. chosen); cn_depth = s.sp_depth }
+    in
+    match longest with None -> List.rev (node :: acc) | Some c -> go c (node :: acc)
+  in
+  go root []
+
+let critical_path_of_trace (trace : Trace_reader.trace) =
+  let longest_root =
+    List.fold_left
+      (fun best (s : Trace_reader.span) ->
+        match best with
+        | Some (b : Trace_reader.span) when b.sp_dur >= s.sp_dur -> best
+        | _ -> Some s)
+      None trace.tr_spans
+  in
+  match longest_root with None -> [] | Some r -> critical_path r
+
+(* --- span diff between two runs --- *)
+
+type span_delta = {
+  sd_name : string;
+  sd_old_total : float option;  (* None: span only in the new run *)
+  sd_new_total : float option;  (* None: span disappeared *)
+  sd_delta : float;  (* new - old, missing side counted as 0 *)
+}
+
+let diff_spans ~old_trace ~new_trace =
+  let old_stats = span_stats old_trace and new_stats = span_stats new_trace in
+  let names =
+    List.sort_uniq compare
+      (List.map (fun s -> s.ss_name) old_stats
+      @ List.map (fun s -> s.ss_name) new_stats)
+  in
+  let find stats name =
+    List.find_opt (fun s -> String.equal s.ss_name name) stats
+  in
+  List.map
+    (fun name ->
+      let o = Option.map (fun s -> s.ss_total) (find old_stats name) in
+      let n = Option.map (fun s -> s.ss_total) (find new_stats name) in
+      let v = Option.value ~default:0.0 in
+      { sd_name = name; sd_old_total = o; sd_new_total = n;
+        sd_delta = v n -. v o })
+    names
+  |> List.sort (fun a b ->
+         match compare (Float.abs b.sd_delta) (Float.abs a.sd_delta) with
+         | 0 -> compare a.sd_name b.sd_name
+         | c -> c)
+
+(* --- stall-class diff --- *)
+
+type stall_delta = {
+  st_class : string;
+  st_old : float;
+  st_new : float;
+  st_delta : float;  (* new - old *)
+}
+
+let stall_prefix = "stall."
+
+(* The profiler emits cumulative [stall.<class>] gauges for the critical
+   thread block of the representative wave; the final gauge value is the
+   per-class total, and the classes partition the block's cycles exactly
+   (the telescoping invariant in [Profile]). In the source order of the
+   trace's gauges (sorted by name) the table is deterministic. *)
+let stall_breakdown_of_trace (trace : Trace_reader.trace) =
+  List.filter_map
+    (fun (name, value) ->
+      if String.starts_with ~prefix:stall_prefix name then
+        Some
+          ( String.sub name (String.length stall_prefix)
+              (String.length name - String.length stall_prefix),
+            value )
+      else None)
+    trace.tr_gauges
+
+let diff_stalls ~old_stalls ~new_stalls =
+  let classes =
+    List.sort_uniq compare (List.map fst old_stalls @ List.map fst new_stalls)
+  in
+  let get stalls cls = Option.value ~default:0.0 (List.assoc_opt cls stalls) in
+  List.map
+    (fun cls ->
+      let o = get old_stalls cls and n = get new_stalls cls in
+      { st_class = cls; st_old = o; st_new = n; st_delta = n -. o })
+    classes
+
+let stall_total deltas =
+  List.fold_left
+    (fun (o, n, d) s -> (o +. s.st_old, n +. s.st_new, d +. s.st_delta))
+    (0.0, 0.0, 0.0) deltas
+
+(* --- text rendering (shared by the CLI and golden tests) --- *)
+
+let pct h q = Obs.hist_percentile h q
+
+let fmt_num v =
+  if Float.is_nan v then "-"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.4g" v
+
+let fmt_signed v = if v >= 0.0 then "+" ^ fmt_num v else fmt_num v
+
+let summary_lines (trace : Trace_reader.trace) =
+  let buf = ref [] in
+  let line fmt = Printf.ksprintf (fun s -> buf := s :: !buf) fmt in
+  line "trace: %d events, %d spans, %d roots" trace.tr_events
+    (Trace_reader.span_count trace)
+    (List.length trace.tr_spans);
+  let stats = span_stats trace in
+  if stats <> [] then begin
+    line "-- spans by total time --";
+    line "%-40s %6s %12s %12s %10s %10s %10s" "name" "count" "total" "self"
+      "p50" "p90" "p99";
+    List.iter
+      (fun st ->
+        line "%-40s %6d %12s %12s %10s %10s %10s" st.ss_name st.ss_count
+          (fmt_num st.ss_total) (fmt_num st.ss_self)
+          (fmt_num (pct st.ss_hist 0.50))
+          (fmt_num (pct st.ss_hist 0.90))
+          (fmt_num (pct st.ss_hist 0.99)))
+      stats
+  end;
+  (match critical_path_of_trace trace with
+   | [] -> ()
+   | path ->
+     line "-- critical path --";
+     List.iter
+       (fun n ->
+         line "%s%-*s %12s (self %s)"
+           (String.make (2 * n.cn_depth) ' ')
+           (max 1 (40 - (2 * n.cn_depth)))
+           n.cn_name (fmt_num n.cn_dur) (fmt_num n.cn_self))
+       path);
+  if trace.tr_counters <> [] then begin
+    line "-- counters --";
+    List.iter
+      (fun (k, v) -> line "%-40s %12d" k v)
+      trace.tr_counters
+  end;
+  if trace.tr_gauges <> [] then begin
+    line "-- gauges --";
+    List.iter
+      (fun (k, v) -> line "%-40s %12s" k (fmt_num v))
+      trace.tr_gauges
+  end;
+  if trace.tr_hists <> [] then begin
+    line "-- histograms --";
+    line "%-40s %6s %12s %10s %10s %10s" "name" "count" "sum" "p50" "p90" "p99";
+    List.iter
+      (fun (k, h) ->
+        line "%-40s %6d %12s %10s %10s %10s" k h.Obs.h_count
+          (fmt_num h.Obs.h_sum) (fmt_num (pct h 0.50)) (fmt_num (pct h 0.90))
+          (fmt_num (pct h 0.99)))
+      trace.tr_hists
+  end;
+  List.rev !buf
+
+let diff_lines ~old_trace ~new_trace =
+  let buf = ref [] in
+  let line fmt = Printf.ksprintf (fun s -> buf := s :: !buf) fmt in
+  let deltas = diff_spans ~old_trace ~new_trace in
+  if deltas <> [] then begin
+    line "-- span deltas (new - old, by magnitude) --";
+    line "%-40s %12s %12s %12s" "name" "old" "new" "delta";
+    (* simulator traces carry one span per copied buffer; keep the table
+       readable by showing only the largest movers *)
+    let max_rows = 40 in
+    let n = List.length deltas in
+    List.iteri
+      (fun i d ->
+        if i < max_rows then begin
+          let cell = function Some v -> fmt_num v | None -> "-" in
+          line "%-40s %12s %12s %12s" d.sd_name (cell d.sd_old_total)
+            (cell d.sd_new_total) (fmt_signed d.sd_delta)
+        end)
+      deltas;
+    if n > max_rows then line "... (%d more)" (n - max_rows)
+  end;
+  let old_stalls = stall_breakdown_of_trace old_trace in
+  let new_stalls = stall_breakdown_of_trace new_trace in
+  if old_stalls <> [] || new_stalls <> [] then begin
+    let sd = diff_stalls ~old_stalls ~new_stalls in
+    let to_, tn, td = stall_total sd in
+    line "-- stall cycles (critical thread block, new - old) --";
+    line "%-20s %12s %12s %12s" "class" "old" "new" "delta";
+    List.iter
+      (fun s ->
+        line "%-20s %12s %12s %12s" s.st_class (fmt_num s.st_old)
+          (fmt_num s.st_new) (fmt_signed s.st_delta))
+      sd;
+    line "%-20s %12s %12s %12s" "total" (fmt_num to_) (fmt_num tn)
+      (fmt_signed td)
+  end;
+  List.rev !buf

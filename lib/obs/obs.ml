@@ -17,6 +17,105 @@ type event =
   | Counter of { name : string; incr : int; total : int; ts : float }
   | Gauge of { name : string; value : float; ts : float }
   | Point of { name : string; ts : float; fields : field list }
+  | Hist of { name : string; value : float; ts : float }
+
+(* --- histograms ---
+
+   Log-spaced buckets shared by every histogram: [buckets_per_decade]
+   buckets per decade over [hist_min_edge, 10^hist_decades * hist_min_edge),
+   plus an underflow bucket 0 (everything below the first edge, including
+   zero and negatives) and a final overflow bucket. One fixed scheme for
+   all metrics keeps histograms mergeable across runs and reconstructible
+   from an event log without carrying bucket layouts around. *)
+
+let hist_buckets_per_decade = 8
+let hist_decades = 18 (* 1e-9 .. 1e9 covers ns-scale spans and cycle counts *)
+let hist_min_edge = 1e-9
+let hist_n_buckets = (hist_buckets_per_decade * hist_decades) + 2
+
+type histogram = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : int array;
+}
+
+let hist_empty () =
+  { h_count = 0; h_sum = 0.0; h_min = Float.infinity;
+    h_max = Float.neg_infinity; h_buckets = Array.make hist_n_buckets 0 }
+
+let hist_bucket_index v =
+  if not (Float.is_finite v) || v < hist_min_edge then 0
+  else
+    let i =
+      1
+      + int_of_float
+          (Float.floor
+             (float_of_int hist_buckets_per_decade
+              *. Float.log10 (v /. hist_min_edge)))
+    in
+    if i >= hist_n_buckets then hist_n_buckets - 1 else i
+
+let hist_bucket_lo i =
+  if i <= 0 then 0.0
+  else
+    hist_min_edge
+    *. (10.0 ** (float_of_int (i - 1) /. float_of_int hist_buckets_per_decade))
+
+let hist_bucket_hi i =
+  if i >= hist_n_buckets - 1 then Float.infinity
+  else
+    hist_min_edge
+    *. (10.0 ** (float_of_int i /. float_of_int hist_buckets_per_decade))
+
+let hist_observe h v =
+  let buckets = Array.copy h.h_buckets in
+  let i = hist_bucket_index v in
+  buckets.(i) <- buckets.(i) + 1;
+  { h_count = h.h_count + 1; h_sum = h.h_sum +. v;
+    h_min = Float.min h.h_min v; h_max = Float.max h.h_max v;
+    h_buckets = buckets }
+
+let hist_merge a b =
+  { h_count = a.h_count + b.h_count;
+    h_sum = a.h_sum +. b.h_sum;
+    h_min = Float.min a.h_min b.h_min;
+    h_max = Float.max a.h_max b.h_max;
+    h_buckets = Array.init hist_n_buckets (fun i -> a.h_buckets.(i) + b.h_buckets.(i)) }
+
+let hist_of_values vs = List.fold_left hist_observe (hist_empty ()) vs
+
+(* Quantile from the buckets: find the bucket holding the q-th observation,
+   interpolate geometrically inside it (the buckets are log-spaced), then
+   clamp to the observed [min, max] so degenerate histograms (one value,
+   one bucket) report the exact observation. *)
+let hist_percentile h q =
+  if h.h_count = 0 then Float.nan
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = Float.max 1.0 (q *. float_of_int h.h_count) in
+    let v = ref h.h_max in
+    let cum = ref 0 in
+    (try
+       Array.iteri
+         (fun i c ->
+           if c > 0 then begin
+             if float_of_int (!cum + c) >= target then begin
+               let inside = (target -. float_of_int !cum) /. float_of_int c in
+               let lo = hist_bucket_lo i and hi = hist_bucket_hi i in
+               v :=
+                 (if lo <= 0.0 then hi
+                  else if Float.is_finite hi then lo *. ((hi /. lo) ** inside)
+                  else lo);
+               raise Exit
+             end;
+             cum := !cum + c
+           end)
+         h.h_buckets
+     with Exit -> ());
+    Float.max h.h_min (Float.min h.h_max !v)
+  end
 
 type sink = {
   emit : event -> unit;
@@ -33,6 +132,7 @@ let sinks : sink list ref = ref []
 let recording = ref false
 let counter_table : (string, int) Hashtbl.t = Hashtbl.create 16
 let gauge_table : (string, float) Hashtbl.t = Hashtbl.create 16
+let hist_table : (string, histogram) Hashtbl.t = Hashtbl.create 16
 let stack : open_span list ref = ref []
 let clock = ref Unix.gettimeofday
 
@@ -54,7 +154,21 @@ let reset () =
   recording := false;
   Hashtbl.reset counter_table;
   Hashtbl.reset gauge_table;
+  Hashtbl.reset hist_table;
   stack := []
+
+(* Flush file-backed sinks even when the process exits early on an error
+   path (e.g. the CLI's [exit 1] after a compile failure): without this, a
+   buffered JSONL line or an entire Chrome trace document (written only on
+   close) would be lost. Registered at most once; a no-op when [reset] has
+   already run. *)
+let at_exit_registered = ref false
+
+let reset_at_exit () =
+  if not !at_exit_registered then begin
+    at_exit_registered := true;
+    Stdlib.at_exit reset
+  end
 
 let with_span ?(fields = []) name f =
   if not !recording then f ()
@@ -110,6 +224,23 @@ let gauge_value name = Hashtbl.find_opt gauge_table name
 let gauges () =
   List.sort compare
     (Hashtbl.fold (fun k v acc -> (k, v) :: acc) gauge_table [])
+
+let observe name value =
+  if !recording then begin
+    let h =
+      match Hashtbl.find_opt hist_table name with
+      | Some h -> h
+      | None -> hist_empty ()
+    in
+    Hashtbl.replace hist_table name (hist_observe h value);
+    emit (Hist { name; value; ts = now () })
+  end
+
+let histogram_value name = Hashtbl.find_opt hist_table name
+
+let histograms () =
+  List.sort compare
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist_table [])
 
 let point name fields =
   if !recording then emit (Point { name; ts = now (); fields })

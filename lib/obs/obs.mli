@@ -23,6 +23,51 @@ type event =
   | Counter of { name : string; incr : int; total : int; ts : float }
   | Gauge of { name : string; value : float; ts : float }
   | Point of { name : string; ts : float; fields : field list }
+  | Hist of { name : string; value : float; ts : float }
+      (** one histogram observation; the distribution is aggregated by the
+          reader / the in-memory table, not carried in the event *)
+
+(** {1 Histograms}
+
+    A fixed log-spaced bucket scheme shared by every histogram metric:
+    {!hist_buckets_per_decade} buckets per decade from 1e-9 up, plus an
+    underflow bucket 0 (values below the first edge, including zero) and a
+    final overflow bucket. One fixed scheme makes histograms mergeable
+    across runs and exactly reconstructible from a JSONL event log. *)
+
+type histogram = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;  (** [+inf] while empty *)
+  h_max : float;  (** [-inf] while empty *)
+  h_buckets : int array;  (** length {!hist_n_buckets}; treat as read-only *)
+}
+
+val hist_buckets_per_decade : int
+val hist_n_buckets : int
+
+val hist_empty : unit -> histogram
+
+val hist_bucket_index : float -> int
+
+val hist_bucket_lo : int -> float
+(** Lower edge of a bucket; [0.] for the underflow bucket. *)
+
+val hist_bucket_hi : int -> float
+(** Upper edge; [infinity] for the overflow bucket. *)
+
+val hist_observe : histogram -> float -> histogram
+
+val hist_merge : histogram -> histogram -> histogram
+
+val hist_of_values : float list -> histogram
+
+val hist_percentile : histogram -> float -> float
+(** [hist_percentile h q] with [q] in [[0, 1]]: the q-quantile estimated
+    from the buckets (geometric interpolation inside the winning bucket),
+    clamped to the observed [[h_min, h_max]]. [nan] on an empty
+    histogram. Bucket resolution bounds the relative error at
+    [10^(1/hist_buckets_per_decade) - 1] (~33% with 8 buckets/decade). *)
 
 type sink = {
   emit : event -> unit;
@@ -40,8 +85,15 @@ val record : unit -> unit
     and can be read back with {!counter_value} / {!gauge_value}. *)
 
 val reset : unit -> unit
-(** Close every sink, drop all counters, gauges and open spans, and return
-    to the zero-cost no-op state. *)
+(** Close every sink, drop all counters, gauges, histograms and open
+    spans, and return to the zero-cost no-op state. *)
+
+val reset_at_exit : unit -> unit
+(** Register (at most once per process) an [at_exit] handler that runs
+    {!reset} — so file-backed sinks are closed and flushed even when the
+    process exits early on an error path. The CLI calls this whenever it
+    installs a file sink; a normal-path {!reset} makes the handler a
+    no-op. *)
 
 val set_clock : (unit -> float) -> unit
 (** Replace the wall clock (default [Unix.gettimeofday]); tests install a
@@ -76,6 +128,17 @@ val gauge_value : string -> float option
 
 val gauges : unit -> (string * float) list
 (** All gauges, sorted by name. *)
+
+val observe : string -> float -> unit
+(** Record one observation into a named histogram (and emit a [Hist]
+    event). Unlike a gauge, which keeps only the latest value, a histogram
+    accumulates the whole distribution — e.g. per-pass wall time across a
+    tuning sweep, or candidate latencies across a search. *)
+
+val histogram_value : string -> histogram option
+
+val histograms : unit -> (string * histogram) list
+(** All histograms, sorted by name. *)
 
 val point : string -> field list -> unit
 (** Emit one free-form event (e.g. one tuner trial). *)

@@ -34,6 +34,10 @@ let json_of_event (ev : Obs.event) =
     Json.Obj
       [ ("type", Json.Str "point"); ("name", Json.Str name);
         ("ts", Json.Float ts); ("fields", fields_obj fields) ]
+  | Obs.Hist { name; value; ts } ->
+    Json.Obj
+      [ ("type", Json.Str "hist"); ("name", Json.Str name);
+        ("value", Json.Float value); ("ts", Json.Float ts) ]
 
 let jsonl write =
   { Obs.emit = (fun ev -> write (Json.to_string (json_of_event ev) ^ "\n"));
@@ -126,6 +130,14 @@ let chrome_trace ?(ts_to_us = fun d -> d *. 1e6) write =
         (Json.Obj
            (common name "C" t ~pid:1 ~tid:1
             @ [ ("args", Json.Obj [ ("value", Json.Float value) ]) ]))
+    | Obs.Hist { name; value; ts } ->
+      (* each observation renders as a counter sample, so the observed
+         value's trajectory is visible as a track *)
+      let t = us ts in
+      push t
+        (Json.Obj
+           (common name "C" t ~pid:1 ~tid:1
+            @ [ ("args", Json.Obj [ ("value", Json.Float value) ]) ]))
     | Obs.Point { name; ts; fields } ->
       let t = us ts in
       let pid, tid, args = route fields in
@@ -164,6 +176,7 @@ let console_summary write =
   let rows : span_row list ref = ref [] in
   let counters : (string, int) Hashtbl.t = Hashtbl.create 8 in
   let gauges : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let hists : (string, Obs.histogram) Hashtbl.t = Hashtbl.create 8 in
   let emit (ev : Obs.event) =
     match ev with
     | Obs.Span_begin { name; depth; _ } ->
@@ -179,6 +192,11 @@ let console_summary write =
        | None -> rows := { name; depth; dur = Some dur } :: !rows)
     | Obs.Counter { name; total; _ } -> Hashtbl.replace counters name total
     | Obs.Gauge { name; value; _ } -> Hashtbl.replace gauges name value
+    | Obs.Hist { name; value; _ } ->
+      let h =
+        Option.value ~default:(Obs.hist_empty ()) (Hashtbl.find_opt hists name)
+      in
+      Hashtbl.replace hists name (Obs.hist_observe h value)
     | Obs.Point _ -> ()
   in
   let close () =
@@ -204,7 +222,12 @@ let console_summary write =
       end
     in
     dump "counters" counters string_of_int;
-    dump "gauges" gauges (Printf.sprintf "%.4g")
+    dump "gauges" gauges (Printf.sprintf "%.4g");
+    dump "histograms (count/p50/p90/p99)" hists (fun h ->
+        Printf.sprintf "%d/%.4g/%.4g/%.4g" h.Obs.h_count
+          (Obs.hist_percentile h 0.50)
+          (Obs.hist_percentile h 0.90)
+          (Obs.hist_percentile h 0.99))
   in
   { Obs.emit; close }
 

@@ -1,0 +1,91 @@
+(** Streaming reader for the JSONL event logs written by {!Sinks.jsonl}:
+    the inverse of the sink. Parses lines back into {!Obs.event}s and
+    reconstructs the derived state — the span forest, final counter/gauge
+    values and their time series, point events, and histograms aggregated
+    from individual observations — so offline analyses (trace summaries,
+    diffs, reports) work from logs alone.
+
+    Malformed lines are errors naming the line number, never silently
+    skipped: a truncated log means a sink was not flushed, which is a bug
+    worth surfacing. Blank lines are ignored. *)
+
+(** {1 File / JSONL plumbing}
+
+    Shared by other JSONL consumers (e.g. [Tune.Tuning_log]). *)
+
+val read_all : string -> (string, string) result
+(** Whole file as a string; [Error msg] on I/O failure. *)
+
+val json_of_file : string -> (Json.t, string) result
+(** Parse a whole file as one JSON document. *)
+
+val fold_jsonl_file :
+  string -> init:'a -> f:('a -> Json.t -> 'a) -> ('a, string) result
+(** Fold over a JSONL file one parsed line at a time (streaming — the
+    file is never held in memory whole). Stops with [Error "path:line: …"]
+    on the first malformed line. *)
+
+(** {1 Events} *)
+
+val event_of_json : Json.t -> (Obs.event, string) result
+(** Inverse of [Sinks.json_of_event]. *)
+
+val events_of_jsonl : string -> (Obs.event list, string) result
+(** Parse an in-memory JSONL document (e.g. from a test sink). *)
+
+val events_of_file : string -> (Obs.event list, string) result
+
+(** {1 Trace reconstruction} *)
+
+type span = {
+  sp_name : string;
+  sp_start : float;
+  sp_dur : float;
+  sp_depth : int;
+  sp_fields : (string * Json.t) list;
+  sp_children : span list;  (** in start order *)
+}
+
+type point = {
+  pt_name : string;
+  pt_ts : float;
+  pt_fields : (string * Json.t) list;
+}
+
+type series = (float * float) list
+(** [(ts, value)] samples in emission order. *)
+
+type trace = {
+  tr_events : int;  (** total events consumed *)
+  tr_spans : span list;  (** root spans in start order *)
+  tr_counters : (string * int) list;  (** final totals, sorted by name *)
+  tr_counter_series : (string * series) list;
+  tr_gauges : (string * float) list;  (** last value, sorted by name *)
+  tr_gauge_series : (string * series) list;
+  tr_points : point list;  (** in emission order *)
+  tr_hists : (string * Obs.histogram) list;
+      (** aggregated from [Hist] observations, sorted by name *)
+}
+
+val trace_of_events : Obs.event list -> trace
+(** Rebuild the span forest from [Span_end] events (which arrive in
+    completion order carrying their nesting depth) and aggregate metrics.
+    Spans left open in a truncated log are absent; their already-closed
+    children surface as extra roots. *)
+
+val trace_of_jsonl : string -> (trace, string) result
+
+val load : string -> (trace, string) result
+(** [trace_of_events] over [events_of_file]. *)
+
+(** {1 Conveniences} *)
+
+val iter_spans : (span -> unit) -> span list -> unit
+(** Pre-order traversal of a span forest. *)
+
+val span_count : trace -> int
+
+val gauge : trace -> string -> float option
+
+val counter : trace -> string -> int
+(** 0 when absent. *)

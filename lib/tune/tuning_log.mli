@@ -26,3 +26,33 @@ val write_file :
   seed:int ->
   Tuner.result ->
   unit
+
+(** {1 Reading logs back}
+
+    The inverse direction, for replaying a tuning run offline. File and
+    JSON plumbing is shared with the observability side through
+    {!Alcop_obs.Trace_reader}. *)
+
+type replayed_trial = {
+  rt_index : int;
+  rt_params : Alcop_perfmodel.Params.t;
+  rt_cost : float option;  (** [None] = compile failure, as written *)
+}
+
+type replay = {
+  r_operator : string;
+  r_method : string;
+  r_seed : int;
+  r_space_size : int;
+  r_best_cycles : float option;
+  r_trials : replayed_trial list;  (** in measurement order *)
+}
+
+val params_of_json :
+  Alcop_obs.Json.t -> (Alcop_perfmodel.Params.t, string) result
+(** Inverse of {!params_to_json}. *)
+
+val replay_of_json : Alcop_obs.Json.t -> (replay, string) result
+
+val read_file : string -> (replay, string) result
+(** Parse a file written by {!write_file}; round-trips exactly. *)

@@ -25,5 +25,6 @@ let () =
      @ Test_des.suite
      @ Test_analysis_detail.suite
      @ Test_obs.suite
+     @ Test_analytics.suite
      @ Test_profile.suite
      @ Test_property.suite)

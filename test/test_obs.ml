@@ -399,6 +399,39 @@ let test_verdict_reports_failure () =
       (String.length c1.Alcop_pipeline.Analysis.detail > 0)
   | None -> Alcotest.fail "A_sh verdict missing"
 
+(* Regression for the CLI error path: a file-backed sink must be flushed
+   even when the process exits early (the CLI's [exit 1] after a failed
+   compile used to leave a truncated JSONL / empty Chrome trace).
+   Reproduced with a forked child that installs a jsonl file sink,
+   registers [reset_at_exit] the way [install_file_sink] does, emits one
+   event and exits nonzero without an explicit reset. *)
+let test_file_sink_flushed_on_early_exit () =
+  let path = Filename.temp_file "alcop_obs" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    Unix.dup2 devnull Unix.stdout;
+    Unix.dup2 devnull Unix.stderr;
+    Obs.reset ();
+    Obs.add_sink (Sinks.jsonl_file path);
+    Obs.reset_at_exit ();
+    Obs.count "child.events";
+    Stdlib.exit 1
+  | pid ->
+    let _, status = Unix.waitpid [] pid in
+    Alcotest.(check bool) "child exited 1" true (status = Unix.WEXITED 1);
+    (match Trace_reader.events_of_file path with
+     | Error e -> Alcotest.fail e
+     | Ok [ Obs.Counter { name; _ } ] ->
+       Alcotest.(check string) "event survived the early exit" "child.events"
+         name
+     | Ok evs ->
+       Alcotest.failf "expected exactly the child's counter, got %d events"
+         (List.length evs))
+
 let suite =
   [ ( "obs",
       [ Alcotest.test_case "span nesting and ordering" `Quick
@@ -427,4 +460,6 @@ let suite =
         Alcotest.test_case "golden legality verdicts" `Quick
           test_golden_verdicts_stable;
         Alcotest.test_case "verdict reports failures" `Quick
-          test_verdict_reports_failure ] ) ]
+          test_verdict_reports_failure;
+        Alcotest.test_case "file sink flushed on early exit" `Quick
+          test_file_sink_flushed_on_early_exit ] ) ]
