@@ -18,6 +18,30 @@ open Alcop
 
 let hw = Alcop_hw.Hw_config.default
 
+(* -j / --jobs N (0 = ALCOP_JOBS or the domain count): worker pool shared
+   by every experiment runner in this invocation. Results are bit-identical
+   to -j 1 — the pool only changes wall-clock time (doc/parallelism.md). *)
+let requested_jobs = ref 0
+let the_pool = ref None
+
+let resolved_jobs () =
+  if !requested_jobs <= 0 then Alcop_par.Pool.default_jobs ()
+  else !requested_jobs
+
+(* Created lazily on first use so `bench compare` and -j 1 runs spawn no
+   domains; shut down by the main dispatcher. *)
+let pool () =
+  match !the_pool with
+  | Some _ as p -> p
+  | None ->
+    let jobs = resolved_jobs () in
+    if jobs <= 1 then None
+    else begin
+      let p = Alcop_par.Pool.create ~jobs () in
+      the_pool := Some p;
+      Some p
+    end
+
 let header title =
   Printf.printf "\n=== %s ===\n%!" title
 
@@ -57,7 +81,7 @@ let run_fig10 () =
      hit rate this experiment achieved. *)
   let session = Session.for_hw hw in
   let before = Session.stats session in
-  let result = Experiments.fig10 ~hw () in
+  let result = Experiments.fig10 ~hw ?pool:(pool ()) () in
   let after = Session.stats session in
   let d = { after with
             Session.hits = after.Session.hits - before.Session.hits;
@@ -124,7 +148,7 @@ let run_fig12 () =
   header "Fig. 12 - best-in-top-k of performance models (normalized to exhaustive)";
   Printf.printf "%-16s %12s %12s %14s %14s\n" "operator" "ours@10" "ours@50"
     "bottleneck@10" "bottleneck@50";
-  let rows = Experiments.fig12 ~hw () in
+  let rows = Experiments.fig12 ~hw ?pool:(pool ()) () in
   let avg sel k =
     let vs =
       List.filter_map (fun r -> Option.join (List.assoc_opt k (sel r))) rows
@@ -153,7 +177,7 @@ let run_fig12 () =
 
 let run_fig13 () =
   header "Fig. 13 - search efficiency (best-in-k-trials vs exhaustive)";
-  let rows = Experiments.fig13 ~hw () in
+  let rows = Experiments.fig13 ~hw ?pool:(pool ()) () in
   let methods =
     match rows with
     | r :: _ -> List.map fst r.Experiments.per_method
@@ -279,7 +303,7 @@ let run_csv () =
   header "CSV export (results/)";
   (try Unix.mkdir "results" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let fig10_header, fig10_rows =
-    Experiments.fig10_csv (Experiments.fig10 ~hw ())
+    Experiments.fig10_csv (Experiments.fig10 ~hw ?pool:(pool ()) ())
   in
   write_csv "results/fig10.csv" fig10_header fig10_rows;
   write_csv "results/table3.csv"
@@ -297,11 +321,11 @@ let run_csv () =
          [ r.Experiments.op11; opt_csv r.Experiments.normalized_to_library ])
        (Experiments.fig11 ~hw ()));
   let fig12_header, fig12_rows =
-    Experiments.fig12_csv (Experiments.fig12 ~hw ())
+    Experiments.fig12_csv (Experiments.fig12 ~hw ?pool:(pool ()) ())
   in
   write_csv "results/fig12.csv" fig12_header fig12_rows;
   let fig13_header, fig13_rows =
-    Experiments.fig13_csv (Experiments.fig13 ~hw ())
+    Experiments.fig13_csv (Experiments.fig13 ~hw ?pool:(pool ()) ())
   in
   write_csv "results/fig13.csv" fig13_header fig13_rows
 
@@ -411,7 +435,36 @@ let run_selfbench () =
     (fun (name, est) ->
       Printf.printf "%-40s %14.1f ns/run (%.1f us)\n" name est (est /. 1000.0))
     sorted;
-  write_bench_json sorted
+  (* Parallel-speedup record: the exhaustive ALCOP sweep of the same
+     operator through a fresh pass-through session, timed once at -j 1 and
+     once at the resolved job count. Wall clock, not Bechamel: the sweep
+     runs for seconds and both runs do identical work by construction. *)
+  let sweep_ns jobs =
+    let session = Session.create ~hw ~cache:false () in
+    let evaluate = Variants.evaluator ~hw ~session Variants.alcop spec in
+    let space = Variants.space Variants.alcop spec in
+    let run pool =
+      ignore (Alcop_tune.Tuner.exhaustive ?pool ~space ~evaluate ())
+    in
+    let t0 = Unix.gettimeofday () in
+    (if jobs <= 1 then run None
+     else Alcop_par.Pool.with_pool ~jobs (fun p -> run (Some p)));
+    (Unix.gettimeofday () -. t0) *. 1e9
+  in
+  let jmax = max 1 (resolved_jobs ()) in
+  let ns1 = sweep_ns 1 in
+  let nsj = if jmax = 1 then ns1 else sweep_ns jmax in
+  Printf.printf "%-40s %14.1f ns/run (%.1f ms)\n" "alcop/fig10-sweep-j1" ns1
+    (ns1 /. 1e6);
+  Printf.printf "%-40s %14.1f ns/run (%.1f ms)\n" "alcop/fig10-sweep-jmax" nsj
+    (nsj /. 1e6);
+  Printf.printf "parallel sweep speedup at -j %d: %.2fx\n" jmax
+    (if nsj > 0.0 then ns1 /. nsj else 1.0);
+  write_bench_json
+    (List.sort compare
+       (("alcop/fig10-sweep-j1", ns1)
+        :: ("alcop/fig10-sweep-jmax", nsj)
+        :: sorted))
 
 (* --- selfbench comparison (CI perf tripwire, warn-only) --- *)
 
@@ -493,7 +546,7 @@ let run_compare ?(strict = false) ?(tolerance = 0.20) old_path new_path =
 
 let run_report () =
   header "HTML experiment report";
-  Exp_report.write ~hw "report.html";
+  Exp_report.write ~hw ?pool:(pool ()) "report.html";
   Printf.printf "wrote report.html\n%!"
 
 let experiments =
@@ -527,22 +580,42 @@ let parse_compare rest =
     exit 2
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  match args with
-  | [ "list" ] -> List.iter (fun (n, _) -> print_endline n) experiments
-  | "compare" :: rest -> parse_compare rest
-  | [] | [ "all" ] ->
-    Printf.printf "ALCOP reproduction - all experiments on %s\n"
-      hw.Alcop_hw.Hw_config.name;
-    List.iter
-      (fun (name, f) -> if name <> "csv" && name <> "report" then f ())
-      experiments
-  | names ->
-    List.iter
-      (fun n ->
-        match List.assoc_opt n experiments with
-        | Some f -> f ()
-        | None ->
-          Printf.eprintf "unknown experiment %s (try: list)\n" n;
-          exit 1)
-      names
+  (* Strip -j / --jobs N anywhere on the command line; the rest are
+     experiment ids (or the compare subcommand) as before. *)
+  let rec strip_jobs acc = function
+    | [] -> List.rev acc
+    | ("-j" | "--jobs") :: v :: rest ->
+      (match int_of_string_opt v with
+       | Some n when n >= 0 -> requested_jobs := n; strip_jobs acc rest
+       | _ ->
+         Printf.eprintf "bad -j/--jobs count %s\n" v;
+         exit 2)
+    | [ ("-j" | "--jobs") ] ->
+      Printf.eprintf "-j/--jobs needs a count\n";
+      exit 2
+    | a :: rest -> strip_jobs (a :: acc) rest
+  in
+  let args = strip_jobs [] (List.tl (Array.to_list Sys.argv)) in
+  let dispatch () =
+    match args with
+    | [ "list" ] -> List.iter (fun (n, _) -> print_endline n) experiments
+    | "compare" :: rest -> parse_compare rest
+    | [] | [ "all" ] ->
+      Printf.printf "ALCOP reproduction - all experiments on %s\n"
+        hw.Alcop_hw.Hw_config.name;
+      List.iter
+        (fun (name, f) -> if name <> "csv" && name <> "report" then f ())
+        experiments
+    | names ->
+      List.iter
+        (fun n ->
+          match List.assoc_opt n experiments with
+          | Some f -> f ()
+          | None ->
+            Printf.eprintf "unknown experiment %s (try: list)\n" n;
+            exit 1)
+        names
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Alcop_par.Pool.shutdown !the_pool)
+    dispatch

@@ -104,9 +104,24 @@ let session_of ~no_cache =
   Passman.set_validate_ir true;
   if no_cache then Session.create ~hw ~cache:false () else Session.for_hw hw
 
-let with_compiled ?(session = Session.for_hw hw) params spec f =
+(* -j / --jobs: 0 (the default) resolves via ALCOP_JOBS or the domain
+   count. A resolved value of 1 means "no pool at all" — commands pass
+   [None] downstream and take the canonical sequential paths. *)
+let jobs_term =
+  Arg.(value & opt int 0
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for parallel evaluation (0 = $(b,ALCOP_JOBS) \
+                 or the recommended domain count). Results are bit-identical \
+                 to $(b,-j 1); only wall-clock time changes.")
+
+let with_jobs jobs f =
+  let jobs = if jobs <= 0 then Alcop_par.Pool.default_jobs () else jobs in
+  if jobs <= 1 then f None
+  else Alcop_par.Pool.with_pool ~jobs (fun pool -> f (Some pool))
+
+let with_compiled ?(session = Session.for_hw hw) ?pool params spec f =
   Passman.set_validate_ir true;
-  match Session.compile session params spec with
+  match Session.compile session ?pool params spec with
   | Ok c -> f c
   | Error e ->
     Printf.eprintf "compile error: %s\n" (Compiler.error_to_string e);
@@ -196,12 +211,13 @@ let show_cmd =
     Term.(const run $ spec_arg $ params_term $ before $ cuda $ dump_ir_term)
 
 let time_cmd =
-  let run spec params trace_out no_cache =
+  let run spec params trace_out no_cache jobs =
     (match trace_out with
      | Some path -> install_file_sink Alcop_obs.Sinks.chrome_trace_file path
      | None -> ());
     let session = session_of ~no_cache in
-    with_compiled ~session params spec (fun c ->
+    with_jobs jobs @@ fun pool ->
+    with_compiled ~session ?pool params spec (fun c ->
         let t = c.Compiler.timing in
         Printf.printf "schedule:       %s\n"
           (Alcop_perfmodel.Params.to_string params);
@@ -253,7 +269,8 @@ let time_cmd =
   in
   Cmd.v
     (Cmd.info "time" ~doc:"Simulate one schedule and print the breakdown.")
-    Term.(const run $ spec_arg $ params_term $ trace_out $ no_cache_term)
+    Term.(const run $ spec_arg $ params_term $ trace_out $ no_cache_term
+          $ jobs_term)
 
 (* alcop profile: replay the simulated launch with the recording probe and
    print where every cycle went; optionally export the simulated-time
@@ -387,7 +404,7 @@ let method_conv =
       ("xgb+", Alcop_tune.Tuner.Analytical_xgb) ]
 
 let tune_cmd =
-  let run spec method_ budget seed log log_jsonl no_cache =
+  let run spec method_ budget seed log log_jsonl no_cache jobs =
     (match log_jsonl with
      | Some path -> install_file_sink Alcop_obs.Sinks.jsonl_file path
      | None -> ());
@@ -399,7 +416,9 @@ let tune_cmd =
       (Alcop_tune.Tuner.method_to_string method_)
       budget;
     let result =
-      Alcop_tune.Tuner.run ~hw ~spec ~space ~evaluate ~budget ~seed method_
+      with_jobs jobs @@ fun pool ->
+      Alcop_tune.Tuner.run ?pool ~hw ~spec ~space ~evaluate ~budget ~seed
+        method_
     in
     Array.iteri
       (fun i (t : Alcop_tune.Tuner.trial) ->
@@ -447,7 +466,7 @@ let tune_cmd =
   in
   Cmd.v (Cmd.info "tune" ~doc:"Tune an operator's schedule.")
     Term.(const run $ spec_arg $ method_ $ budget $ seed $ log $ log_jsonl
-          $ no_cache_term)
+          $ no_cache_term $ jobs_term)
 
 let model_cmd =
   let run spec params =
@@ -615,8 +634,9 @@ let trace_cmd =
     [ trace_summary_cmd; trace_diff_cmd ]
 
 let report_cmd =
-  let run out results_dir bench_json =
-    Exp_report.write ~hw ~results_dir ~bench_json out;
+  let run out results_dir bench_json jobs =
+    with_jobs jobs (fun pool ->
+        Exp_report.write ~hw ?pool ~results_dir ~bench_json out);
     Printf.printf "HTML report written to %s\n" out
   in
   let out =
@@ -640,9 +660,15 @@ let report_cmd =
              12 and 13, the compiler selfbench, and a stall-class diff \
              explaining the pipelining speedup. Single file, inline SVG, \
              no scripts.")
-    Term.(const run $ out $ results_dir $ bench_json)
+    Term.(const run $ out $ results_dir $ bench_json $ jobs_term)
 
 let () =
+  (* ALCOP_FIXED_TS=1: stamp every event with t=0. With a stateless clock,
+     parallel runs replay worker telemetry into byte-identical streams, so
+     CI can byte-diff -j 1 against -j N logs (doc/parallelism.md). *)
+  (match Sys.getenv_opt "ALCOP_FIXED_TS" with
+   | Some ("" | "0") | None -> ()
+   | Some _ -> Alcop_obs.Obs.set_clock (fun () -> 0.0));
   let info =
     Cmd.info "alcop" ~version:"1.0"
       ~doc:"ALCOP: automatic load-compute pipelining on a simulated AI-GPU."

@@ -15,7 +15,7 @@ let () =
   Format.printf "operator: %a@." Alcop_sched.Op_spec.pp spec;
   Format.printf "schedule space: %d points; budget: %d trials@."
     (Array.length space) budget;
-  let exhaustive = Alcop_tune.Tuner.exhaustive ~space ~evaluate in
+  let exhaustive = Alcop_tune.Tuner.exhaustive ~space ~evaluate () in
   let best = Option.get (Alcop_tune.Tuner.best exhaustive) in
   Format.printf "exhaustive best: %.0f cycles@.@." best;
   let methods =

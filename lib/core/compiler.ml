@@ -79,8 +79,9 @@ let materialize_cycles (hw : Alcop_hw.Hw_config.t) (lowered : Lower.lowered) =
    owns the obs span, the per-pass wall-time gauge, optional post-pass IR
    validation and the --dump-ir-after hook, so this function reads as the
    plain pipeline of paper Fig. 4. *)
-let compile ?(hw = Alcop_hw.Hw_config.default) ?(extra_regs_per_thread = 0)
-    (params : Alcop_perfmodel.Params.t) (spec : Op_spec.t) =
+let compile ?(hw = Alcop_hw.Hw_config.default) ?pool
+    ?(extra_regs_per_thread = 0) (params : Alcop_perfmodel.Params.t)
+    (spec : Op_spec.t) =
   Obs.with_span "compile"
     ~fields:[ ("op", Alcop_obs.Json.Str spec.Op_spec.name) ]
   @@ fun () ->
@@ -172,7 +173,7 @@ let compile ?(hw = Alcop_hw.Hw_config.default) ?(extra_regs_per_thread = 0)
           in
           (match
              Passman.run ~name:"timing" (fun () ->
-                 Alcop_gpusim.Timing.run request)
+                 Alcop_gpusim.Timing.run ?pool request)
            with
            | Error f -> fail (Launch_failed f)
            | Ok timing ->

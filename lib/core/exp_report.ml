@@ -36,11 +36,11 @@ let float_cell s = if s = "" then None else float_of_string_opt s
 
 (* --- sections --- *)
 
-let fig10_section ~results_dir ~hw () =
+let fig10_section ~results_dir ~hw ~pool () =
   let header, rows =
     csv_or_compute
       (Filename.concat results_dir "fig10.csv")
-      (fun () -> Experiments.fig10_csv (Experiments.fig10 ~hw ()))
+      (fun () -> Experiments.fig10_csv (Experiments.fig10 ~hw ?pool ()))
   in
   let variants = List.tl header in
   let categories = List.map List.hd rows in
@@ -66,11 +66,11 @@ let fig10_section ~results_dir ~hw () =
         ~categories ~series ();
       Report.table ~header ~rows:table_rows ]
 
-let fig12_section ~results_dir ~hw () =
+let fig12_section ~results_dir ~hw ~pool () =
   let header, rows =
     csv_or_compute
       (Filename.concat results_dir "fig12.csv")
-      (fun () -> Experiments.fig12_csv (Experiments.fig12 ~hw ()))
+      (fun () -> Experiments.fig12_csv (Experiments.fig12 ~hw ?pool ()))
   in
   let categories = List.map List.hd rows in
   let series =
@@ -99,11 +99,11 @@ let fig12_section ~results_dir ~hw () =
         ~categories ~series ();
       Report.table ~header ~rows:table_rows ]
 
-let fig13_section ~results_dir ~hw () =
+let fig13_section ~results_dir ~hw ~pool () =
   let header, rows =
     csv_or_compute
       (Filename.concat results_dir "fig13.csv")
-      (fun () -> Experiments.fig13_csv (Experiments.fig13 ~hw ()))
+      (fun () -> Experiments.fig13_csv (Experiments.fig13 ~hw ?pool ()))
   in
   (* rows: operator, method, budget, best_in_budget — aggregate to the
      geomean trajectory per method so one line summarizes the suite *)
@@ -255,21 +255,21 @@ let stall_diff_section ~hw () =
 
 (* --- assembly --- *)
 
-let generate ?(hw = Alcop_hw.Hw_config.default) ?(results_dir = "results")
-    ?(bench_json = "BENCH_gpusim.json") () =
+let generate ?(hw = Alcop_hw.Hw_config.default) ?pool
+    ?(results_dir = "results") ?(bench_json = "BENCH_gpusim.json") () =
   Report.page ~title:"ALCOP experiment report"
     ~subtitle:
       (Printf.sprintf
          "Automatic load-compute pipelining, reproduced in simulation \
           (machine: %s). Figures recomputed from %s/*.csv when present."
          hw.Alcop_hw.Hw_config.name results_dir)
-    [ fig10_section ~results_dir ~hw ();
-      fig12_section ~results_dir ~hw ();
-      fig13_section ~results_dir ~hw ();
+    [ fig10_section ~results_dir ~hw ~pool ();
+      fig12_section ~results_dir ~hw ~pool ();
+      fig13_section ~results_dir ~hw ~pool ();
       selfbench_section ~bench_json ();
       stall_diff_section ~hw () ]
 
-let write ?hw ?results_dir ?bench_json path =
-  let html = generate ?hw ?results_dir ?bench_json () in
+let write ?hw ?pool ?results_dir ?bench_json path =
+  let html = generate ?hw ?pool ?results_dir ?bench_json () in
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc html)

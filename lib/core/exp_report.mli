@@ -10,12 +10,15 @@
     its absence rather than re-running bechamel). *)
 
 val generate :
-  ?hw:Alcop_hw.Hw_config.t -> ?results_dir:string -> ?bench_json:string ->
+  ?hw:Alcop_hw.Hw_config.t -> ?pool:Alcop_par.Pool.t ->
+  ?results_dir:string -> ?bench_json:string ->
   unit -> string
 (** The full HTML document. Defaults: default hardware, ["results"],
-    ["BENCH_gpusim.json"]. *)
+    ["BENCH_gpusim.json"]. [pool] parallelizes the recompute fallbacks
+    (one worker task per suite operator). *)
 
 val write :
-  ?hw:Alcop_hw.Hw_config.t -> ?results_dir:string -> ?bench_json:string ->
+  ?hw:Alcop_hw.Hw_config.t -> ?pool:Alcop_par.Pool.t ->
+  ?results_dir:string -> ?bench_json:string ->
   string -> unit
 (** [generate] to a file. *)

@@ -21,6 +21,15 @@ let geomean xs =
 let best_latency ?(hw = Alcop_hw.Hw_config.default) (v : Variants.t) spec =
   Variants.best_latency ~hw v spec
 
+(* Fan a per-operator experiment body across the pool, one task per suite
+   entry. The inner work (variant sweeps, tuner runs) stays sequential —
+   pools must not nest — and results come back in suite order, so the
+   figure is identical to the sequential run. *)
+let suite_map pool f suite =
+  match pool with
+  | Some p -> Alcop_par.Pool.map p f suite
+  | None -> List.map f suite
+
 let tflops ?(hw = Alcop_hw.Hw_config.default) spec cycles =
   float_of_int (Op_spec.flops spec)
   /. (cycles /. hw.Alcop_hw.Hw_config.clock_ghz)  (* cycles -> ns *)
@@ -80,9 +89,9 @@ type fig10_result = {
   geomeans : (string * float) list;
 }
 
-let fig10 ?(hw = Alcop_hw.Hw_config.default) ?(suite = Suites.fig10) () =
+let fig10 ?(hw = Alcop_hw.Hw_config.default) ?pool ?(suite = Suites.fig10) () =
   let rows =
-    List.map
+    suite_map pool
       (fun spec ->
         let tvm =
           match best_latency ~hw Variants.tvm spec with
@@ -164,9 +173,9 @@ let best_in_top_k ~k ~ranked ~measured_best =
   in
   Option.map (fun b -> measured_best /. b) best
 
-let fig12 ?(hw = Alcop_hw.Hw_config.default) ?(suite = Suites.fig10)
+let fig12 ?(hw = Alcop_hw.Hw_config.default) ?pool ?(suite = Suites.fig10)
     ?(ks = [ 10; 50 ]) () =
-  List.map
+  suite_map pool
     (fun spec ->
       let space = Variants.space Variants.alcop spec in
       let evaluate = Variants.evaluator ~hw Variants.alcop spec in
@@ -197,13 +206,22 @@ let fig12 ?(hw = Alcop_hw.Hw_config.default) ?(suite = Suites.fig10)
       let ranked_bottleneck =
         rank (fun p -> Alcop_perfmodel.Bottleneck.predict_cycles hw spec p)
       in
+      (* One prefix-minimum pass per ranking serves every k, instead of
+         re-scanning the top k for each k ([best_in_top_k] is O(n·k)). *)
+      let tops ranked =
+        let pb = Alcop_tune.Tuner.prefix_best_costs (Array.of_list ranked) in
+        let n = Array.length pb in
+        List.map
+          (fun k ->
+            ( k,
+              if n = 0 || k <= 0 then None
+              else
+                Option.map (fun b -> measured_best /. b) pb.(min k n - 1) ))
+          ks
+      in
       { op12 = spec.Op_spec.name;
-        ours_top =
-          List.map (fun k -> (k, best_in_top_k ~k ~ranked:ranked_ours ~measured_best)) ks;
-        bottleneck_top =
-          List.map
-            (fun k -> (k, best_in_top_k ~k ~ranked:ranked_bottleneck ~measured_best))
-            ks })
+        ours_top = tops ranked_ours;
+        bottleneck_top = tops ranked_bottleneck })
     suite
 
 (* ------------------------------------------------------------------ *)
@@ -215,14 +233,14 @@ type fig13_row = {
       (** method -> budget -> best-in-budget normalized to exhaustive *)
 }
 
-let fig13 ?(hw = Alcop_hw.Hw_config.default) ?(suite = Suites.fig10)
+let fig13 ?(hw = Alcop_hw.Hw_config.default) ?pool ?(suite = Suites.fig10)
     ?(budgets = [ 10; 50 ]) ?(seed = 2023) () =
   let max_budget = List.fold_left max 1 budgets in
-  List.map
+  suite_map pool
     (fun spec ->
       let space = Variants.space Variants.alcop spec in
       let evaluate = Variants.evaluator ~hw Variants.alcop spec in
-      let exhaustive = Alcop_tune.Tuner.exhaustive ~space ~evaluate in
+      let exhaustive = Alcop_tune.Tuner.exhaustive ~space ~evaluate () in
       let best = Option.get (Alcop_tune.Tuner.best exhaustive) in
       let per_method =
         List.map
@@ -231,13 +249,15 @@ let fig13 ?(hw = Alcop_hw.Hw_config.default) ?(suite = Suites.fig10)
               Alcop_tune.Tuner.run ~hw ~spec ~space ~evaluate
                 ~budget:max_budget ~seed m
             in
+            (* One prefix-minimum pass serves every budget. *)
+            let pb = Alcop_tune.Tuner.prefix_best result in
+            let n = Array.length pb in
             ( Alcop_tune.Tuner.method_to_string m,
               List.map
                 (fun b ->
                   ( b,
-                    Option.map
-                      (fun c -> best /. c)
-                      (Alcop_tune.Tuner.best_within result b) ))
+                    if n = 0 || b <= 0 then None
+                    else Option.map (fun c -> best /. c) pb.(min b n - 1) ))
                 budgets ))
           [ Alcop_tune.Tuner.Grid; Alcop_tune.Tuner.Xgb;
             Alcop_tune.Tuner.Analytical_only; Alcop_tune.Tuner.Analytical_xgb ]

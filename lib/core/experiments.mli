@@ -39,7 +39,10 @@ type fig10_result = {
 }
 
 val fig10 :
-  ?hw:Alcop_hw.Hw_config.t -> ?suite:Op_spec.t list -> unit -> fig10_result
+  ?hw:Alcop_hw.Hw_config.t -> ?pool:Alcop_par.Pool.t ->
+  ?suite:Op_spec.t list -> unit -> fig10_result
+(** [pool] fans the suite across worker domains, one operator per task
+    (bit-identical rows; see doc/parallelism.md). *)
 
 (** {2 E3 — Table III: end-to-end models} *)
 
@@ -67,10 +70,13 @@ type fig12_row = {
 val best_in_top_k :
   k:int -> ranked:float option list -> measured_best:float -> float option
 (** [ranked] lists measured costs in model-predicted order; [None] when the
-    whole top-k failed to compile (the paper's "compile fail" marker). *)
+    whole top-k failed to compile (the paper's "compile fail" marker).
+    One-off queries only — a sweep over many [k]s should take one
+    {!Alcop_tune.Tuner.prefix_best_costs} pass instead, as {!fig12} does. *)
 
 val fig12 :
-  ?hw:Alcop_hw.Hw_config.t -> ?suite:Op_spec.t list -> ?ks:int list -> unit ->
+  ?hw:Alcop_hw.Hw_config.t -> ?pool:Alcop_par.Pool.t ->
+  ?suite:Op_spec.t list -> ?ks:int list -> unit ->
   fig12_row list
 
 (** {2 E6 — Fig. 13: search efficiency} *)
@@ -81,7 +87,8 @@ type fig13_row = {
 }
 
 val fig13 :
-  ?hw:Alcop_hw.Hw_config.t -> ?suite:Op_spec.t list -> ?budgets:int list ->
+  ?hw:Alcop_hw.Hw_config.t -> ?pool:Alcop_par.Pool.t ->
+  ?suite:Op_spec.t list -> ?budgets:int list ->
   ?seed:int -> unit -> fig13_row list
 
 (** {2 E7 — Table I agreement} *)

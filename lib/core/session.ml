@@ -1,5 +1,12 @@
 (* The compilation session: a content-addressed artifact cache in front of
-   [Compiler.compile]. See the interface for the contract. *)
+   [Compiler.compile]. See the interface for the contract.
+
+   Domain-safety: one mutex per session guards the table, FIFO queue,
+   stat counters and the in-flight set; the actual compile runs outside
+   the lock. When two domains race on the same key, the first becomes the
+   (sole) miss and the others block on [ready] until the entry lands,
+   then count as hits — exactly the hit/miss totals a sequential run of
+   the same call sequence would produce. *)
 
 open Alcop_sched
 module Obs = Alcop_obs.Obs
@@ -23,7 +30,10 @@ type t = {
   hw : Alcop_hw.Hw_config.t;
   capacity : int;
   cache : bool;
+  lock : Mutex.t;
+  ready : Condition.t;  (* an in-flight compile completed (or failed) *)
   table : (Fingerprint.t, entry) Hashtbl.t;
+  inflight : (Fingerprint.t, unit) Hashtbl.t;
   order : Fingerprint.t Queue.t;  (* insertion order, for FIFO eviction *)
   mutable hits : int;
   mutable misses : int;
@@ -34,27 +44,36 @@ let create ?(hw = Alcop_hw.Hw_config.default) ?(capacity = 8192)
     ?(cache = true) () =
   if capacity < 1 then invalid_arg "Session.create: capacity must be >= 1";
   { hw; capacity; cache;
+    lock = Mutex.create ();
+    ready = Condition.create ();
     table = Hashtbl.create (min capacity 1024);
+    inflight = Hashtbl.create 8;
     order = Queue.create ();
     hits = 0; misses = 0; evictions = 0 }
 
 let hw t = t.hw
 let cache_enabled t = t.cache
 
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let stats t =
-  { entries = Hashtbl.length t.table;
-    hits = t.hits; misses = t.misses; evictions = t.evictions }
+  locked t (fun () ->
+      { entries = Hashtbl.length t.table;
+        hits = t.hits; misses = t.misses; evictions = t.evictions })
 
 let hit_rate (s : stats) =
   let total = s.hits + s.misses in
   if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
 
 let clear t =
-  Hashtbl.reset t.table;
-  Queue.clear t.order;
-  t.hits <- 0;
-  t.misses <- 0;
-  t.evictions <- 0
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      Queue.clear t.order;
+      t.hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0)
 
 let summary t =
   let s = stats t in
@@ -66,39 +85,43 @@ let summary t =
 (* --- the global per-hardware registry --- *)
 
 let registry : (Fingerprint.t, t) Hashtbl.t = Hashtbl.create 4
+let registry_lock = Mutex.create ()
 
 let for_hw hw =
   let key = Fingerprint.of_json (Fingerprint.json_of_hw hw) in
-  match Hashtbl.find_opt registry key with
-  | Some s -> s
-  | None ->
-    let s = create ~hw () in
-    Hashtbl.add registry key s;
-    s
+  Mutex.lock registry_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_lock)
+    (fun () ->
+      match Hashtbl.find_opt registry key with
+      | Some s -> s
+      | None ->
+        let s = create ~hw () in
+        Hashtbl.add registry key s;
+        s)
 
 let default () = for_hw Alcop_hw.Hw_config.default
 
 let global_stats () =
-  Hashtbl.fold
-    (fun _ t acc ->
+  let sessions =
+    Mutex.lock registry_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock registry_lock)
+      (fun () -> Hashtbl.fold (fun _ t acc -> t :: acc) registry [])
+  in
+  List.fold_left
+    (fun acc t ->
       let s = stats t in
       { entries = acc.entries + s.entries;
         hits = acc.hits + s.hits;
         misses = acc.misses + s.misses;
         evictions = acc.evictions + s.evictions })
-    registry
     { entries = 0; hits = 0; misses = 0; evictions = 0 }
+    sessions
 
 (* --- the cache proper --- *)
 
 let timing_prefix = "timing."
-
-let timing_gauges () =
-  List.filter
-    (fun (name, _) ->
-      String.length name >= String.length timing_prefix
-      && String.sub name 0 (String.length timing_prefix) = timing_prefix)
-    (Obs.gauges ())
 
 let evict_to_capacity t =
   while Hashtbl.length t.table >= t.capacity && not (Queue.is_empty t.order) do
@@ -110,39 +133,68 @@ let evict_to_capacity t =
     end
   done
 
-let compile t ?(extra_regs_per_thread = 0) (params : Alcop_perfmodel.Params.t)
-    (spec : Op_spec.t) =
+let compile t ?pool ?(extra_regs_per_thread = 0)
+    (params : Alcop_perfmodel.Params.t) (spec : Op_spec.t) =
   if not t.cache then
-    Compiler.compile ~hw:t.hw ~extra_regs_per_thread params spec
+    Compiler.compile ?pool ~hw:t.hw ~extra_regs_per_thread params spec
   else begin
     let key =
       Fingerprint.compile_key ~hw:t.hw ~extra_regs_per_thread params spec
     in
-    match Hashtbl.find_opt t.table key with
-    | Some e ->
-      t.hits <- t.hits + 1;
+    let rec acquire () =
+      match Hashtbl.find_opt t.table key with
+      | Some e ->
+        t.hits <- t.hits + 1;
+        `Hit e
+      | None ->
+        if Hashtbl.mem t.inflight key then begin
+          Condition.wait t.ready t.lock;
+          acquire ()
+        end
+        else begin
+          Hashtbl.replace t.inflight key ();
+          t.misses <- t.misses + 1;
+          `Miss
+        end
+    in
+    Mutex.lock t.lock;
+    let decision = acquire () in
+    Mutex.unlock t.lock;
+    match decision with
+    | `Hit e ->
       Obs.count "session.cache.hit";
       List.iter (fun (name, v) -> Obs.gauge name v) e.gauges;
       e.outcome
-    | None ->
-      t.misses <- t.misses + 1;
+    | `Miss ->
       Obs.count "session.cache.miss";
+      let release () =
+        Hashtbl.remove t.inflight key;
+        Condition.broadcast t.ready
+      in
       let outcome =
-        Compiler.compile ~hw:t.hw ~extra_regs_per_thread params spec
+        try Compiler.compile ?pool ~hw:t.hw ~extra_regs_per_thread params spec
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          locked t release;
+          Printexc.raise_with_backtrace e bt
       in
+      (* Capture-local read: under a pool this sees only the gauges this
+         very compile published, never another domain's. *)
       let gauges =
-        match outcome with Ok _ -> timing_gauges () | Error _ -> []
+        match outcome with
+        | Ok _ -> Obs.gauges_with_prefix timing_prefix
+        | Error _ -> []
       in
-      evict_to_capacity t;
-      Hashtbl.replace t.table key { outcome; gauges };
-      Queue.push key t.order;
-      Obs.gauge "session.cache.entries"
-        (float_of_int (Hashtbl.length t.table));
+      locked t (fun () ->
+          evict_to_capacity t;
+          Hashtbl.replace t.table key { outcome; gauges };
+          Queue.push key t.order;
+          release ());
       outcome
   end
 
-let evaluate t ?extra_regs_per_thread params spec =
-  match compile t ?extra_regs_per_thread params spec with
+let evaluate t ?pool ?extra_regs_per_thread params spec =
+  match compile t ?pool ?extra_regs_per_thread params spec with
   | Ok c -> Some c.Compiler.latency_cycles
   | Error _ -> None
 

@@ -21,7 +21,12 @@
     stall breakdown) always see values consistent with the latest
     evaluation, cached or not.
 
-    Not thread-safe, like the compiler itself. *)
+    Domain-safe: a per-session mutex guards the table, stats and FIFO
+    queue (compiles themselves run outside the lock), and the {!for_hw}
+    registry has its own lock. Concurrent {!compile} calls on the same
+    key are deduplicated — the first caller is the sole miss, the rest
+    block until the entry lands and count as hits, matching the totals of
+    the equivalent sequential call sequence (see doc/parallelism.md). *)
 
 type t
 
@@ -52,16 +57,20 @@ val cache_enabled : t -> bool
 
 val compile :
   t ->
+  ?pool:Alcop_par.Pool.t ->
   ?extra_regs_per_thread:int ->
   Alcop_perfmodel.Params.t ->
   Alcop_sched.Op_spec.t ->
   (Compiler.compiled, Compiler.error) result
 (** The memoized equivalent of {!Compiler.compile} on this session's
     hardware. Deterministic: a hit returns the artifact bit-identically as
-    the cold compile produced it. *)
+    the cold compile produced it. [pool] enables the timing simulator's
+    parallel-wave mode on cold compiles (see {!Alcop_gpusim.Timing.run});
+    it never changes the artifact, only wall-clock time. *)
 
 val evaluate :
   t ->
+  ?pool:Alcop_par.Pool.t ->
   ?extra_regs_per_thread:int ->
   Alcop_perfmodel.Params.t ->
   Alcop_sched.Op_spec.t ->

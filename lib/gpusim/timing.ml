@@ -511,7 +511,7 @@ let critical_stall_fractions wave_result advances =
         | None -> Some (cls, 0.0))
       all_stall_classes
 
-let run (req : request) =
+let run ?pool (req : request) =
   let hw = req.hw in
   match plan req with
   | Error f -> Error f
@@ -530,23 +530,31 @@ let run (req : request) =
       else None
     in
     let representative_is_full = pl.full_cfg <> None in
-    let full_result =
-      Option.map
-        (fun cfg ->
-          ( cfg,
-            simulate_wave
-              ?probe:(if representative_is_full then gauge_probe else None)
-              cfg req.trace ))
-        pl.full_cfg
-    in
-    let tail_result =
-      Option.map
-        (fun cfg ->
-          ( cfg,
-            simulate_wave
-              ?probe:(if representative_is_full then None else gauge_probe)
-              cfg req.trace ))
-        pl.tail_cfg
+    let full_probe = if representative_is_full then gauge_probe else None in
+    let tail_probe = if representative_is_full then None else gauge_probe in
+    (* The full and tail waves are independent simulations; with a pool of
+       2+ workers run them on two domains. Only the representative wave
+       carries the probe, so its [advances] ref is touched by exactly one
+       worker and read after the join — and the combination below is in
+       fixed (full, tail) order, so the result is bit-identical to the
+       sequential pair. *)
+    let full_result, tail_result =
+      match (pool, pl.full_cfg, pl.tail_cfg) with
+      | Some p, Some full_cfg, Some tail_cfg when Alcop_par.Pool.jobs p > 1 ->
+        (match
+           Alcop_par.Pool.map p
+             (fun (cfg, probe) -> simulate_wave ?probe cfg req.trace)
+             [ (full_cfg, full_probe); (tail_cfg, tail_probe) ]
+         with
+        | [ fr; tr ] -> (Some (full_cfg, fr), Some (tail_cfg, tr))
+        | _ -> assert false)
+      | _ ->
+        ( Option.map
+            (fun cfg -> (cfg, simulate_wave ?probe:full_probe cfg req.trace))
+            pl.full_cfg,
+          Option.map
+            (fun cfg -> (cfg, simulate_wave ?probe:tail_probe cfg req.trace))
+            pl.tail_cfg )
     in
     let wave_cycles =
       match full_result with Some (_, r) -> r.cycles | None -> 0.0

@@ -144,9 +144,12 @@ val plan : request -> (plan, Occupancy.failure) result
     simulation configs. [run] and [Profile] both build on this, so a
     profiled wave replays exactly the machine state [run] timed. *)
 
-val run : request -> (kernel_timing, Occupancy.failure) result
+val run : ?pool:Alcop_par.Pool.t -> request -> (kernel_timing, Occupancy.failure) result
 (** Simulate a whole kernel launch. [Error] when the threadblock exceeds
     per-threadblock hardware resources (the schedule "fails to compile").
+    When [pool] has 2+ workers and the launch has both a full and a tail
+    wave, the two (independent) wave simulations run on separate domains;
+    the reported timing is bit-identical to the sequential run.
     When an [Alcop_obs] sink is installed, emits gauges for the
     compute/DRAM/LLC/smem busy fractions ([timing.busy.*]), the
     critical-threadblock stall fractions of the representative wave

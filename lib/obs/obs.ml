@@ -1,7 +1,17 @@
 (* Telemetry core: a process-global registry of sinks plus counter/gauge
    tables and the open-span stack. Global rather than threaded through
    every signature so instrumentation points stay one-liners and the
-   disabled state costs a single flag read. *)
+   disabled state costs a single flag read.
+
+   Domain-safety model (see doc/parallelism.md): the global tables, sink
+   list and span stack belong to the coordinating domain. Worker domains
+   never touch them — a worker runs inside [capturing], which installs a
+   domain-local shard (op log + local counter/gauge/histogram tables).
+   The coordinator later [replay]s each shard's op log, in deterministic
+   task order, through the ordinary global path: counter totals are
+   recomputed, histograms re-observe value by value, spans re-nest under
+   whatever is open at replay time. The merge is exact — replaying a
+   shard is indistinguishable from having run the task inline. *)
 
 type field = string * Json.t
 
@@ -170,80 +180,197 @@ let reset_at_exit () =
     Stdlib.at_exit reset
   end
 
+(* --- domain-local capture shards ---
+
+   An op is one deferred telemetry action, without a timestamp: timestamps
+   are assigned when the op is replayed on the coordinator, so a replayed
+   stream is byte-identical to inline execution whenever the installed
+   clock is stateless (wall clock, or a fixed clock for determinism
+   diffs). The shard also maintains local counter/gauge/histogram tables
+   so reads issued inside a captured task (e.g. [Session]'s timing-gauge
+   snapshot after a compile) see exactly the values the task itself
+   produced — never the racing global state of other domains. *)
+
+type op =
+  | O_span_begin of string * field list
+  | O_span_end of field list
+  | O_add_field of string * Json.t
+  | O_count of string * int
+  | O_gauge of string * float
+  | O_observe of string * float
+  | O_point of string * field list
+
+type recorded = op list  (* execution order *)
+
+type capture = {
+  mutable ops : op list;  (* reverse execution order *)
+  c_counters : (string, int) Hashtbl.t;
+  c_gauges : (string, float) Hashtbl.t;
+  c_hists : (string, histogram) Hashtbl.t;
+}
+
+let capture_cell : capture option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current_capture () = !(Domain.DLS.get capture_cell)
+
+let capturing f =
+  let cell = Domain.DLS.get capture_cell in
+  let prev = !cell in
+  cell :=
+    Some
+      { ops = []; c_counters = Hashtbl.create 8; c_gauges = Hashtbl.create 8;
+        c_hists = Hashtbl.create 8 };
+  let outcome = try Ok (f ()) with e -> Error (e, Printexc.get_raw_backtrace ()) in
+  let ops = match !cell with Some c -> List.rev c.ops | None -> [] in
+  cell := prev;
+  (outcome, ops)
+
+(* --- global-path primitives (coordinator domain only) --- *)
+
+let span_begin_global name fields =
+  let start = now () in
+  let depth = List.length !stack in
+  stack := { span_name = name; start; span_fields = List.rev fields } :: !stack;
+  emit (Span_begin { name; ts = start; depth })
+
+let span_end_global extra =
+  match !stack with
+  | [] -> ()
+  | span :: rest ->
+    let stop = now () in
+    stack := rest;
+    emit
+      (Span_end
+         { name = span.span_name; ts = span.start; dur = stop -. span.start;
+           depth = List.length rest;
+           fields = List.rev_append span.span_fields extra })
+
+let add_field_global k v =
+  match !stack with
+  | span :: _ -> span.span_fields <- (k, v) :: span.span_fields
+  | [] -> ()
+
+let count_global name n =
+  let total = n + Option.value ~default:0 (Hashtbl.find_opt counter_table name) in
+  Hashtbl.replace counter_table name total;
+  emit (Counter { name; incr = n; total; ts = now () })
+
+let gauge_global name value =
+  Hashtbl.replace gauge_table name value;
+  emit (Gauge { name; value; ts = now () })
+
+let observe_global name value =
+  let h =
+    match Hashtbl.find_opt hist_table name with
+    | Some h -> h
+    | None -> hist_empty ()
+  in
+  Hashtbl.replace hist_table name (hist_observe h value);
+  emit (Hist { name; value; ts = now () })
+
+let point_global name fields = emit (Point { name; ts = now (); fields })
+
+(* --- capture-path application --- *)
+
+let local_count c name n =
+  Hashtbl.replace c.c_counters name
+    (n + Option.value ~default:0 (Hashtbl.find_opt c.c_counters name))
+
+let local_observe c name v =
+  let h =
+    match Hashtbl.find_opt c.c_hists name with
+    | Some h -> h
+    | None -> hist_empty ()
+  in
+  Hashtbl.replace c.c_hists name (hist_observe h v)
+
+let capture_apply c op =
+  c.ops <- op :: c.ops;
+  match op with
+  | O_count (name, n) -> local_count c name n
+  | O_gauge (name, v) -> Hashtbl.replace c.c_gauges name v
+  | O_observe (name, v) -> local_observe c name v
+  | O_span_begin _ | O_span_end _ | O_add_field _ | O_point _ -> ()
+
+let apply op =
+  match current_capture () with
+  | Some c -> capture_apply c op
+  | None -> (
+    match op with
+    | O_span_begin (name, fields) -> span_begin_global name fields
+    | O_span_end extra -> span_end_global extra
+    | O_add_field (k, v) -> add_field_global k v
+    | O_count (name, n) -> count_global name n
+    | O_gauge (name, v) -> gauge_global name v
+    | O_observe (name, v) -> observe_global name v
+    | O_point (name, fields) -> point_global name fields)
+
+let replay ops = if !recording then List.iter apply ops
+
+(* --- public instrumentation points --- *)
+
 let with_span ?(fields = []) name f =
   if not !recording then f ()
   else begin
-    let start = now () in
-    let depth = List.length !stack in
-    let span = { span_name = name; start; span_fields = List.rev fields } in
-    stack := span :: !stack;
-    emit (Span_begin { name; ts = start; depth });
-    let finish extra =
-      let stop = now () in
-      stack := (match !stack with _ :: rest -> rest | [] -> []);
-      emit
-        (Span_end
-           { name; ts = start; dur = stop -. start; depth;
-             fields = List.rev_append span.span_fields extra })
-    in
+    apply (O_span_begin (name, fields));
     match f () with
-    | v -> finish []; v
+    | v -> apply (O_span_end []); v
     | exception e ->
-      finish [ ("raised", Json.Str (Printexc.to_string e)) ];
+      apply (O_span_end [ ("raised", Json.Str (Printexc.to_string e)) ]);
       raise e
   end
 
-let add_field k v =
-  if !recording then
-    match !stack with
-    | span :: _ -> span.span_fields <- (k, v) :: span.span_fields
-    | [] -> ()
+let add_field k v = if !recording then apply (O_add_field (k, v))
+let count ?(n = 1) name = if !recording then apply (O_count (name, n))
+let gauge name value = if !recording then apply (O_gauge (name, value))
+let observe name value = if !recording then apply (O_observe (name, value))
+let point name fields = if !recording then apply (O_point (name, fields))
 
-let count ?(n = 1) name =
-  if !recording then begin
-    let total = n + Option.value ~default:0 (Hashtbl.find_opt counter_table name) in
-    Hashtbl.replace counter_table name total;
-    emit (Counter { name; incr = n; total; ts = now () })
-  end
+(* --- reads: capture-local inside a captured task, global otherwise --- *)
 
 let counter_value name =
-  Option.value ~default:0 (Hashtbl.find_opt counter_table name)
+  let table =
+    match current_capture () with Some c -> c.c_counters | None -> counter_table
+  in
+  Option.value ~default:0 (Hashtbl.find_opt table name)
 
 let counters () =
-  List.sort compare
-    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counter_table [])
+  let table =
+    match current_capture () with Some c -> c.c_counters | None -> counter_table
+  in
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
 
-let gauge name value =
-  if !recording then begin
-    Hashtbl.replace gauge_table name value;
-    emit (Gauge { name; value; ts = now () })
-  end
+let gauge_table_now () =
+  match current_capture () with Some c -> c.c_gauges | None -> gauge_table
 
-let gauge_value name = Hashtbl.find_opt gauge_table name
+let gauge_value name = Hashtbl.find_opt (gauge_table_now ()) name
 
 let gauges () =
   List.sort compare
-    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) gauge_table [])
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) (gauge_table_now ()) [])
 
-let observe name value =
-  if !recording then begin
-    let h =
-      match Hashtbl.find_opt hist_table name with
-      | Some h -> h
-      | None -> hist_empty ()
-    in
-    Hashtbl.replace hist_table name (hist_observe h value);
-    emit (Hist { name; value; ts = now () })
-  end
+let gauges_with_prefix prefix =
+  let plen = String.length prefix in
+  List.sort compare
+    (Hashtbl.fold
+       (fun k v acc ->
+         if String.length k >= plen && String.sub k 0 plen = prefix then
+           (k, v) :: acc
+         else acc)
+       (gauge_table_now ()) [])
 
-let histogram_value name = Hashtbl.find_opt hist_table name
+let histogram_value name =
+  let table =
+    match current_capture () with Some c -> c.c_hists | None -> hist_table
+  in
+  Hashtbl.find_opt table name
 
 let histograms () =
-  List.sort compare
-    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist_table [])
-
-let point name fields =
-  if !recording then emit (Point { name; ts = now (); fields })
+  let table =
+    match current_capture () with Some c -> c.c_hists | None -> hist_table
+  in
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
 
 let memory_sink () =
   let events = ref [] in

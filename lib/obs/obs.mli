@@ -7,7 +7,15 @@
     simulator — cost nothing in benchmarks. Install a sink (see {!Sinks})
     or call {!record} to start recording.
 
-    Not thread-safe: the compiler itself is single-threaded. *)
+    Domain-safety: the global tables, sink list and span stack belong to
+    one coordinating domain (install sinks, drain metrics and call
+    {!reset} only there). Worker domains participate through
+    {!capturing}, which redirects every instrumentation call on the
+    current domain into a private shard (op log plus local
+    counter/gauge/histogram tables); the coordinator merges shards
+    exactly, in an order of its choosing, with {!replay}. {!Alcop_par}'s
+    pool wraps every task this way — see doc/parallelism.md for the
+    determinism contract. *)
 
 type field = string * Json.t
 
@@ -129,6 +137,12 @@ val gauge_value : string -> float option
 val gauges : unit -> (string * float) list
 (** All gauges, sorted by name. *)
 
+val gauges_with_prefix : string -> (string * float) list
+(** Gauges whose name starts with the given prefix, sorted by name.
+    Equivalent to filtering {!gauges} but without materializing the full
+    table — hot paths (the tuner's per-trial stall breakdown) call this
+    once per trial. *)
+
 val observe : string -> float -> unit
 (** Record one observation into a named histogram (and emit a [Hist]
     event). Unlike a gauge, which keeps only the latest value, a histogram
@@ -146,3 +160,38 @@ val point : string -> field list -> unit
 val memory_sink : unit -> sink * (unit -> event list)
 (** A sink that records every event in order; the second component reads
     the events captured so far. *)
+
+(** {1 Domain-local capture}
+
+    The bridge that lets worker domains use the one-liner instrumentation
+    API without touching the coordinator's global state. Inside
+    {!capturing}, every [with_span]/[count]/[gauge]/[observe]/[point]/
+    [add_field] call on the current domain is appended (without a
+    timestamp) to a private op log and mirrored into shard-local
+    counter/gauge/histogram tables; reads ([counter_value], [gauges],
+    [gauges_with_prefix], …) see only the shard, i.e. exactly what the
+    task itself produced. No sink is touched and no event is emitted
+    until the coordinator calls {!replay}. *)
+
+type recorded
+(** An ordered op log captured on some domain, ready to be merged. *)
+
+val capturing :
+  (unit -> 'a) -> ('a, exn * Printexc.raw_backtrace) result * recorded
+(** Run the thunk with capture active on the current domain and return
+    its outcome together with the ops it recorded. An escaping exception
+    is returned (with its backtrace) rather than raised, so the partial
+    op log survives; nested [capturing] calls stack — the inner capture
+    ends at its own boundary and the outer one resumes. *)
+
+val replay : recorded -> unit
+(** Re-execute a captured op log through the ordinary global path:
+    counter totals are recomputed from the global table, histogram
+    observations are re-applied one by one (an exact merge), spans
+    re-nest under whatever span is open at replay time, and timestamps
+    are taken from the installed clock at replay. Replaying shards in
+    task order is indistinguishable from having run the tasks inline —
+    byte-identical when the clock is stateless (wall clock or a fixed
+    clock). Calling [replay] while a capture is active re-captures the
+    ops into the active shard, which is what nested pools need. No-op
+    when recording is off. *)

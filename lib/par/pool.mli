@@ -1,0 +1,77 @@
+(** A fixed-size domain pool with deterministic-order results and exact
+    telemetry merge.
+
+    Hand-rolled on stdlib [Domain] + [Mutex]/[Condition] (no domainslib):
+    [jobs] worker domains block on a shared task queue; batch operations
+    ([map], [map_array], [parallel_for]) enqueue one thunk per work item
+    (or chunk), wait for the batch, then consume results {e in item
+    order} on the calling domain.
+
+    Determinism contract (see doc/parallelism.md): every task runs under
+    {!Alcop_obs.Obs.capturing}, so its telemetry lands in a domain-local
+    shard instead of the global tables; the coordinator replays shard
+    [i]'s ops immediately before delivering result [i]. Whatever the
+    scheduling interleaving was, the observable outcome — result array,
+    callback order, counter totals, gauge values, histogram contents,
+    emitted event stream — is identical to sequential execution. With
+    [jobs = 1] no domains are spawned at all and work runs inline, which
+    is the baseline the parallel paths are byte-compared against.
+
+    Pools must not be nested: a task running on a worker must not submit
+    to any pool (it would deadlock once all workers wait on each other).
+    Route only coarse outer loops through a pool and keep inner work
+    sequential. *)
+
+type t
+
+val default_jobs : unit -> int
+(** The [ALCOP_JOBS] environment variable when set to a positive integer,
+    otherwise [Domain.recommended_domain_count ()]. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawn a pool of [jobs] worker domains (default {!default_jobs}).
+    [jobs = 1] spawns nothing — every batch operation runs inline on the
+    caller. Raises [Invalid_argument] when [jobs < 1]. *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Signal the workers to exit and join them. Idempotent; the pool must
+    be idle (no batch in flight). A pool that is never shut down keeps
+    its domains blocked on the queue until process exit. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run the function, and [shutdown] even on exceptions. *)
+
+val map_array : ?each:(int -> 'b -> unit) -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** Apply [f] to every element across the pool. Results are delivered in
+    index order: for each [i] in [0..n-1] the coordinator first replays
+    item [i]'s captured telemetry, then calls [each i result] (when
+    given). If any task raised, the exception of the {e lowest-indexed}
+    failing item is re-raised (with its original backtrace) after the
+    telemetry of all lower-indexed items has been replayed — matching
+    where a sequential run would have stopped; telemetry of
+    higher-indexed items (speculatively executed in parallel) is
+    dropped. *)
+
+val map : ?each:(int -> 'b -> unit) -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map_array} for lists, preserving order. *)
+
+val parallel_for :
+  ?chunk:int ->
+  t ->
+  n:int ->
+  init:(unit -> 's) ->
+  body:('s -> int -> 's) ->
+  merge:('s -> 's -> 's) ->
+  neutral:'s ->
+  's
+(** Chunked indexed loop with per-chunk worker state: indices
+    [0..n-1] are split into contiguous chunks of [chunk] (default
+    [max 1 (ceil (n/32))] — independent of [jobs], so the chunk
+    partition and therefore the fold shape never changes with
+    parallelism); each chunk folds [body] over its indices starting from
+    a fresh [init ()], and chunk states are combined left-to-right in
+    chunk order as [merge (merge neutral s0) s1 ...]. Deterministic for
+    any [init]/[body]/[merge]; telemetry is captured and replayed per
+    chunk like {!map_array}. *)

@@ -36,18 +36,39 @@ type result = {
   space_size : int;
 }
 
+(* Running minimum over a cost sequence: [out.(i)] is the best Some cost
+   among positions 0..i. One O(n) pass replaces the O(n·k) rescans that
+   budget-sweep consumers (fig12's top-k curves, fig13's per-budget
+   search-efficiency curves) used to do with repeated [best_within]. *)
+let prefix_best_costs (costs : float option array) =
+  let n = Array.length costs in
+  let out = Array.make n None in
+  let best = ref None in
+  for i = 0 to n - 1 do
+    (match costs.(i) with
+     | Some c ->
+       (match !best with
+        | Some b when b <= c -> ()
+        | _ -> best := Some c)
+     | None -> ());
+    out.(i) <- !best
+  done;
+  out
+
+let prefix_best (r : result) =
+  prefix_best_costs (Array.map (fun t -> t.cost) r.trials)
+
 let best_within (r : result) k =
   let best = ref None in
-  Array.iteri
-    (fun i t ->
-      if i < k then
-        match t.cost with
-        | Some c ->
-          (match !best with
-           | Some b when b <= c -> ()
-           | _ -> best := Some c)
-        | None -> ())
-    r.trials;
+  let k = min k (Array.length r.trials) in
+  for i = 0 to k - 1 do
+    match r.trials.(i).cost with
+    | Some c ->
+      (match !best with
+       | Some b when b <= c -> ()
+       | _ -> best := Some c)
+    | None -> ()
+  done;
   !best
 
 let best (r : result) = best_within r (Array.length r.trials)
@@ -63,13 +84,11 @@ let stall_prefix = "timing.stall."
 let last_stall_breakdown () =
   let plen = String.length stall_prefix in
   let entries =
-    List.filter_map
+    List.map
       (fun (name, v) ->
-        if String.length name > plen && String.sub name 0 plen = stall_prefix
-        then Some (String.sub name plen (String.length name - plen),
-                   Alcop_obs.Json.Float v)
-        else None)
-      (Alcop_obs.Obs.gauges ())
+        (String.sub name plen (String.length name - plen),
+         Alcop_obs.Json.Float v))
+      (Alcop_obs.Obs.gauges_with_prefix stall_prefix)
   in
   match entries with
   | [] -> Alcop_obs.Json.Null
@@ -126,42 +145,76 @@ let target_of_cost = function
   | Some c when c > 0.0 -> -.Float.log c
   | Some _ | None -> failure_target
 
-let exhaustive ~(space : Alcop_perfmodel.Params.t array) ~evaluate =
+(* Measure a batch of (already deduplicated) space indices, fanned across
+   the pool when one is given. [Pool.map_array] delivers results in index
+   order and replays each measurement's telemetry immediately before the
+   [each] callback, so [record] fires against exactly the state —
+   best-so-far, cache-hit counter, timing.stall gauges — that a
+   sequential loop would have seen. Without a pool this is the plain
+   sequential loop. *)
+let eval_batch ?pool ~(space : Alcop_perfmodel.Params.t array) ~evaluate
+    ~record indices =
+  match indices with
+  | [] -> []
+  | _ ->
+    let mk i cost = { index = i; params = space.(i); cost } in
+    (match pool with
+     | Some p ->
+       let idx = Array.of_list indices in
+       let acc = ref [] in
+       let (_ : float option array) =
+         Alcop_par.Pool.map_array p
+           ~each:(fun j cost ->
+             let t = mk idx.(j) cost in
+             record t;
+             acc := t :: !acc)
+           (fun i -> evaluate space.(i))
+           idx
+       in
+       List.rev !acc
+     | None ->
+       List.map
+         (fun i ->
+           let t = mk i (evaluate space.(i)) in
+           record t;
+           t)
+         indices)
+
+let exhaustive ?pool ~(space : Alcop_perfmodel.Params.t array) ~evaluate () =
   let record = trial_recorder () in
   let trials =
-    Array.mapi
-      (fun i p ->
-        let t = { index = i; params = p; cost = evaluate p } in
-        record t;
-        t)
-      space
+    eval_batch ?pool ~space ~evaluate ~record
+      (List.init (Array.length space) Fun.id)
   in
-  { trials; space_size = Array.length space }
+  { trials = Array.of_list trials; space_size = Array.length space }
 
-let measure_order ~space ~evaluate order budget =
+let measure_order ?pool ~space ~evaluate order budget =
   let record = trial_recorder () in
   let seen = Hashtbl.create 64 in
-  let trials = ref [] in
+  let picked = ref [] in
+  let count = ref 0 in
   List.iter
     (fun i ->
-      if List.length !trials < budget && not (Hashtbl.mem seen i) then begin
+      if !count < budget && not (Hashtbl.mem seen i) then begin
         Hashtbl.replace seen i ();
-        let t = { index = i; params = space.(i); cost = evaluate space.(i) } in
-        record t;
-        trials := t :: !trials
+        incr count;
+        picked := i :: !picked
       end)
     order;
-  { trials = Array.of_list (List.rev !trials); space_size = Array.length space }
+  let trials =
+    eval_batch ?pool ~space ~evaluate ~record (List.rev !picked)
+  in
+  { trials = Array.of_list trials; space_size = Array.length space }
 
-let grid ~space ~evaluate ~budget =
+let grid ~pool ~space ~evaluate ~budget =
   let n = Array.length space in
   let order =
     if budget >= n then List.init n Fun.id
     else List.init budget (fun i -> i * n / budget)
   in
-  measure_order ~space ~evaluate order budget
+  measure_order ?pool ~space ~evaluate order budget
 
-let analytical_only ~hw ~spec ~space ~evaluate ~budget =
+let analytical_only ~pool ~hw ~spec ~space ~evaluate ~budget =
   let scored =
     Array.to_list
       (Array.mapi
@@ -173,10 +226,10 @@ let analytical_only ~hw ~spec ~space ~evaluate ~budget =
   let order =
     List.map fst (List.sort (fun (_, a) (_, b) -> compare a b) valid)
   in
-  measure_order ~space ~evaluate order budget
+  measure_order ?pool ~space ~evaluate order budget
 
 (* The shared Xgb workflow; [prior] carries the analytical pre-training. *)
-let xgb_loop ~hw ~spec ~space ~evaluate ~budget ~seed ~prior =
+let xgb_loop ~pool ~hw ~spec ~space ~evaluate ~budget ~seed ~prior =
   let rng = Random.State.make [| seed; 0xA1C0 |] in
   let idx = Space.index space in
   let feats =
@@ -185,14 +238,26 @@ let xgb_loop ~hw ~spec ~space ~evaluate ~budget ~seed ~prior =
   let measured : (int, float option) Hashtbl.t = Hashtbl.create 64 in
   let trials = ref [] in
   let record = trial_recorder () in
-  let measure i =
-    if not (Hashtbl.mem measured i) then begin
-      let cost = evaluate space.(i) in
-      Hashtbl.replace measured i cost;
-      let t = { index = i; params = space.(i); cost } in
-      record t;
-      trials := t :: !trials
-    end
+  (* Dedup the proposed batch (a prior-less first batch is random draws
+     and can repeat; [measured] excludes earlier batches) preserving
+     proposal order, then measure the whole batch across the pool. *)
+  let measure_batch batch =
+    let seen = Hashtbl.create 8 in
+    let fresh =
+      List.filter
+        (fun i ->
+          if Hashtbl.mem measured i || Hashtbl.mem seen i then false
+          else begin
+            Hashtbl.replace seen i ();
+            true
+          end)
+        batch
+    in
+    List.iter
+      (fun t ->
+        Hashtbl.replace measured t.index t.cost;
+        trials := t :: !trials)
+      (eval_batch ?pool ~space ~evaluate ~record fresh)
   in
   let batch_size = max 1 (min 8 budget) in
   let model = ref prior in
@@ -227,7 +292,7 @@ let xgb_loop ~hw ~spec ~space ~evaluate ~budget ~seed ~prior =
     | None ->
       List.init batch_size (fun _ -> Random.State.int rng (Array.length space))
   in
-  List.iter measure first_batch;
+  measure_batch first_batch;
   let rec loop () =
     if List.length !trials < budget then begin
       (* Refit on all measured data, continuing from the prior if any. *)
@@ -248,7 +313,7 @@ let xgb_loop ~hw ~spec ~space ~evaluate ~budget ~seed ~prior =
       match batch with
       | [] -> ()  (* the whole space has been measured *)
       | _ ->
-        List.iter measure batch;
+        measure_batch batch;
         loop ()
     end
   in
@@ -282,8 +347,8 @@ let pretrain ~hw ~spec ~space ~seed =
         tree = { Tree.default_config with max_depth = 6 } }
     xs ys
 
-let run ~hw ~spec ~(space : Alcop_perfmodel.Params.t array) ~evaluate ~budget
-    ~seed method_ =
+let run ?pool ~hw ~spec ~(space : Alcop_perfmodel.Params.t array) ~evaluate
+    ~budget ~seed method_ =
   Alcop_obs.Obs.with_span "tuner.run"
     ~fields:
       [ ("op", Alcop_obs.Json.Str spec.Alcop_sched.Op_spec.name);
@@ -295,12 +360,14 @@ let run ~hw ~spec ~(space : Alcop_perfmodel.Params.t array) ~evaluate ~budget
   if Array.length space = 0 then { trials = [||]; space_size = 0 }
   else
     match method_ with
-    | Grid -> grid ~space ~evaluate ~budget
-    | Analytical_only -> analytical_only ~hw ~spec ~space ~evaluate ~budget
-    | Xgb -> xgb_loop ~hw ~spec ~space ~evaluate ~budget ~seed ~prior:None
+    | Grid -> grid ~pool ~space ~evaluate ~budget
+    | Analytical_only ->
+      analytical_only ~pool ~hw ~spec ~space ~evaluate ~budget
+    | Xgb -> xgb_loop ~pool ~hw ~spec ~space ~evaluate ~budget ~seed ~prior:None
     | Analytical_xgb ->
       let prior =
         Alcop_obs.Obs.with_span "tuner.pretrain" (fun () ->
             pretrain ~hw ~spec ~space ~seed)
       in
-      xgb_loop ~hw ~spec ~space ~evaluate ~budget ~seed ~prior:(Some prior)
+      xgb_loop ~pool ~hw ~spec ~space ~evaluate ~budget ~seed
+        ~prior:(Some prior)

@@ -27,15 +27,28 @@ val best_within : result -> int -> float option
 
 val best : result -> float option
 
+val prefix_best_costs : float option array -> float option array
+(** Running minimum: element [i] is the best [Some] cost among positions
+    [0..i] ([None] until the first success). One O(n) pass — use this
+    instead of calling {!best_within} once per budget when sweeping
+    budgets (fig12 / fig13). *)
+
+val prefix_best : result -> float option array
+(** {!prefix_best_costs} over the result's trial costs, so
+    [(prefix_best r).(k - 1) = best_within r k] for [1 <= k <= n]. *)
+
 val target_of_cost : float option -> float
 (** Learning target: [-log cost], with a sentinel for failures. *)
 
 val exhaustive :
+  ?pool:Alcop_par.Pool.t ->
   space:Alcop_perfmodel.Params.t array ->
   evaluate:(Alcop_perfmodel.Params.t -> float option) ->
+  unit ->
   result
 
 val run :
+  ?pool:Alcop_par.Pool.t ->
   hw:Alcop_hw.Hw_config.t ->
   spec:Alcop_sched.Op_spec.t ->
   space:Alcop_perfmodel.Params.t array ->
@@ -45,4 +58,9 @@ val run :
   method_ ->
   result
 (** Deterministic for a given seed. Each space point is measured at most
-    once; the run stops early if the space is exhausted. *)
+    once; the run stops early if the space is exhausted.
+
+    With [pool], each proposed batch of candidates is measured across the
+    worker domains; the trial array, per-trial telemetry and tuning log
+    are bit-identical to the sequential run — parallelism only changes
+    wall-clock time (doc/parallelism.md spells out the contract). *)

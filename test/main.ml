@@ -25,6 +25,7 @@ let () =
      @ Test_des.suite
      @ Test_analysis_detail.suite
      @ Test_obs.suite
+     @ Test_par.suite
      @ Test_analytics.suite
      @ Test_profile.suite
      @ Test_property.suite)

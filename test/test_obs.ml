@@ -175,7 +175,7 @@ let test_jsonl_tuner_trial_roundtrip () =
       ~evaluate:(fun p ->
         costs.(if p.Alcop_perfmodel.Params.tiling.Tiling.tb_m = 32 then 0
                else if p.Alcop_perfmodel.Params.tiling.Tiling.tb_m = 64 then 1
-               else 2))
+               else 2)) ()
   in
   Alcotest.(check int) "three trials" 3 (Array.length result.Alcop_tune.Tuner.trials);
   let lines =

@@ -131,7 +131,7 @@ let space = lazy (Space.enumerate spec)
 
 let test_exhaustive_finds_min () =
   let space = Lazy.force space in
-  let r = Tuner.exhaustive ~space ~evaluate:synthetic_evaluate in
+  let r = Tuner.exhaustive ~space ~evaluate:synthetic_evaluate () in
   let best = Option.get (Tuner.best r) in
   Array.iter
     (fun (t : Tuner.trial) ->
@@ -169,7 +169,7 @@ let test_analytical_only_hits_optimum_on_own_objective () =
   (* When the measurement IS the analytical model, ranking by it and taking
      the first trial must be optimal. *)
   let space = Lazy.force space in
-  let exh = Tuner.exhaustive ~space ~evaluate:synthetic_evaluate in
+  let exh = Tuner.exhaustive ~space ~evaluate:synthetic_evaluate () in
   let best = Option.get (Tuner.best exh) in
   let r =
     Tuner.run ~hw ~spec ~space ~evaluate:synthetic_evaluate ~budget:1 ~seed:1
