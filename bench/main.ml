@@ -6,13 +6,17 @@
      dune exec bench/main.exe -- list    -- list experiment ids
 
    Experiment ids: fig1b fig10 table3 fig11 fig12 fig13 table1 fig23 scaling
-   selfbench report.
+   selfbench perf report.
    [selfbench] uses Bechamel to measure the compiler's own throughput
    (lowering, the pipelining pass, trace extraction, timing simulation,
-   and a compile-cache hit); `bench compare OLD.json NEW.json` diffs two
-   selfbench outputs and prints warn-only regression annotations for CI
-   (add `--strict [--tolerance FRAC]` to exit nonzero on regressions);
-   [report] writes the self-contained HTML experiment report. *)
+   and a compile-cache hit) and records the fig10 sweep at j=1/2/max with
+   a host utilization summary per row; `bench compare OLD.json NEW.json`
+   diffs two selfbench outputs and prints warn-only regression
+   annotations for CI, plus host-profile deltas when both sides carry
+   them (add `--strict [--tolerance FRAC]` to exit nonzero on
+   regressions); [perf] profiles the host runtime of the fig10 sweep and
+   prints the Amdahl/speedup-loss diagnosis (doc/hostprof.md); [report]
+   writes the self-contained HTML experiment report. *)
 
 open Alcop
 
@@ -329,6 +333,99 @@ let run_csv () =
   in
   write_csv "results/fig13.csv" fig13_header fig13_rows
 
+(* --- host-profile helpers (selfbench rows + the perf experiment) --- *)
+
+module Hostprof = Alcop_obs.Hostprof
+
+(* Aggregate the five wall buckets over the tracks that ran tasks: the
+   worker domains, or the coordinator itself at j=1 (inline). *)
+let host_fracs (p : Hostprof.profile) =
+  let workers =
+    match
+      List.filter
+        (fun w -> not (String.equal w.Hostprof.w_role "coordinator"))
+        p.Hostprof.p_workers
+    with
+    | [] -> p.Hostprof.p_workers
+    | ws -> ws
+  in
+  let sum sel = List.fold_left (fun a w -> a + sel w) 0 workers in
+  let wall = float_of_int (max 1 (sum (fun w -> w.Hostprof.w_wall_ns))) in
+  let f sel = float_of_int (sum sel) /. wall in
+  ( f (fun w -> w.Hostprof.w_busy_ns),
+    f (fun w -> w.Hostprof.w_queue_ns),
+    f (fun w -> w.Hostprof.w_lock_ns),
+    f (fun w -> w.Hostprof.w_gc_ns),
+    f (fun w -> w.Hostprof.w_idle_ns) )
+
+let host_lock_wait_ms (p : Hostprof.profile) =
+  List.fold_left
+    (fun a l -> a +. (float_of_int l.Hostprof.l_wait_ns /. 1e6))
+    0.0 p.Hostprof.p_locks
+
+(* The "host" sub-object attached to sweep rows in BENCH_gpusim.json.
+   `compare` readers that only know id + ops_per_sec ignore it (schema
+   alcop-selfbench-v1 is unchanged); host-aware compares print deltas. *)
+let host_json (p : Hostprof.profile) =
+  let busy, queue, lock, gc, idle = host_fracs p in
+  let open Alcop_obs.Json in
+  Obj
+    ([ ("jobs", Int p.Hostprof.p_jobs);
+       ("serial_fraction", Float (Hostprof.serial_fraction p));
+       ("effective_parallelism", Float (Hostprof.effective_parallelism p));
+       ("expected_speedup",
+        Float (Hostprof.expected_speedup p ~jobs:(max 1 p.Hostprof.p_jobs)));
+       ("busy_frac", Float busy); ("queue_frac", Float queue);
+       ("lock_frac", Float lock); ("gc_frac", Float gc);
+       ("idle_frac", Float idle);
+       ("lock_wait_ms", Float (host_lock_wait_ms p)) ]
+     @
+     match p.Hostprof.p_locks with
+     | [] -> []
+     | top :: _ ->
+       [ ("top_lock", Str top.Hostprof.l_name);
+         ("top_lock_wait_ms",
+          Float (float_of_int top.Hostprof.l_wait_ns /. 1e6)) ])
+
+let print_host_summary (p : Hostprof.profile) =
+  let busy, queue, lock, gc, idle = host_fracs p in
+  Printf.printf
+    "  host: busy %.0f%% idle %.0f%% lock %.0f%% queue %.0f%% gc %.0f%% | \
+     serial %.1f%% | eff-par %.2f | lock-wait %.1f ms\n"
+    (100.0 *. busy) (100.0 *. idle) (100.0 *. lock) (100.0 *. queue)
+    (100.0 *. gc)
+    (100.0 *. Hostprof.serial_fraction p)
+    (Hostprof.effective_parallelism p)
+    (host_lock_wait_ms p)
+
+(* One exhaustive ALCOP sweep of MM_RN50_FC through a fresh pass-through
+   session (the fig10-sweep workload), timed by wall clock; with
+   [~profiled:true] the host profiler covers the whole run, pool spawn to
+   join, and the telescoping contract is enforced. *)
+let sweep_once ~profiled jobs =
+  let spec = Alcop_workloads.Suites.mm_rn50_fc in
+  let session = Session.create ~hw ~cache:false () in
+  let evaluate = Variants.evaluator ~hw ~session Variants.alcop spec in
+  let space = Variants.space Variants.alcop spec in
+  let run pool =
+    ignore (Alcop_tune.Tuner.exhaustive ?pool ~space ~evaluate ())
+  in
+  if profiled then Hostprof.start ();
+  let t0 = Unix.gettimeofday () in
+  (if jobs <= 1 then run None
+   else Alcop_par.Pool.with_pool ~jobs (fun p -> run (Some p)));
+  let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  if not profiled then (ns, None)
+  else begin
+    let profile = Hostprof.stop () in
+    (match Hostprof.check profile with
+     | Ok () -> ()
+     | Error msg ->
+       Printf.eprintf "hostprof telescoping violation: %s\n" msg;
+       exit 1);
+    (ns, Some profile)
+  end
+
 (* --- Bechamel self-benchmarks of the compiler itself --- *)
 
 (* Machine-readable perf trajectory, written at the repo root so CI and
@@ -340,7 +437,10 @@ let run_csv () =
        "benchmarks": [ { "id": <bechamel test id>,
                          "ns_per_run": <float>,
                          "ops_per_sec": <float> }, ... ] }
-   Benchmarks are sorted by id; ops_per_sec = 1e9 / ns_per_run. *)
+   Benchmarks are sorted by id; ops_per_sec = 1e9 / ns_per_run. Sweep
+   rows additionally carry a "host" sub-object (utilization fractions,
+   serial fraction, lock-wait) — extra fields are ignored by readers
+   that only know id + ops_per_sec, so the schema version stands. *)
 let write_bench_json rows =
   let open Alcop_obs.Json in
   let doc =
@@ -352,11 +452,12 @@ let write_bench_json rows =
         ("benchmarks",
          List
            (List.map
-              (fun (id, ns) ->
+              (fun (id, ns, extra) ->
                 Obj
-                  [ ("id", Str id); ("ns_per_run", Float ns);
-                    ("ops_per_sec",
-                     Float (if ns > 0.0 then 1e9 /. ns else 0.0)) ])
+                  ([ ("id", Str id); ("ns_per_run", Float ns);
+                     ("ops_per_sec",
+                      Float (if ns > 0.0 then 1e9 /. ns else 0.0)) ]
+                   @ extra))
               rows)) ]
   in
   let oc = open_out "BENCH_gpusim.json" in
@@ -436,39 +537,45 @@ let run_selfbench () =
       Printf.printf "%-40s %14.1f ns/run (%.1f us)\n" name est (est /. 1000.0))
     sorted;
   (* Parallel-speedup record: the exhaustive ALCOP sweep of the same
-     operator through a fresh pass-through session, timed once at -j 1 and
-     once at the resolved job count. Wall clock, not Bechamel: the sweep
-     runs for seconds and both runs do identical work by construction. *)
-  let sweep_ns jobs =
-    let session = Session.create ~hw ~cache:false () in
-    let evaluate = Variants.evaluator ~hw ~session Variants.alcop spec in
-    let space = Variants.space Variants.alcop spec in
-    let run pool =
-      ignore (Alcop_tune.Tuner.exhaustive ?pool ~space ~evaluate ())
-    in
-    let t0 = Unix.gettimeofday () in
-    (if jobs <= 1 then run None
-     else Alcop_par.Pool.with_pool ~jobs (fun p -> run (Some p)));
-    (Unix.gettimeofday () -. t0) *. 1e9
-  in
+     operator through a fresh pass-through session, timed by wall clock
+     (the sweep runs for seconds and every -j does identical work by
+     construction) under the host profiler, at j = 1 / 2 / max. Each row
+     carries its utilization + lock-wait summary into BENCH_gpusim.json
+     so `bench compare` trajectories show *why* a speedup moved. *)
   let jmax = max 1 (resolved_jobs ()) in
-  let ns1 = sweep_ns 1 in
-  let nsj = if jmax = 1 then ns1 else sweep_ns jmax in
-  Printf.printf "%-40s %14.1f ns/run (%.1f ms)\n" "alcop/fig10-sweep-j1" ns1
-    (ns1 /. 1e6);
-  Printf.printf "%-40s %14.1f ns/run (%.1f ms)\n" "alcop/fig10-sweep-jmax" nsj
-    (nsj /. 1e6);
+  let sweep_row label jobs =
+    let ns, profile = sweep_once ~profiled:true jobs in
+    Printf.printf "%-40s %14.1f ns/run (%.1f ms)\n" label ns (ns /. 1e6);
+    let extra =
+      match profile with
+      | Some p ->
+        print_host_summary p;
+        [ ("host", host_json p) ]
+      | None -> []
+    in
+    (label, ns, extra)
+  in
+  let row1 = sweep_row "alcop/fig10-sweep-j1" 1 in
+  let row2 = sweep_row "alcop/fig10-sweep-j2" 2 in
+  let rowj =
+    if jmax = 1 then
+      (let _, ns, extra = row1 in ("alcop/fig10-sweep-jmax", ns, extra))
+    else if jmax = 2 then
+      (let _, ns, extra = row2 in ("alcop/fig10-sweep-jmax", ns, extra))
+    else sweep_row "alcop/fig10-sweep-jmax" jmax
+  in
+  let ns_of (_, ns, _) = ns in
   Printf.printf "parallel sweep speedup at -j %d: %.2fx\n" jmax
-    (if nsj > 0.0 then ns1 /. nsj else 1.0);
+    (if ns_of rowj > 0.0 then ns_of row1 /. ns_of rowj else 1.0);
   write_bench_json
     (List.sort compare
-       (("alcop/fig10-sweep-j1", ns1)
-        :: ("alcop/fig10-sweep-jmax", nsj)
-        :: sorted))
+       (row1 :: row2 :: rowj
+        :: List.map (fun (id, ns) -> (id, ns, [])) sorted))
 
 (* --- selfbench comparison (CI perf tripwire, warn-only) --- *)
 
-(* Read an "alcop-selfbench-v1" file into id -> ops_per_sec. *)
+(* Read an "alcop-selfbench-v1" file into (id, ops_per_sec, host sub-object
+   when present — older baselines have none). *)
 let read_bench_json path =
   let ic = open_in path in
   let contents =
@@ -488,14 +595,38 @@ let read_bench_json path =
       (function
         | Obj b ->
           (match List.assoc_opt "id" b, List.assoc_opt "ops_per_sec" b with
-           | Some (Str id), Some (Float ops) -> Some (id, ops)
-           | Some (Str id), Some (Int ops) -> Some (id, float_of_int ops)
+           | Some (Str id), Some (Float ops) ->
+             Some (id, ops, List.assoc_opt "host" b)
+           | Some (Str id), Some (Int ops) ->
+             Some (id, float_of_int ops, List.assoc_opt "host" b)
            | _ -> None)
         | _ -> None)
       benchmarks
   | Ok _ | Error _ ->
     Printf.eprintf "%s: not an alcop-selfbench-v1 file\n" path;
     exit 1
+
+(* When both sides of a compare carry host sub-objects, show why the
+   throughput moved, not just that it did. *)
+let print_host_delta old_host new_host =
+  match old_host, new_host with
+  | Some oh, Some nh ->
+    let f h name =
+      match Option.bind (Alcop_obs.Json.member name h) Alcop_obs.Json.number with
+      | Some v -> v
+      | None -> 0.0
+    in
+    Printf.printf
+      "  host: serial %.1f%% -> %.1f%% | eff-par %.2f -> %.2f | idle %.0f%% \
+       -> %.0f%% | lock-wait %.1f -> %.1f ms\n"
+      (100.0 *. f oh "serial_fraction")
+      (100.0 *. f nh "serial_fraction")
+      (f oh "effective_parallelism")
+      (f nh "effective_parallelism")
+      (100.0 *. f oh "idle_frac")
+      (100.0 *. f nh "idle_frac")
+      (f oh "lock_wait_ms") (f nh "lock_wait_ms")
+  | _ -> ()
 
 (* Regression check between two selfbench outputs. The default mode is
    warn-only — it never fails the build (simulated-hardware throughput on
@@ -516,15 +647,18 @@ let run_compare ?(strict = false) ?(tolerance = 0.20) old_path new_path =
         Printf.printf "::%s::%s\n" (if strict then "error" else "warning") msg)
       fmt
   in
+  let old_assoc = List.map (fun (id, ops, host) -> (id, (ops, host))) old_rows in
+  let new_ids = List.map (fun (id, _, _) -> id) new_rows in
   Printf.printf "%-40s %14s %14s %9s\n" "benchmark" "old ops/s" "new ops/s"
     "ratio";
   List.iter
-    (fun (id, new_ops) ->
-      match List.assoc_opt id old_rows with
+    (fun (id, new_ops, new_host) ->
+      match List.assoc_opt id old_assoc with
       | None -> Printf.printf "%-40s %14s %14.1f %9s\n" id "(new)" new_ops "-"
-      | Some old_ops ->
+      | Some (old_ops, old_host) ->
         let ratio = if old_ops > 0.0 then new_ops /. old_ops else 1.0 in
         Printf.printf "%-40s %14.1f %14.1f %8.2fx\n" id old_ops new_ops ratio;
+        print_host_delta old_host new_host;
         if ratio < 1.0 -. tolerance then
           complain
             "selfbench regression: %s at %.2fx of baseline (%.1f -> %.1f \
@@ -532,8 +666,8 @@ let run_compare ?(strict = false) ?(tolerance = 0.20) old_path new_path =
             id ratio old_ops new_ops (100.0 *. tolerance))
     new_rows;
   List.iter
-    (fun (id, _) ->
-      if not (List.mem_assoc id new_rows) then
+    (fun (id, _, _) ->
+      if not (List.mem id new_ids) then
         complain "selfbench benchmark disappeared: %s" id)
     old_rows;
   if strict && !failures > 0 then begin
@@ -541,6 +675,49 @@ let run_compare ?(strict = false) ?(tolerance = 0.20) old_path new_path =
       (if !failures = 1 then "" else "s");
     exit 1
   end
+
+(* --- bench perf: host-runtime diagnosis of the fig10 sweep --- *)
+
+(* Why is fig10-sweep-jmax not faster than fig10-sweep-j1 (ROADMAP open
+   item 5)? Run the sweep unprofiled (overhead baseline), then profiled
+   at j=1 and at j=max, print both Amdahl reports and the diagnosis. *)
+let run_perf () =
+  header "Host runtime profile of the fig10 sweep";
+  let jmax = max 2 (resolved_jobs ()) in
+  let ns_off, _ = sweep_once ~profiled:false 1 in
+  let ns1, p1 = sweep_once ~profiled:true 1 in
+  let nsj, pj = sweep_once ~profiled:true jmax in
+  Printf.printf "sweep wall: %.1f ms unprofiled, %.1f ms profiled at -j 1 \
+                 (overhead %+.1f%%), %.1f ms at -j %d\n\n"
+    (ns_off /. 1e6) (ns1 /. 1e6)
+    (if ns_off > 0.0 then 100.0 *. (ns1 -. ns_off) /. ns_off else 0.0)
+    (nsj /. 1e6) jmax;
+  (match p1 with
+   | Some p ->
+     Printf.printf "-- j=1 --\n%s\n" (Hostprof.report p)
+   | None -> ());
+  match pj with
+  | None -> ()
+  | Some p ->
+    Printf.printf "-- j=%d --\n%s\n" jmax (Hostprof.report p);
+    let achieved = if nsj > 0.0 then ns1 /. nsj else 1.0 in
+    let expected = Hostprof.expected_speedup p ~jobs:jmax in
+    Printf.printf
+      "speedup at -j %d: achieved %.2fx, Amdahl-expected <= %.2fx (serial \
+       %.1f%%)\n"
+      jmax achieved expected
+      (100.0 *. Hostprof.serial_fraction p);
+    let busy, queue, lock, gc, idle = host_fracs p in
+    ignore busy;
+    let name, frac =
+      List.fold_left
+        (fun (bn, bf) (n, f) -> if f > bf then (n, f) else (bn, bf))
+        ("idle", idle)
+        [ ("lock-wait", lock); ("queue-wait", queue); ("gc", gc) ]
+    in
+    Printf.printf
+      "dominant worker-side loss: %s (%.0f%% of worker wall)\n" name
+      (100.0 *. frac)
 
 (* --- HTML experiment report --- *)
 
@@ -553,7 +730,8 @@ let experiments =
   [ ("fig1b", run_fig1b); ("fig10", run_fig10); ("table3", run_table3);
     ("fig11", run_fig11); ("fig12", run_fig12); ("fig13", run_fig13);
     ("table1", run_table1); ("fig23", run_fig23); ("scaling", run_scaling);
-    ("csv", run_csv); ("selfbench", run_selfbench); ("report", run_report) ]
+    ("csv", run_csv); ("selfbench", run_selfbench); ("perf", run_perf);
+    ("report", run_report) ]
 
 (* compare OLD NEW [--strict] [--tolerance FRAC] *)
 let parse_compare rest =
@@ -604,7 +782,8 @@ let () =
       Printf.printf "ALCOP reproduction - all experiments on %s\n"
         hw.Alcop_hw.Hw_config.name;
       List.iter
-        (fun (name, f) -> if name <> "csv" && name <> "report" then f ())
+        (fun (name, f) ->
+          if name <> "csv" && name <> "report" && name <> "perf" then f ())
         experiments
     | names ->
       List.iter

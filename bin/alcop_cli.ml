@@ -468,6 +468,110 @@ let tune_cmd =
     Term.(const run $ spec_arg $ method_ $ budget $ seed $ log $ log_jsonl
           $ no_cache_term $ jobs_term)
 
+(* alcop perf: profile the *host* runtime — the compiler's own wall-clock
+   across worker domains — while it tunes an operator, then print the
+   Amdahl/speedup-loss report (doc/hostprof.md). The profiling window
+   opens before the pool spawns and closes after it joins, so every
+   worker's full lifetime is on its track; collection stays outside the
+   capture/replay path, so any --log-jsonl telemetry written here is
+   byte-identical to an unprofiled run (CI diffs it). *)
+let perf_cmd =
+  let run spec method_ budget seed jobs no_cache trace_out json_out log_jsonl =
+    (match log_jsonl with
+     | Some path -> install_file_sink Alcop_obs.Sinks.jsonl_file path
+     | None -> ());
+    (* A fresh session (not the registry one) and no post-pass IR
+       validation: perf measures the tuning hot path as the tuners run
+       it. *)
+    let session =
+      if no_cache then Session.create ~hw ~cache:false ()
+      else Session.create ~hw ()
+    in
+    let evaluate = Variants.evaluator ~hw ~session Variants.alcop spec in
+    let space = Variants.space Variants.alcop spec in
+    let budget = if budget <= 0 then Array.length space else budget in
+    Alcop_obs.Hostprof.start ();
+    let result =
+      with_jobs jobs @@ fun pool ->
+      Alcop_tune.Tuner.run ?pool ~hw ~spec ~space ~evaluate ~budget ~seed
+        method_
+    in
+    let profile = Alcop_obs.Hostprof.stop () in
+    Printf.printf "space: %d schedules; method: %s; budget: %d\n"
+      (Array.length space)
+      (Alcop_tune.Tuner.method_to_string method_)
+      budget;
+    (match Alcop_tune.Tuner.best result with
+     | Some best -> Printf.printf "best: %.0f cycles\n\n" best
+     | None -> Printf.printf "no trial compiled\n\n");
+    print_string (Alcop_obs.Hostprof.report profile);
+    Session.publish_entries_gauge session;
+    if not no_cache then Printf.printf "%s\n" (Session.summary session);
+    (match trace_out with
+     | Some path ->
+       Alcop_obs.Hostprof.write_chrome_trace path profile;
+       Printf.printf
+         "host Chrome trace (one track per domain) written to %s\n" path
+     | None -> ());
+    (match json_out with
+     | Some path ->
+       let oc = open_out path in
+       output_string oc
+         (Alcop_obs.Json.to_string (Alcop_obs.Hostprof.json_of_profile profile));
+       output_char oc '\n';
+       close_out oc;
+       Printf.printf "host profile JSON written to %s\n" path
+     | None -> ());
+    (match log_jsonl with
+     | Some path ->
+       Alcop_obs.Obs.reset ();
+       Printf.printf "JSONL event log written to %s\n" path
+     | None -> ());
+    (* the accounting contract, enforced on every run *)
+    match Alcop_obs.Hostprof.check profile with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "hostprof telescoping violation: %s\n" msg;
+      exit 3
+  in
+  let method_ =
+    Arg.(value & opt method_conv Alcop_tune.Tuner.Grid
+         & info [ "m"; "method" ] ~doc:"grid | xgb | analytical | xgb+.")
+  in
+  let budget =
+    Arg.(value & opt int 0
+         & info [ "budget" ]
+             ~doc:"Measurement budget (0 = the whole schedule space).")
+  in
+  let seed = Arg.(value & opt int 2023 & info [ "seed" ] ~doc:"Random seed.") in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace of *host* time: one track per \
+                   domain (coordinator + workers), task spans with queue \
+                   latency, idle/lock-wait intervals.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json-out" ] ~docv:"FILE"
+             ~doc:"Write the machine-readable host profile (schema \
+                   alcop-hostprof-v1).")
+  in
+  let log_jsonl =
+    Arg.(value & opt (some string) None
+         & info [ "log-jsonl" ] ~docv:"FILE"
+             ~doc:"Also write the ordinary (simulated-work) JSONL telemetry \
+                   — byte-identical to an unprofiled run at any -j.")
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:"Profile the compiler's own host runtime while tuning an \
+             operator: per-domain busy/queue/lock/gc/idle decomposition \
+             (telescoping to 100% of each worker's wall), Amdahl expected \
+             speedup, top contended locks, allocation-heaviest passes.")
+    Term.(const run $ spec_arg $ method_ $ budget $ seed $ jobs_term
+          $ no_cache_term $ trace_out $ json_out $ log_jsonl)
+
 let model_cmd =
   let run spec params =
     match Alcop_perfmodel.Model.predict hw spec params with
@@ -676,5 +780,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ ops_cmd; show_cmd; time_cmd; profile_cmd; model_cmd; tune_cmd;
-            explain_cmd; verify_cmd; trace_cmd; report_cmd ]))
+          [ ops_cmd; show_cmd; time_cmd; profile_cmd; perf_cmd; model_cmd;
+            tune_cmd; explain_cmd; verify_cmd; trace_cmd; report_cmd ]))

@@ -66,6 +66,14 @@ let check_ir name kernel =
     raise (Alcop_ir.Validate.Invalid errors)
 
 let run ~name ?ir_of f =
+  (* Host-profile allocation sampling is independent of [Obs.enabled]:
+     it writes per-domain shards, not the Obs tables, so turning it on
+     never changes the telemetry stream (doc/hostprof.md). *)
+  let f =
+    if Alcop_obs.Hostprof.on () then
+      fun () -> Alcop_obs.Hostprof.pass_sample name f
+    else f
+  in
   let result =
     if not (Obs.enabled ()) then f ()
     else

@@ -10,6 +10,14 @@
 
 open Alcop_sched
 module Obs = Alcop_obs.Obs
+module Hostprof = Alcop_obs.Hostprof
+
+(* Host-profiler lock probes: one per lock *class* (every session's mutex
+   shares the "session.lock" probe). No-ops unless a profiling window is
+   open; never touch the Obs capture/replay path. *)
+let session_probe = Hostprof.make_lock "session.lock"
+let registry_probe = Hostprof.make_lock "session.registry"
+let ready_probe = Hostprof.make_lock "session.ready"
 
 type entry = {
   outcome : (Compiler.compiled, Compiler.error) result;
@@ -54,9 +62,7 @@ let create ?(hw = Alcop_hw.Hw_config.default) ?(capacity = 8192)
 let hw t = t.hw
 let cache_enabled t = t.cache
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let locked t f = Hostprof.locked session_probe t.lock f
 
 let stats t =
   locked t (fun () ->
@@ -75,7 +81,17 @@ let clear t =
       t.misses <- 0;
       t.evictions <- 0)
 
+(* Restored from PR 5 as an explicitly-published gauge. Mid-flight entry
+   counts are interleaving-dependent under a pool, so the gauge is only
+   published from coordinator-side call sites (summary, bench, the perf
+   CLI) where the value — min(distinct inserts, capacity), thanks to
+   in-flight dedup — is deterministic and -j-independent. *)
+let publish_entries_gauge t =
+  let n = locked t (fun () -> Hashtbl.length t.table) in
+  Obs.gauge "session.cache.entries" (float_of_int n)
+
 let summary t =
+  publish_entries_gauge t;
   let s = stats t in
   Printf.sprintf
     "compile cache: %d entries, %d hits / %d misses (%.1f%% hit rate), %d \
@@ -89,10 +105,7 @@ let registry_lock = Mutex.create ()
 
 let for_hw hw =
   let key = Fingerprint.of_json (Fingerprint.json_of_hw hw) in
-  Mutex.lock registry_lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock registry_lock)
-    (fun () ->
+  Hostprof.locked registry_probe registry_lock (fun () ->
       match Hashtbl.find_opt registry key with
       | Some s -> s
       | None ->
@@ -104,10 +117,8 @@ let default () = for_hw Alcop_hw.Hw_config.default
 
 let global_stats () =
   let sessions =
-    Mutex.lock registry_lock;
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock registry_lock)
-      (fun () -> Hashtbl.fold (fun _ t acc -> t :: acc) registry [])
+    Hostprof.locked registry_probe registry_lock (fun () ->
+        Hashtbl.fold (fun _ t acc -> t :: acc) registry [])
   in
   List.fold_left
     (fun acc t ->
@@ -148,7 +159,10 @@ let compile t ?pool ?(extra_regs_per_thread = 0)
         `Hit e
       | None ->
         if Hashtbl.mem t.inflight key then begin
-          Condition.wait t.ready t.lock;
+          (* another domain is compiling this key; [wait] releases the
+             session mutex, so time it as its own probe *)
+          Hostprof.blocking ready_probe (fun () ->
+              Condition.wait t.ready t.lock);
           acquire ()
         end
         else begin
@@ -157,7 +171,7 @@ let compile t ?pool ?(extra_regs_per_thread = 0)
           `Miss
         end
     in
-    Mutex.lock t.lock;
+    Hostprof.lock_acquire session_probe t.lock;
     let decision = acquire () in
     Mutex.unlock t.lock;
     match decision with

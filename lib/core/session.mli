@@ -95,8 +95,20 @@ val hit_rate : stats -> float
 val clear : t -> unit
 (** Drop all entries and zero the counters. *)
 
+val publish_entries_gauge : t -> unit
+(** Publish the resident entry count as the [session.cache.entries]
+    gauge, read under the session mutex. Call it only from
+    coordinator-side code (after any pool batch completed): the final
+    count — [min (distinct inserts, capacity)] thanks to in-flight
+    dedup — is deterministic there, whereas a mid-flight publication
+    from inside a pool task would be interleaving-dependent and break
+    the [-j N] byte-identity contract (which is why PR 5 dropped the
+    per-insert gauge this replaces). Never exceeds the session
+    capacity (hammer-tested). *)
+
 val summary : t -> string
-(** One line: entries, hits, misses, hit rate, evictions. *)
+(** One line: entries, hits, misses, hit rate, evictions. Also calls
+    {!publish_entries_gauge}. *)
 
 val global_stats : unit -> stats
 (** Aggregate over every registry session ({!for_hw}); sessions made with

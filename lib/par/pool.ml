@@ -9,6 +9,13 @@
    result. *)
 
 module Obs = Alcop_obs.Obs
+module Hostprof = Alcop_obs.Hostprof
+
+(* Host-profiler probes (doc/hostprof.md). These write to per-domain
+   shards outside the capture/replay path, so instrumenting the pool's
+   own machinery cannot perturb the determinism contract below. *)
+let queue_probe = Hostprof.make_lock "pool.queue"
+let batch_probe = Hostprof.make_lock "pool.batch"
 
 type t = {
   pool_jobs : int;
@@ -26,11 +33,14 @@ let default_jobs () =
 
 let jobs t = t.pool_jobs
 
-let worker_loop t =
+let worker_loop t i =
+  Hostprof.set_role (Printf.sprintf "worker-%d" i);
   let rec next () =
-    Mutex.lock t.lock;
+    Hostprof.lock_acquire queue_probe t.lock;
     while Queue.is_empty t.queue && not t.stop do
-      Condition.wait t.work t.lock
+      (* blocked waiting for work: an idle interval on this worker's
+         host-profile track (the wait releases [t.lock]) *)
+      Hostprof.idle (fun () -> Condition.wait t.work t.lock)
     done;
     match Queue.take_opt t.queue with
     | Some task ->
@@ -53,7 +63,7 @@ let create ?jobs () =
   in
   if pool_jobs > 1 then
     t.workers <-
-      List.init pool_jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
+      List.init pool_jobs (fun i -> Domain.spawn (fun () -> worker_loop t i));
   t
 
 let shutdown t =
@@ -73,28 +83,33 @@ let with_pool ?jobs f =
 (* Enqueue the thunks and block until all of them ran. Thunks must not
    raise — batch builders wrap the user function in [Obs.capturing],
    which already converts exceptions into values. *)
-let run_batch t thunks =
+let run_batch ?(label = "pool.task") t thunks =
   match thunks with
   | [] -> ()
   | _ ->
     let batch_lock = Mutex.create () in
     let batch_done = Condition.create () in
     let remaining = ref (List.length thunks) in
-    let wrap thunk () =
-      thunk ();
-      Mutex.lock batch_lock;
-      decr remaining;
-      if !remaining = 0 then Condition.signal batch_done;
-      Mutex.unlock batch_lock
+    let wrap thunk =
+      (* wrap-time = enqueue-time (just before [Queue.add] below); the
+         token lets the profiler report enqueue->start queue latency *)
+      let enqueue = Hostprof.task_enqueued () in
+      fun () ->
+        Hostprof.task ~enqueue ~label thunk;
+        Hostprof.lock_acquire batch_probe batch_lock;
+        decr remaining;
+        if !remaining = 0 then Condition.signal batch_done;
+        Mutex.unlock batch_lock
     in
-    Mutex.lock t.lock;
+    Hostprof.lock_acquire queue_probe t.lock;
     List.iter (fun thunk -> Queue.add (wrap thunk) t.queue) thunks;
     Condition.broadcast t.work;
     Mutex.unlock t.lock;
-    Mutex.lock batch_lock;
-    while !remaining > 0 do
-      Condition.wait batch_done batch_lock
-    done;
+    Hostprof.lock_acquire batch_probe batch_lock;
+    Hostprof.batch_wait (fun () ->
+        while !remaining > 0 do
+          Condition.wait batch_done batch_lock
+        done);
     Mutex.unlock batch_lock
 
 type ('b) slot = ('b, exn * Printexc.raw_backtrace) result * Obs.recorded
@@ -114,7 +129,7 @@ let map_array ?each t f xs =
     (* Inline: no capture, no replay — the canonical sequential order. *)
     Array.mapi
       (fun i x ->
-        let y = f x in
+        let y = Hostprof.task ~label:"pool.task" (fun () -> f x) in
         (match each with Some g -> g i y | None -> ());
         y)
       xs
@@ -127,7 +142,7 @@ let map_array ?each t f xs =
              the writes to the coordinator. *)
           slots.(i) <- Some (outcome, recorded))
     in
-    run_batch t thunks;
+    run_batch ~label:"pool.task" t thunks;
     Array.mapi
       (fun i _ ->
         match slots.(i) with
@@ -163,7 +178,8 @@ let parallel_for ?chunk t ~n ~init ~body ~merge ~neutral =
     if t.pool_jobs = 1 || nchunks = 1 then begin
       let acc = ref neutral in
       for ci = 0 to nchunks - 1 do
-        acc := merge !acc (run_chunk ci)
+        acc :=
+          merge !acc (Hostprof.task ~label:"pool.chunk" (fun () -> run_chunk ci))
       done;
       !acc
     end
@@ -174,7 +190,7 @@ let parallel_for ?chunk t ~n ~init ~body ~merge ~neutral =
             let outcome, recorded = Obs.capturing (fun () -> run_chunk ci) in
             slots.(ci) <- Some (outcome, recorded))
       in
-      run_batch t thunks;
+      run_batch ~label:"pool.chunk" t thunks;
       let acc = ref neutral in
       for ci = 0 to nchunks - 1 do
         match slots.(ci) with

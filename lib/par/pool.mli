@@ -20,7 +20,14 @@
     Pools must not be nested: a task running on a worker must not submit
     to any pool (it would deadlock once all workers wait on each other).
     Route only coarse outer loops through a pool and keep inner work
-    sequential. *)
+    sequential.
+
+    The pool is also instrumented with {!Alcop_obs.Hostprof} probes
+    (worker tracks named [worker-i], idle intervals around the queue
+    wait, [pool.queue]/[pool.batch] lock probes, per-task queue-latency
+    tokens). These record to per-domain shards outside the
+    capture/replay path, so host profiling never affects the
+    determinism contract above; see doc/hostprof.md. *)
 
 type t
 

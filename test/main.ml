@@ -26,6 +26,7 @@ let () =
      @ Test_analysis_detail.suite
      @ Test_obs.suite
      @ Test_par.suite
+     @ Test_hostprof.suite
      @ Test_analytics.suite
      @ Test_profile.suite
      @ Test_property.suite)
