@@ -7,16 +7,30 @@
 
    Experiment ids: fig1b fig10 table3 fig11 fig12 fig13 table1 fig23 scaling
    selfbench perf report.
-   [selfbench] uses Bechamel to measure the compiler's own throughput
-   (lowering, the pipelining pass, trace extraction, timing simulation,
-   and a compile-cache hit) and records the fig10 sweep at j=1/2/max with
-   a host utilization summary per row; `bench compare OLD.json NEW.json`
-   diffs two selfbench outputs and prints warn-only regression
-   annotations for CI, plus host-profile deltas when both sides carry
-   them (add `--strict [--tolerance FRAC]` to exit nonzero on
-   regressions); [perf] profiles the host runtime of the fig10 sweep and
-   prints the Amdahl/speedup-loss diagnosis (doc/hostprof.md); [report]
-   writes the self-contained HTML experiment report. *)
+
+   The performance observatory (doc/benchmarking.md):
+   [selfbench [--runs N]] uses Bechamel to measure the compiler's own
+   throughput (lowering, the pipelining pass, trace extraction, timing
+   simulation, a compile-cache hit) and the fig10 sweep at j=1/2/max with
+   a host utilization summary per row; with --runs N the whole
+   measurement repeats N times after a discarded warmup pass and each
+   benchmark reports median/MAD/min/p90 plus a noise estimate
+   (schema alcop-selfbench-v2, written to BENCH_gpusim.json).
+   [record [--runs N] [--history DIR]] measures and appends the record to
+   the per-machine-fingerprint history stream (--inject-regression F
+   instead appends the stream's last record with times scaled by F, a
+   deterministic regression for gate self-tests).
+   [history [ID]] lists the streams, or one stream's records.
+   [trend [--strict] [--sensitivity S] [--window W] [--min-rel F]
+   [--machine ID] [--html FILE]] runs change-point detection over the
+   history and (with --strict) exits nonzero on any detected regression.
+   [compare OLD.json NEW.json [--strict] [--tolerance FRAC]] diffs two
+   selfbench files (either schema) with explicit only-in-OLD/NEW rows and
+   host-profile deltas when both sides carry them.
+   [perf] profiles the host runtime of the fig10 sweep and prints the
+   Amdahl/speedup-loss diagnosis (doc/hostprof.md); [report] writes the
+   self-contained HTML experiment report (including history trend
+   charts). *)
 
 open Alcop
 
@@ -428,48 +442,15 @@ let sweep_once ~profiled jobs =
 
 (* --- Bechamel self-benchmarks of the compiler itself --- *)
 
-(* Machine-readable perf trajectory, written at the repo root so CI and
-   successive commits can diff it. Schema "alcop-selfbench-v1":
-     { "schema": "alcop-selfbench-v1",
-       "generated_by": <command>,
-       "machine": <simulated hw name>,
-       "unit": "ops_per_sec",
-       "benchmarks": [ { "id": <bechamel test id>,
-                         "ns_per_run": <float>,
-                         "ops_per_sec": <float> }, ... ] }
-   Benchmarks are sorted by id; ops_per_sec = 1e9 / ns_per_run. Sweep
-   rows additionally carry a "host" sub-object (utilization fractions,
-   serial fraction, lock-wait) — extra fields are ignored by readers
-   that only know id + ops_per_sec, so the schema version stands. *)
-let write_bench_json rows =
-  let open Alcop_obs.Json in
-  let doc =
-    Obj
-      [ ("schema", Str "alcop-selfbench-v1");
-        ("generated_by", Str "dune exec bench/main.exe -- selfbench");
-        ("machine", Str hw.Alcop_hw.Hw_config.name);
-        ("unit", Str "ops_per_sec");
-        ("benchmarks",
-         List
-           (List.map
-              (fun (id, ns, extra) ->
-                Obj
-                  ([ ("id", Str id); ("ns_per_run", Float ns);
-                     ("ops_per_sec",
-                      Float (if ns > 0.0 then 1e9 /. ns else 0.0)) ]
-                   @ extra))
-              rows)) ]
-  in
-  let oc = open_out "BENCH_gpusim.json" in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (to_string doc);
-      output_char oc '\n');
-  Printf.printf "wrote BENCH_gpusim.json (%d benchmarks)\n%!" (List.length rows)
+module Benchdb = Alcop_obs.Benchdb
 
-let run_selfbench () =
-  header "Compiler throughput (Bechamel, monotonic clock)";
+(* One measurement pass: the six bechamel micro-benchmarks (each already
+   an OLS estimate over its own repetitions within the quota) plus the
+   wall-clock fig10 sweeps at j = 1 / 2 / max under the host profiler.
+   Returns (id, ns, host sub-object) rows sorted by id. [quiet]
+   suppresses the per-row prints — with --runs N the repeated passes
+   would otherwise drown the stats table that summarizes them. *)
+let measure_pass ~quiet () =
   let open Bechamel in
   let spec = Alcop_workloads.Suites.mm_rn50_fc in
   let tiling =
@@ -532,147 +513,315 @@ let run_selfbench () =
       | Some _ | None -> ())
     results;
   let sorted = List.sort compare !rows in
-  List.iter
-    (fun (name, est) ->
-      Printf.printf "%-40s %14.1f ns/run (%.1f us)\n" name est (est /. 1000.0))
-    sorted;
+  if not quiet then
+    List.iter
+      (fun (name, est) ->
+        Printf.printf "%-40s %14.1f ns/run (%.1f us)\n" name est (est /. 1000.0))
+      sorted;
   (* Parallel-speedup record: the exhaustive ALCOP sweep of the same
      operator through a fresh pass-through session, timed by wall clock
      (the sweep runs for seconds and every -j does identical work by
      construction) under the host profiler, at j = 1 / 2 / max. Each row
-     carries its utilization + lock-wait summary into BENCH_gpusim.json
-     so `bench compare` trajectories show *why* a speedup moved. *)
+     carries its utilization + lock-wait summary into the record so
+     `bench compare` trajectories show *why* a speedup moved. *)
   let jmax = max 1 (resolved_jobs ()) in
   let sweep_row label jobs =
     let ns, profile = sweep_once ~profiled:true jobs in
-    Printf.printf "%-40s %14.1f ns/run (%.1f ms)\n" label ns (ns /. 1e6);
-    let extra =
-      match profile with
-      | Some p ->
-        print_host_summary p;
-        [ ("host", host_json p) ]
-      | None -> []
-    in
-    (label, ns, extra)
+    if not quiet then
+      Printf.printf "%-40s %14.1f ns/run (%.1f ms)\n" label ns (ns /. 1e6);
+    (match profile with
+     | Some p when not quiet -> print_host_summary p
+     | _ -> ());
+    (label, ns, Option.map host_json profile)
   in
   let row1 = sweep_row "alcop/fig10-sweep-j1" 1 in
   let row2 = sweep_row "alcop/fig10-sweep-j2" 2 in
   let rowj =
     if jmax = 1 then
-      (let _, ns, extra = row1 in ("alcop/fig10-sweep-jmax", ns, extra))
+      (let _, ns, host = row1 in ("alcop/fig10-sweep-jmax", ns, host))
     else if jmax = 2 then
-      (let _, ns, extra = row2 in ("alcop/fig10-sweep-jmax", ns, extra))
+      (let _, ns, host = row2 in ("alcop/fig10-sweep-jmax", ns, host))
     else sweep_row "alcop/fig10-sweep-jmax" jmax
   in
   let ns_of (_, ns, _) = ns in
-  Printf.printf "parallel sweep speedup at -j %d: %.2fx\n" jmax
-    (if ns_of rowj > 0.0 then ns_of row1 /. ns_of rowj else 1.0);
-  write_bench_json
-    (List.sort compare
-       (row1 :: row2 :: rowj
-        :: List.map (fun (id, ns) -> (id, ns, [])) sorted))
+  if not quiet then
+    Printf.printf "parallel sweep speedup at -j %d: %.2fx\n" jmax
+      (if ns_of rowj > 0.0 then ns_of row1 /. ns_of rowj else 1.0);
+  List.sort compare
+    (row1 :: row2 :: rowj
+     :: List.map (fun (id, ns) -> (id, ns, None)) sorted)
 
-(* --- selfbench comparison (CI perf tripwire, warn-only) --- *)
-
-(* Read an "alcop-selfbench-v1" file into (id, ops_per_sec, host sub-object
-   when present — older baselines have none). *)
-let read_bench_json path =
-  let ic = open_in path in
-  let contents =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
+(* Repeat the pass [runs] times (plus a discarded warmup pass when
+   runs > 1: the first pass pays page-cache and JIT-less but very real
+   allocator warmup) and fold the per-id samples into robust statistics.
+   The host sub-object is taken from the last pass. *)
+let measure ~runs () =
+  let runs = max 1 runs in
+  if runs > 1 then begin
+    Printf.printf "warmup pass (discarded)...\n%!";
+    ignore (measure_pass ~quiet:true ())
+  end;
+  let passes =
+    List.init runs (fun i ->
+        if runs > 1 then Printf.printf "measurement run %d/%d...\n%!" (i + 1) runs;
+        measure_pass ~quiet:(runs > 1) ())
   in
-  let open Alcop_obs.Json in
-  match of_string contents with
-  | Ok (Obj fields) ->
-    let benchmarks =
-      match List.assoc_opt "benchmarks" fields with
-      | Some (List bs) -> bs
-      | _ -> []
-    in
-    List.filter_map
-      (function
-        | Obj b ->
-          (match List.assoc_opt "id" b, List.assoc_opt "ops_per_sec" b with
-           | Some (Str id), Some (Float ops) ->
-             Some (id, ops, List.assoc_opt "host" b)
-           | Some (Str id), Some (Int ops) ->
-             Some (id, float_of_int ops, List.assoc_opt "host" b)
-           | _ -> None)
-        | _ -> None)
-      benchmarks
-  | Ok _ | Error _ ->
-    Printf.eprintf "%s: not an alcop-selfbench-v1 file\n" path;
-    exit 1
+  let ids =
+    match passes with
+    | first :: _ -> List.map (fun (id, _, _) -> id) first
+    | [] -> []
+  in
+  let benches =
+    List.map
+      (fun id ->
+        let samples =
+          List.filter_map
+            (fun rows ->
+              List.find_map
+                (fun (i, ns, _) -> if i = id then Some ns else None)
+                rows)
+            passes
+        in
+        let host =
+          List.fold_left
+            (fun acc rows ->
+              match
+                List.find_map
+                  (fun (i, _, h) -> if i = id then h else None)
+                  rows
+              with
+              | Some h -> Some h
+              | None -> acc)
+            None passes
+        in
+        { Benchdb.b_id = id; b_stats = Benchdb.summarize samples; b_host = host })
+      ids
+  in
+  let fp = Benchdb.collect_fingerprint () in
+  Printf.printf "fingerprint: %s (git %s, host %s)\n" (Benchdb.fingerprint_id fp)
+    fp.Benchdb.f_git_rev fp.Benchdb.f_host_hash;
+  Benchdb.make_record ~ts:(Unix.time ())
+    ~generated_by:
+      (Printf.sprintf "dune exec bench/main.exe -- selfbench --runs %d" runs)
+    ~machine:hw.Alcop_hw.Hw_config.name ~fingerprint:fp benches
 
-(* When both sides of a compare carry host sub-objects, show why the
-   throughput moved, not just that it did. *)
-let print_host_delta old_host new_host =
-  match old_host, new_host with
-  | Some oh, Some nh ->
-    let f h name =
-      match Option.bind (Alcop_obs.Json.member name h) Alcop_obs.Json.number with
-      | Some v -> v
-      | None -> 0.0
-    in
+let print_stats_table (record : Benchdb.record) =
+  Printf.printf "%-40s %5s %14s %11s %14s %14s %7s\n" "benchmark" "runs"
+    "median ns" "mad ns" "min ns" "p90 ns" "noise";
+  List.iter
+    (fun (b : Benchdb.bench) ->
+      let st = b.Benchdb.b_stats in
+      Printf.printf "%-40s %5d %14.1f %11.1f %14.1f %14.1f %6.1f%%\n"
+        b.Benchdb.b_id st.Benchdb.s_runs st.Benchdb.s_median_ns
+        st.Benchdb.s_mad_ns st.Benchdb.s_min_ns st.Benchdb.s_p90_ns
+        (100.0 *. Benchdb.noise st))
+    record.Benchdb.r_benches
+
+let run_selfbench ?(runs = 1) () =
+  header "Compiler throughput (Bechamel, monotonic clock)";
+  let record = measure ~runs () in
+  if runs > 1 then print_stats_table record;
+  Benchdb.write_file "BENCH_gpusim.json" record;
+  Printf.printf "wrote BENCH_gpusim.json (%d benchmarks, schema %s)\n%!"
+    (List.length record.Benchdb.r_benches) record.Benchdb.r_schema
+
+(* --- bench record / history / trend: the on-disk observatory --- *)
+
+let scale_stats factor (st : Benchdb.stats) =
+  { st with
+    Benchdb.s_median_ns = st.Benchdb.s_median_ns *. factor;
+    s_mad_ns = st.Benchdb.s_mad_ns *. factor;
+    s_min_ns = st.Benchdb.s_min_ns *. factor;
+    s_p90_ns = st.Benchdb.s_p90_ns *. factor;
+    s_mean_ns = st.Benchdb.s_mean_ns *. factor }
+
+let run_record ?(runs = 1) ?(dir = Benchdb.default_history_dir) ?inject () =
+  match inject with
+  | Some factor ->
+    (* Deterministic gate self-test: append the stream's last record with
+       all times scaled by [factor] (1.0 = exact duplicate) instead of
+       measuring — so CI can prove the trend gate trips and un-trips
+       without depending on real timing noise. *)
+    let fp = Benchdb.collect_fingerprint () in
+    let path = Benchdb.history_file ~dir (Benchdb.fingerprint_id fp) in
+    (match Benchdb.read_history path with
+     | Error msg ->
+       Printf.eprintf "record --inject-regression: %s: %s\n" path msg;
+       exit 1
+     | Ok ([], _) ->
+       Printf.eprintf
+         "record --inject-regression: %s has no records to scale yet\n" path;
+       exit 1
+     | Ok (records, _) ->
+       let last = List.nth records (List.length records - 1) in
+       let scaled =
+         { last with
+           Benchdb.r_ts = Some (Unix.time ());
+           r_generated_by =
+             Printf.sprintf "bench record --inject-regression %g" factor;
+           r_benches =
+             List.map
+               (fun (b : Benchdb.bench) ->
+                 { b with Benchdb.b_stats = scale_stats factor b.Benchdb.b_stats })
+               last.Benchdb.r_benches }
+       in
+       (match Benchdb.append ~dir scaled with
+        | Ok path ->
+          Printf.printf "appended injected x%g record to %s\n%!" factor path
+        | Error msg ->
+          Printf.eprintf "record: %s\n" msg;
+          exit 1))
+  | None ->
+    header "Record selfbench into the benchmark history";
+    let record = measure ~runs () in
+    print_stats_table record;
+    (match Benchdb.append ~dir record with
+     | Ok path ->
+       Printf.printf "appended record (%d benchmarks, schema %s) to %s\n%!"
+         (List.length record.Benchdb.r_benches) record.Benchdb.r_schema path
+     | Error msg ->
+       Printf.eprintf "record: %s\n" msg;
+       exit 1)
+
+let fmt_ts = function
+  | None -> "-"
+  | Some ts ->
+    let tm = Unix.gmtime ts in
+    Printf.sprintf "%04d-%02d-%02d %02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+
+let run_history ?id ?(dir = Benchdb.default_history_dir) () =
+  match id with
+  | None ->
+    (match Benchdb.machines ~dir with
+     | [] ->
+       Printf.printf
+         "no history under %s — run `dune exec bench/main.exe -- record` \
+          to start one\n"
+         dir
+     | streams ->
+       List.iter
+         (fun (machine, path) ->
+           match Benchdb.read_history path with
+           | Ok (records, skipped) ->
+             Printf.printf "%-40s %4d records%s\n" machine
+               (List.length records)
+               (if skipped > 0 then
+                  Printf.sprintf " (%d corrupt line%s skipped)" skipped
+                    (if skipped = 1 then "" else "s")
+                else "")
+           | Error msg -> Printf.printf "%-40s unreadable: %s\n" machine msg)
+         streams)
+  | Some id ->
+    let path = Benchdb.history_file ~dir id in
+    (match Benchdb.read_history path with
+     | Error msg ->
+       Printf.eprintf "history: %s: %s\n" path msg;
+       exit 1
+     | Ok (records, skipped) ->
+       if skipped > 0 then
+         Printf.printf "::warning::%s: skipped %d corrupt line%s\n" path
+           skipped
+           (if skipped = 1 then "" else "s");
+       List.iteri
+         (fun i (r : Benchdb.record) ->
+           let rev =
+             match r.Benchdb.r_fingerprint with
+             | Some fp -> fp.Benchdb.f_git_rev
+             | None -> "-"
+           in
+           Printf.printf "#%-3d %-20s git %-10s %2d benchmarks  %s\n" i
+             (fmt_ts r.Benchdb.r_ts) rev
+             (List.length r.Benchdb.r_benches)
+             r.Benchdb.r_generated_by)
+         records)
+
+let run_trend ?(strict = false) ?window ?sensitivity ?min_rel ?machine ?html
+    ?(dir = Benchdb.default_history_dir) () =
+  let streams =
+    match machine with
+    | Some id -> [ (id, Benchdb.history_file ~dir id) ]
+    | None -> Benchdb.machines ~dir
+  in
+  match streams with
+  | [] ->
+    (* an empty observatory is not a regression — the gate stays green
+       until there is history to judge *)
     Printf.printf
-      "  host: serial %.1f%% -> %.1f%% | eff-par %.2f -> %.2f | idle %.0f%% \
-       -> %.0f%% | lock-wait %.1f -> %.1f ms\n"
-      (100.0 *. f oh "serial_fraction")
-      (100.0 *. f nh "serial_fraction")
-      (f oh "effective_parallelism")
-      (f nh "effective_parallelism")
-      (100.0 *. f oh "idle_frac")
-      (100.0 *. f nh "idle_frac")
-      (f oh "lock_wait_ms") (f nh "lock_wait_ms")
-  | _ -> ()
+      "no history under %s — run `dune exec bench/main.exe -- record` to \
+       start one\n"
+      dir
+  | streams ->
+    let loaded =
+      List.filter_map
+        (fun (m, path) ->
+          match Benchdb.read_history path with
+          | Error msg ->
+            if machine <> None then begin
+              Printf.eprintf "trend: %s: %s\n" path msg;
+              exit 1
+            end;
+            Printf.printf "::warning::%s: unreadable stream: %s\n" path msg;
+            None
+          | Ok (records, skipped) ->
+            Some
+              ( m, records, skipped,
+                Benchdb.trends ?window ?sensitivity ?min_rel records ))
+        streams
+    in
+    List.iter
+      (fun (m, records, skipped, trends) ->
+        List.iter print_endline
+          (Benchdb.trend_lines ~machine:m ~skipped records trends);
+        print_newline ())
+      loaded;
+    (match html with
+     | None -> ()
+     | Some file ->
+       let page =
+         Benchdb.trend_page
+           (List.map (fun (m, records, _, trends) -> (m, records, trends)) loaded)
+       in
+       let oc = open_out file in
+       Fun.protect
+         ~finally:(fun () -> close_out oc)
+         (fun () -> output_string oc page);
+       Printf.printf "wrote %s\n%!" file);
+    let regression_count =
+      List.fold_left
+        (fun acc (_, _, _, trends) ->
+          acc + List.length (Benchdb.regressions trends))
+        0 loaded
+    in
+    if strict && regression_count > 0 then begin
+      Printf.printf "strict trend gate: %d regression%s\n" regression_count
+        (if regression_count = 1 then "" else "s");
+      exit 1
+    end
 
-(* Regression check between two selfbench outputs. The default mode is
-   warn-only — it never fails the build (simulated-hardware throughput on
-   shared CI runners is too noisy to gate on) but prints a
-   GitHub-annotation warning for every benchmark that lost more than
-   [tolerance] of its ops/sec against the committed baseline. With
-   [~strict:true] every such regression — and every disappeared benchmark
-   — makes the process exit nonzero, for local gating and for the CI
-   smoke that compares a file against itself (which must always pass). *)
+(* --- selfbench comparison (CI perf tripwire) --- *)
+
+(* Diff two selfbench files (either schema). Warn-only by default —
+   simulated-hardware throughput on shared CI runners is too noisy to
+   gate on pairwise; the history trend gate above is the strict one.
+   With [~strict:true] every regression beyond tolerance — and every
+   disappeared benchmark — makes the process exit nonzero. *)
 let run_compare ?(strict = false) ?(tolerance = 0.20) old_path new_path =
-  let old_rows = read_bench_json old_path in
-  let new_rows = read_bench_json new_path in
-  let failures = ref 0 in
-  let complain fmt =
-    Printf.ksprintf
-      (fun msg ->
-        incr failures;
-        Printf.printf "::%s::%s\n" (if strict then "error" else "warning") msg)
-      fmt
+  let read label path =
+    match Benchdb.read_file path with
+    | Ok r -> r
+    | Error msg ->
+      Printf.eprintf "compare: %s (%s): %s\n" path label msg;
+      exit 1
   in
-  let old_assoc = List.map (fun (id, ops, host) -> (id, (ops, host))) old_rows in
-  let new_ids = List.map (fun (id, _, _) -> id) new_rows in
-  Printf.printf "%-40s %14s %14s %9s\n" "benchmark" "old ops/s" "new ops/s"
-    "ratio";
-  List.iter
-    (fun (id, new_ops, new_host) ->
-      match List.assoc_opt id old_assoc with
-      | None -> Printf.printf "%-40s %14s %14.1f %9s\n" id "(new)" new_ops "-"
-      | Some (old_ops, old_host) ->
-        let ratio = if old_ops > 0.0 then new_ops /. old_ops else 1.0 in
-        Printf.printf "%-40s %14.1f %14.1f %8.2fx\n" id old_ops new_ops ratio;
-        print_host_delta old_host new_host;
-        if ratio < 1.0 -. tolerance then
-          complain
-            "selfbench regression: %s at %.2fx of baseline (%.1f -> %.1f \
-             ops/s, tolerance %.0f%%)"
-            id ratio old_ops new_ops (100.0 *. tolerance))
-    new_rows;
-  List.iter
-    (fun (id, _, _) ->
-      if not (List.mem id new_ids) then
-        complain "selfbench benchmark disappeared: %s" id)
-    old_rows;
-  if strict && !failures > 0 then begin
-    Printf.printf "strict compare: %d failure%s\n" !failures
-      (if !failures = 1 then "" else "s");
+  let old_r = read "OLD" old_path in
+  let new_r = read "NEW" new_path in
+  let result = Benchdb.compare_records ~strict ~tolerance ~old_r ~new_r () in
+  List.iter print_endline result.Benchdb.cmp_lines;
+  if strict && result.Benchdb.cmp_failures > 0 then begin
+    Printf.printf "strict compare: %d failure%s\n" result.Benchdb.cmp_failures
+      (if result.Benchdb.cmp_failures = 1 then "" else "s");
     exit 1
   end
 
@@ -730,8 +879,24 @@ let experiments =
   [ ("fig1b", run_fig1b); ("fig10", run_fig10); ("table3", run_table3);
     ("fig11", run_fig11); ("fig12", run_fig12); ("fig13", run_fig13);
     ("table1", run_table1); ("fig23", run_fig23); ("scaling", run_scaling);
-    ("csv", run_csv); ("selfbench", run_selfbench); ("perf", run_perf);
-    ("report", run_report) ]
+    ("csv", run_csv); ("selfbench", fun () -> run_selfbench ());
+    ("perf", run_perf); ("report", run_report) ]
+
+(* Shared option plumbing for the observatory subcommands. Each [want_*]
+   helper validates one flag value or exits 2 with the offending text. *)
+let bad_value cmd flag v =
+  Printf.eprintf "%s: bad %s %s\n" cmd flag v;
+  exit 2
+
+let want_int cmd flag v ~min =
+  match int_of_string_opt v with
+  | Some n when n >= min -> n
+  | _ -> bad_value cmd flag v
+
+let want_float cmd flag v ~min =
+  match float_of_string_opt v with
+  | Some f when f >= min -> f
+  | _ -> bad_value cmd flag v
 
 (* compare OLD NEW [--strict] [--tolerance FRAC] *)
 let parse_compare rest =
@@ -740,11 +905,7 @@ let parse_compare rest =
     | [] -> ()
     | "--strict" :: rest -> strict := true; go rest
     | "--tolerance" :: v :: rest ->
-      (match float_of_string_opt v with
-       | Some t when t >= 0.0 -> tolerance := t
-       | _ ->
-         Printf.eprintf "compare: bad --tolerance %s\n" v;
-         exit 2);
+      tolerance := want_float "compare" "--tolerance" v ~min:0.0;
       go rest
     | p :: rest -> paths := p :: !paths; go rest
   in
@@ -756,6 +917,95 @@ let parse_compare rest =
     Printf.eprintf
       "usage: compare OLD.json NEW.json [--strict] [--tolerance FRAC]\n";
     exit 2
+
+(* selfbench [--runs N] *)
+let parse_selfbench rest =
+  let runs = ref 1 in
+  let rec go = function
+    | [] -> ()
+    | "--runs" :: v :: rest ->
+      runs := want_int "selfbench" "--runs" v ~min:1;
+      go rest
+    | a :: _ ->
+      Printf.eprintf "usage: selfbench [--runs N] (got %s)\n" a;
+      exit 2
+  in
+  go rest;
+  run_selfbench ~runs:!runs ()
+
+(* record [--runs N] [--history DIR] [--inject-regression FACTOR] *)
+let parse_record rest =
+  let runs = ref 1
+  and dir = ref Benchdb.default_history_dir
+  and inject = ref None in
+  let rec go = function
+    | [] -> ()
+    | "--runs" :: v :: rest ->
+      runs := want_int "record" "--runs" v ~min:1;
+      go rest
+    | "--history" :: v :: rest -> dir := v; go rest
+    | "--inject-regression" :: v :: rest ->
+      inject := Some (want_float "record" "--inject-regression" v ~min:0.0);
+      go rest
+    | a :: _ ->
+      Printf.eprintf
+        "usage: record [--runs N] [--history DIR] [--inject-regression \
+         FACTOR] (got %s)\n"
+        a;
+      exit 2
+  in
+  go rest;
+  run_record ~runs:!runs ~dir:!dir ?inject:!inject ()
+
+(* history [ID] [--history DIR] *)
+let parse_history rest =
+  let dir = ref Benchdb.default_history_dir and id = ref None in
+  let rec go = function
+    | [] -> ()
+    | "--history" :: v :: rest -> dir := v; go rest
+    | a :: rest when !id = None -> id := Some a; go rest
+    | a :: _ ->
+      Printf.eprintf "usage: history [ID] [--history DIR] (got %s)\n" a;
+      exit 2
+  in
+  go rest;
+  run_history ?id:!id ~dir:!dir ()
+
+(* trend [--strict] [--sensitivity S] [--window W] [--min-rel F]
+   [--machine ID] [--html FILE] [--history DIR] *)
+let parse_trend rest =
+  let strict = ref false
+  and window = ref None
+  and sensitivity = ref None
+  and min_rel = ref None
+  and machine = ref None
+  and html = ref None
+  and dir = ref Benchdb.default_history_dir in
+  let rec go = function
+    | [] -> ()
+    | "--strict" :: rest -> strict := true; go rest
+    | "--sensitivity" :: v :: rest ->
+      sensitivity := Some (want_float "trend" "--sensitivity" v ~min:0.0);
+      go rest
+    | "--window" :: v :: rest ->
+      window := Some (want_int "trend" "--window" v ~min:1);
+      go rest
+    | "--min-rel" :: v :: rest ->
+      min_rel := Some (want_float "trend" "--min-rel" v ~min:0.0);
+      go rest
+    | "--machine" :: v :: rest -> machine := Some v; go rest
+    | "--html" :: v :: rest -> html := Some v; go rest
+    | "--history" :: v :: rest -> dir := v; go rest
+    | a :: _ ->
+      Printf.eprintf
+        "usage: trend [--strict] [--sensitivity S] [--window W] [--min-rel \
+         F] [--machine ID] [--html FILE] [--history DIR] (got %s)\n"
+        a;
+      exit 2
+  in
+  go rest;
+  run_trend ~strict:!strict ?window:!window ?sensitivity:!sensitivity
+    ?min_rel:!min_rel ?machine:!machine ?html:!html ~dir:!dir ()
 
 let () =
   (* Strip -j / --jobs N anywhere on the command line; the rest are
@@ -778,6 +1028,10 @@ let () =
     match args with
     | [ "list" ] -> List.iter (fun (n, _) -> print_endline n) experiments
     | "compare" :: rest -> parse_compare rest
+    | "record" :: rest -> parse_record rest
+    | "history" :: rest -> parse_history rest
+    | "trend" :: rest -> parse_trend rest
+    | "selfbench" :: (_ :: _ as rest) -> parse_selfbench rest
     | [] | [ "all" ] ->
       Printf.printf "ALCOP reproduction - all experiments on %s\n"
         hw.Alcop_hw.Hw_config.name;

@@ -698,7 +698,12 @@ let verify_cmd =
    (written by --jsonl-out / --log-jsonl or any Sinks.jsonl consumer). *)
 let load_trace path =
   match Alcop_obs.Trace_reader.load path with
-  | Ok t -> t
+  | Ok t ->
+    if t.Alcop_obs.Trace_reader.tr_skipped > 0 then
+      Printf.eprintf "warning: %s: skipped %d malformed line%s\n" path
+        t.Alcop_obs.Trace_reader.tr_skipped
+        (if t.Alcop_obs.Trace_reader.tr_skipped = 1 then "" else "s");
+    t
   | Error msg ->
     Printf.eprintf "cannot read trace %s: %s\n" path msg;
     exit 1
@@ -738,9 +743,9 @@ let trace_cmd =
     [ trace_summary_cmd; trace_diff_cmd ]
 
 let report_cmd =
-  let run out results_dir bench_json jobs =
+  let run out results_dir bench_json history_dir jobs =
     with_jobs jobs (fun pool ->
-        Exp_report.write ~hw ?pool ~results_dir ~bench_json out);
+        Exp_report.write ~hw ?pool ~results_dir ~bench_json ~history_dir out);
     Printf.printf "HTML report written to %s\n" out
   in
   let out =
@@ -756,15 +761,22 @@ let report_cmd =
   let bench_json =
     Arg.(value & opt string "BENCH_gpusim.json"
          & info [ "bench-json" ] ~docv:"FILE"
-             ~doc:"Selfbench trajectory file (schema alcop-selfbench-v1).")
+             ~doc:"Selfbench trajectory file (schema alcop-selfbench-v2; \
+                   v1 files are still read).")
+  in
+  let history_dir =
+    Arg.(value & opt string Alcop_obs.Benchdb.default_history_dir
+         & info [ "history-dir" ] ~docv:"DIR"
+             ~doc:"Benchmark history directory (written by `bench record`); \
+                   feeds the per-machine trend charts.")
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:"Write the self-contained HTML experiment report: figures 10, \
-             12 and 13, the compiler selfbench, and a stall-class diff \
-             explaining the pipelining speedup. Single file, inline SVG, \
-             no scripts.")
-    Term.(const run $ out $ results_dir $ bench_json $ jobs_term)
+             12 and 13, the compiler selfbench, benchmark-history trend \
+             charts, and a stall-class diff explaining the pipelining \
+             speedup. Single file, inline SVG, no scripts.")
+    Term.(const run $ out $ results_dir $ bench_json $ history_dir $ jobs_term)
 
 let () =
   (* ALCOP_FIXED_TS=1: stamp every event with t=0. With a stateless clock,

@@ -185,6 +185,32 @@ let selfbench_section ~bench_json () =
                (fun (id, ops) -> [ id; Printf.sprintf "%.3g" ops ])
                rows) ]
 
+(* One trend section per machine stream of the benchmark history: the
+   selfbench medians over time with their ±MAD noise bands and any
+   change points the detector flags (doc/benchmarking.md). *)
+let history_sections ~history_dir () =
+  match Benchdb.machines ~dir:history_dir with
+  | [] ->
+    [ Report.section ~title:"Benchmark history"
+        ~intro:
+          (Printf.sprintf
+             "No history recorded under %s yet — run `dune exec \
+              bench/main.exe -- record` to start the stream."
+             history_dir)
+        [] ]
+  | streams ->
+    List.concat_map
+      (fun (machine, path) ->
+        match Benchdb.read_history path with
+        | Error msg ->
+          [ Report.section
+              ~title:(Printf.sprintf "Benchmark history — %s" machine)
+              ~intro:("unreadable stream: " ^ msg)
+              [] ]
+        | Ok (records, _skipped) ->
+          Benchdb.trend_sections ~machine records (Benchdb.trends records))
+      streams
+
 (* Stall diff between the fig 2/3 example's unpipelined baseline and the
    full multi-level pipeline: the per-class cycle deltas partition the
    total cycle delta (each side's classes telescope to its critical
@@ -256,20 +282,22 @@ let stall_diff_section ~hw () =
 (* --- assembly --- *)
 
 let generate ?(hw = Alcop_hw.Hw_config.default) ?pool
-    ?(results_dir = "results") ?(bench_json = "BENCH_gpusim.json") () =
+    ?(results_dir = "results") ?(bench_json = "BENCH_gpusim.json")
+    ?(history_dir = Benchdb.default_history_dir) () =
   Report.page ~title:"ALCOP experiment report"
     ~subtitle:
       (Printf.sprintf
          "Automatic load-compute pipelining, reproduced in simulation \
           (machine: %s). Figures recomputed from %s/*.csv when present."
          hw.Alcop_hw.Hw_config.name results_dir)
-    [ fig10_section ~results_dir ~hw ~pool ();
-      fig12_section ~results_dir ~hw ~pool ();
-      fig13_section ~results_dir ~hw ~pool ();
-      selfbench_section ~bench_json ();
-      stall_diff_section ~hw () ]
+    ([ fig10_section ~results_dir ~hw ~pool ();
+       fig12_section ~results_dir ~hw ~pool ();
+       fig13_section ~results_dir ~hw ~pool ();
+       selfbench_section ~bench_json () ]
+     @ history_sections ~history_dir ()
+     @ [ stall_diff_section ~hw () ])
 
-let write ?hw ?pool ?results_dir ?bench_json path =
-  let html = generate ?hw ?pool ?results_dir ?bench_json () in
+let write ?hw ?pool ?results_dir ?bench_json ?history_dir path =
+  let html = generate ?hw ?pool ?results_dir ?bench_json ?history_dir () in
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc html)

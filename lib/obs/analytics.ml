@@ -184,6 +184,9 @@ let summary_lines (trace : Trace_reader.trace) =
   line "trace: %d events, %d spans, %d roots" trace.tr_events
     (Trace_reader.span_count trace)
     (List.length trace.tr_spans);
+  if trace.tr_skipped > 0 then
+    line "warning: %d malformed line%s skipped while reading" trace.tr_skipped
+      (if trace.tr_skipped = 1 then "" else "s");
   let stats = span_stats trace in
   if stats <> [] then begin
     line "-- spans by total time --";

@@ -4,9 +4,12 @@
    events, histograms — so analyses ("why is variant A faster", "did this
    change regress a pass") run on logs instead of on a live process.
 
-   Parsing is line-by-line on [Json.of_string]; a malformed line aborts
-   with an error naming the line number rather than silently skipping
-   (truncated logs are a bug we want to see — the sinks flush on close). *)
+   Parsing is line-by-line on [Json.of_string]; a malformed line (torn
+   write, truncation, bit rot) is skipped and *counted*, never raised
+   mid-stream — a reader that dies on line 48 of a 50k-line log helps
+   nobody. The count travels with the result ([tr_skipped], the [int]
+   halves of the tuples below) so callers surface one warning instead of
+   silently pretending the log was whole. *)
 
 (* --- shared JSONL / file plumbing (also used by Tune.Tuning_log) --- *)
 
@@ -26,22 +29,27 @@ let json_of_file path =
      | Ok j -> Ok j
      | Error e -> Error (path ^ ": " ^ e))
 
-let fold_jsonl_file path ~init ~f =
+let fold_jsonl_file ?on_skip path ~init ~f =
   match open_in path with
   | exception Sys_error msg -> Error msg
   | ic ->
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
+        let skipped = ref 0 in
         let rec go acc lineno =
           match input_line ic with
-          | exception End_of_file -> Ok acc
+          | exception End_of_file -> Ok (acc, !skipped)
           | line when String.trim line = "" -> go acc (lineno + 1)
           | line ->
             (match Json.of_string line with
              | Ok j -> go (f acc j) (lineno + 1)
              | Error e ->
-               Error (Printf.sprintf "%s:%d: %s" path lineno e))
+               incr skipped;
+               (match on_skip with
+                | Some g -> g ~lineno ~msg:e
+                | None -> ());
+               go acc (lineno + 1))
         in
         go init 1)
 
@@ -101,29 +109,28 @@ let event_of_json j =
 
 let events_of_jsonl text =
   let lines = String.split_on_char '\n' text in
-  let rec go acc lineno = function
-    | [] -> Ok (List.rev acc)
-    | line :: rest when String.trim line = "" -> go acc (lineno + 1) rest
+  let skipped = ref 0 in
+  let rec go acc = function
+    | [] -> (List.rev acc, !skipped)
+    | line :: rest when String.trim line = "" -> go acc rest
     | line :: rest ->
       (match Result.bind (Json.of_string line) event_of_json with
-       | Ok ev -> go (ev :: acc) (lineno + 1) rest
-       | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+       | Ok ev -> go (ev :: acc) rest
+       | Error _ ->
+         incr skipped;
+         go acc rest)
   in
-  go [] 1 lines
+  go [] lines
 
 let events_of_file path =
   match
-    fold_jsonl_file path ~init:(Ok []) ~f:(fun acc j ->
-        match acc with
-        | Error _ -> acc
-        | Ok evs ->
-          (match event_of_json j with
-           | Ok ev -> Ok (ev :: evs)
-           | Error _ as e -> e))
+    fold_jsonl_file path ~init:([], 0) ~f:(fun (evs, bad) j ->
+        match event_of_json j with
+        | Ok ev -> (ev :: evs, bad)
+        | Error _ -> (evs, bad + 1))
   with
   | Error _ as e -> e
-  | Ok (Error _ as e) -> e
-  | Ok (Ok evs) -> Ok (List.rev evs)
+  | Ok ((evs, bad), skipped) -> Ok (List.rev evs, bad + skipped)
 
 (* --- trace reconstruction --- *)
 
@@ -146,6 +153,7 @@ type series = (float * float) list
 
 type trace = {
   tr_events : int;
+  tr_skipped : int;
   tr_spans : span list;
   tr_counters : (string * int) list;
   tr_counter_series : (string * series) list;
@@ -218,6 +226,7 @@ let trace_of_events events =
     List.sort compare (fold_tbl (fun k v acc -> (k, project v) :: acc) [])
   in
   { tr_events = !n;
+    tr_skipped = 0;
     tr_spans = roots;
     tr_counters = sorted_assoc (fun f -> Hashtbl.fold f counters) fst;
     tr_counter_series =
@@ -228,9 +237,14 @@ let trace_of_events events =
     tr_points = List.rev !points;
     tr_hists = sorted_assoc (fun f -> Hashtbl.fold f hists) Fun.id }
 
-let trace_of_jsonl text = Result.map trace_of_events (events_of_jsonl text)
+let trace_of_jsonl text =
+  let evs, skipped = events_of_jsonl text in
+  Ok { (trace_of_events evs) with tr_skipped = skipped }
 
-let load path = Result.map trace_of_events (events_of_file path)
+let load path =
+  Result.map
+    (fun (evs, skipped) -> { (trace_of_events evs) with tr_skipped = skipped })
+    (events_of_file path)
 
 (* --- small conveniences over a trace --- *)
 

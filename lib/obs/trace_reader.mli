@@ -5,13 +5,18 @@
     from individual observations — so offline analyses (trace summaries,
     diffs, reports) work from logs alone.
 
-    Malformed lines are errors naming the line number, never silently
-    skipped: a truncated log means a sink was not flushed, which is a bug
-    worth surfacing. Blank lines are ignored. *)
+    Malformed lines (torn writes, truncation, random corruption) are
+    skipped and {e counted}, never raised mid-stream: a reader that dies
+    on one bad byte of a 50k-line log helps nobody. The count travels
+    with the result ([tr_skipped] and the [int] halves of the tuples
+    below) so callers print one warning naming how much was lost rather
+    than silently pretending the log was whole. Blank lines are ignored
+    and not counted. [Error] is reserved for I/O failure. *)
 
 (** {1 File / JSONL plumbing}
 
-    Shared by other JSONL consumers (e.g. [Tune.Tuning_log]). *)
+    Shared by other JSONL consumers (e.g. [Tune.Tuning_log] and
+    {!Benchdb}'s history store). *)
 
 val read_all : string -> (string, string) result
 (** Whole file as a string; [Error msg] on I/O failure. *)
@@ -20,20 +25,23 @@ val json_of_file : string -> (Json.t, string) result
 (** Parse a whole file as one JSON document. *)
 
 val fold_jsonl_file :
-  string -> init:'a -> f:('a -> Json.t -> 'a) -> ('a, string) result
+  ?on_skip:(lineno:int -> msg:string -> unit) ->
+  string -> init:'a -> f:('a -> Json.t -> 'a) -> ('a * int, string) result
 (** Fold over a JSONL file one parsed line at a time (streaming — the
-    file is never held in memory whole). Stops with [Error "path:line: …"]
-    on the first malformed line. *)
+    file is never held in memory whole). Malformed lines are skipped and
+    counted into the returned [int] ([on_skip], when given, observes each
+    with its line number); [Error] only on I/O failure. *)
 
 (** {1 Events} *)
 
 val event_of_json : Json.t -> (Obs.event, string) result
 (** Inverse of [Sinks.json_of_event]. *)
 
-val events_of_jsonl : string -> (Obs.event list, string) result
-(** Parse an in-memory JSONL document (e.g. from a test sink). *)
+val events_of_jsonl : string -> Obs.event list * int
+(** Parse an in-memory JSONL document (e.g. from a test sink). The [int]
+    counts skipped lines: unparseable JSON or JSON that is not an event. *)
 
-val events_of_file : string -> (Obs.event list, string) result
+val events_of_file : string -> (Obs.event list * int, string) result
 
 (** {1 Trace reconstruction} *)
 
@@ -57,6 +65,7 @@ type series = (float * float) list
 
 type trace = {
   tr_events : int;  (** total events consumed *)
+  tr_skipped : int;  (** malformed lines skipped while reading *)
   tr_spans : span list;  (** root spans in start order *)
   tr_counters : (string * int) list;  (** final totals, sorted by name *)
   tr_counter_series : (string * series) list;
@@ -71,7 +80,8 @@ val trace_of_events : Obs.event list -> trace
 (** Rebuild the span forest from [Span_end] events (which arrive in
     completion order carrying their nesting depth) and aggregate metrics.
     Spans left open in a truncated log are absent; their already-closed
-    children surface as extra roots. *)
+    children surface as extra roots. [tr_skipped] is 0 here — only the
+    file/JSONL entry points below can observe malformed lines. *)
 
 val trace_of_jsonl : string -> (trace, string) result
 

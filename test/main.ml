@@ -28,5 +28,6 @@ let () =
      @ Test_par.suite
      @ Test_hostprof.suite
      @ Test_analytics.suite
+     @ Test_benchdb.suite
      @ Test_profile.suite
      @ Test_property.suite)

@@ -184,6 +184,90 @@ let test_span_tree_reconstruction () =
       (List.map actual_spans trace.Trace_reader.tr_spans);
     Alcotest.(check int) "span count" 5 (Trace_reader.span_count trace)
 
+(* --- corruption tolerance: skip and count, never raise --- *)
+
+let test_corrupt_jsonl_skipped_and_counted () =
+  with_fresh @@ fun () ->
+  let buf = Buffer.create 256 in
+  Obs.add_sink (Sinks.jsonl (Buffer.add_string buf));
+  Obs.with_span "compile" (fun () -> Obs.count "cache.miss");
+  Obs.with_span "simulate" (fun () -> ());
+  Obs.reset ();
+  (* splice garbage between the real lines: truncated JSON, non-JSON, and
+     JSON that is not an event — all three must be skipped and counted *)
+  let good = String.split_on_char '\n' (Buffer.contents buf) in
+  let corrupted =
+    String.concat "\n"
+      (List.concat_map
+         (fun l -> [ l; {|{"type":"span","name":"torn|}; "!!garbage!!" ])
+         (List.filter (fun l -> String.trim l <> "") good)
+      @ [ {|{"no":"type field"}|} ])
+  in
+  (match Trace_reader.trace_of_jsonl corrupted with
+   | Error e -> Alcotest.fail e
+   | Ok trace ->
+     Alcotest.(check int) "all real spans survive" 2
+       (Trace_reader.span_count trace);
+     Alcotest.(check int) "counter survives" 1
+       (Trace_reader.counter trace "cache.miss");
+     (* 2 garbage lines per good line + the typeless object *)
+     Alcotest.(check int) "skips counted"
+       ((2 * List.length (List.filter (fun l -> String.trim l <> "") good)) + 1)
+       trace.Trace_reader.tr_skipped;
+     let summary = Analytics.summary_lines trace in
+     Alcotest.(check bool) "summary warns about skips" true
+       (List.exists
+          (fun l ->
+            String.length l >= 8 && String.sub l 0 8 = "warning:")
+          summary));
+  (* the same stream through a file and [load], with on_skip observation *)
+  let path = Filename.temp_file "alcop_corrupt" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  output_string oc corrupted;
+  close_out oc;
+  match Trace_reader.load path with
+  | Error e -> Alcotest.fail e
+  | Ok trace ->
+    Alcotest.(check int) "file path counts too"
+      ((2 * List.length (List.filter (fun l -> String.trim l <> "") good)) + 1)
+      trace.Trace_reader.tr_skipped
+
+(* Fuzz: corrupt random bytes of a valid JSONL stream; the reader must
+   never raise, and parsed events + skipped lines must account for every
+   non-blank line. *)
+let prop_corruption_never_raises =
+  let count_nonblank text =
+    List.length
+      (List.filter
+         (fun l -> String.trim l <> "")
+         (String.split_on_char '\n' text))
+  in
+  QCheck.Test.make ~count:100 ~name:"random byte corruption never raises"
+    QCheck.(
+      pair
+        (make (Gen.list_size (Gen.int_bound 4) op_gen))
+        (small_list (pair small_nat printable_char)))
+    (fun (script, edits) ->
+      Obs.reset ();
+      install_fake_clock ();
+      let buf = Buffer.create 512 in
+      Obs.add_sink (Sinks.jsonl (Buffer.add_string buf));
+      List.iter exec script;
+      Obs.reset ();
+      let text = Bytes.of_string (Buffer.contents buf) in
+      List.iter
+        (fun (pos, c) ->
+          if Bytes.length text > 0 then
+            Bytes.set text (pos mod Bytes.length text) c)
+        edits;
+      let corrupted = Bytes.to_string text in
+      match Trace_reader.trace_of_jsonl corrupted with
+      | Error e -> QCheck.Test.fail_report e
+      | Ok trace ->
+        trace.Trace_reader.tr_events + trace.Trace_reader.tr_skipped
+        = count_nonblank corrupted)
+
 (* --- critical path --- *)
 
 let test_critical_path () =
@@ -372,6 +456,9 @@ let suite =
         Alcotest.test_case "hist merge" `Quick test_hist_merge_equals_combined;
         Alcotest.test_case "hist bucket edges" `Quick test_hist_bucket_edges;
         QCheck_alcotest.to_alcotest prop_jsonl_roundtrip;
+        Alcotest.test_case "corrupt jsonl skipped and counted" `Quick
+          test_corrupt_jsonl_skipped_and_counted;
+        QCheck_alcotest.to_alcotest prop_corruption_never_raises;
         Alcotest.test_case "span tree reconstruction" `Quick
           test_span_tree_reconstruction;
         Alcotest.test_case "critical path" `Quick test_critical_path;
