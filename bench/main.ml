@@ -379,16 +379,18 @@ let host_lock_wait_ms (p : Hostprof.profile) =
 
 (* The "host" sub-object attached to sweep rows in BENCH_gpusim.json.
    `compare` readers that only know id + ops_per_sec ignore it (schema
-   alcop-selfbench-v1 is unchanged); host-aware compares print deltas. *)
-let host_json (p : Hostprof.profile) =
+   alcop-selfbench-v1 is unchanged); host-aware compares print deltas.
+   [jobs] is the *resolved* worker count the sweep actually ran at —
+   [Hostprof.p_jobs] is 0 for an inline (pool-less) run, which used to
+   mislabel the j1 row (and the jmax alias of it on a 1-core box). *)
+let host_json ~jobs (p : Hostprof.profile) =
   let busy, queue, lock, gc, idle = host_fracs p in
   let open Alcop_obs.Json in
   Obj
-    ([ ("jobs", Int p.Hostprof.p_jobs);
+    ([ ("jobs", Int jobs);
        ("serial_fraction", Float (Hostprof.serial_fraction p));
        ("effective_parallelism", Float (Hostprof.effective_parallelism p));
-       ("expected_speedup",
-        Float (Hostprof.expected_speedup p ~jobs:(max 1 p.Hostprof.p_jobs)));
+       ("expected_speedup", Float (Hostprof.expected_speedup p ~jobs));
        ("busy_frac", Float busy); ("queue_frac", Float queue);
        ("lock_frac", Float lock); ("gc_frac", Float gc);
        ("idle_frac", Float idle);
@@ -490,7 +492,7 @@ let measure_pass ~quiet () =
                  ~hints:lowered.Alcop_sched.Lower.hints
                  lowered.Alcop_sched.Lower.kernel)));
         Test.make ~name:"trace-extract" (Staged.stage (fun () ->
-            ignore (Alcop_gpusim.Trace.extract ~groups kernel)));
+            ignore (Alcop_gpusim.Trace.extract_program ~groups kernel)));
         Test.make ~name:"compile+simulate" (Staged.stage (fun () ->
             ignore (Session.compile cold params spec)));
         Test.make ~name:"session-evaluate-hit" (Staged.stage (fun () ->
@@ -527,12 +529,14 @@ let measure_pass ~quiet () =
   let jmax = max 1 (resolved_jobs ()) in
   let sweep_row label jobs =
     let ns, profile = sweep_once ~profiled:true jobs in
+    (* an inline run (jobs <= 1) has no pool: it resolved to one worker *)
+    let resolved = max 1 jobs in
     if not quiet then
       Printf.printf "%-40s %14.1f ns/run (%.1f ms)\n" label ns (ns /. 1e6);
     (match profile with
      | Some p when not quiet -> print_host_summary p
      | _ -> ());
-    (label, ns, Option.map host_json profile)
+    (label, ns, Option.map (host_json ~jobs:resolved) profile)
   in
   let row1 = sweep_row "alcop/fig10-sweep-j1" 1 in
   let row2 = sweep_row "alcop/fig10-sweep-j2" 2 in

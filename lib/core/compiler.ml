@@ -19,7 +19,7 @@ type compiled = {
   lowered : Lower.lowered;
   kernel : Kernel.t;  (** pipelined *)
   groups : Alcop_pipeline.Analysis.group list;
-  trace : Alcop_gpusim.Trace.event array;
+  program : Alcop_gpusim.Trace.program;  (** packed event trace *)
   timing_request : Alcop_gpusim.Timing.request;
       (** the exact launch the simulator timed — replayable by [Profile] *)
   timing : Alcop_gpusim.Timing.kernel_timing;
@@ -135,9 +135,9 @@ let compile ?(hw = Alcop_hw.Hw_config.default) ?pool
         | Ok result ->
           let kernel = result.Alcop_pipeline.Pass.kernel in
           let groups = Alcop_pipeline.Pass.groups result in
-          let trace =
+          let program =
             Passman.run ~name:"trace" (fun () ->
-                Alcop_gpusim.Trace.extract ~groups kernel)
+                Alcop_gpusim.Trace.extract_program ~groups kernel)
           in
           let elem_bytes = Dtype.size_bytes spec.Op_spec.dtype in
           let smem_per_tb =
@@ -149,7 +149,7 @@ let compile ?(hw = Alcop_hw.Hw_config.default) ?pool
               0 (Stmt.allocs kernel.Kernel.body)
           in
           let request =
-            { Alcop_gpusim.Timing.hw; trace;
+            { Alcop_gpusim.Timing.hw; program;
               total_tbs = Tiling.threadblocks tiling spec;
               warps_per_tb = Tiling.warps tiling;
               smem_per_tb;
@@ -186,7 +186,7 @@ let compile ?(hw = Alcop_hw.Hw_config.default) ?pool
              Obs.count "compile.ok";
              Obs.add_field "latency_cycles" (Alcop_obs.Json.Float latency_cycles);
              Ok
-               { schedule; params; lowered; kernel; groups; trace;
+               { schedule; params; lowered; kernel; groups; program;
                  timing_request = request; timing; latency_cycles })))
 
 (* Functional verification: run the pipelined kernel in the strict

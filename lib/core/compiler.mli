@@ -10,7 +10,9 @@ type compiled = {
   lowered : Lower.lowered;
   kernel : Kernel.t;  (** pipelined *)
   groups : Alcop_pipeline.Analysis.group list;
-  trace : Alcop_gpusim.Trace.event array;
+  program : Alcop_gpusim.Trace.program;
+      (** packed event trace; [Alcop_gpusim.Trace.decode] for the boxed
+          debug view *)
   timing_request : Alcop_gpusim.Timing.request;
       (** the exact launch the simulator timed — replayable by
           [Alcop_gpusim.Profile] *)

@@ -98,11 +98,19 @@ let json_of_params (p : Alcop_perfmodel.Params.t) =
 
 let of_json doc = Digest.string (Json.to_string doc)
 
-let compile_key ~hw ~extra_regs_per_thread params spec =
+(* Bump whenever the compiler's semantics — or the *representation* of its
+   artifacts — changes: v2 is the packed-program trace datapath, which must
+   never be satisfied from entries recorded under the boxed-event one. *)
+let schema_version = 2
+
+let compile_key_v ~version ~hw ~extra_regs_per_thread params spec =
   of_json
     (Json.Obj
-       [ ("v", i 1);  (* bump when the compiler's semantics change keys *)
+       [ ("v", i version);
          ("hw", json_of_hw hw);
          ("spec", json_of_spec spec);
          ("params", json_of_params params);
          ("extra_regs_per_thread", i extra_regs_per_thread) ])
+
+let compile_key ~hw ~extra_regs_per_thread params spec =
+  compile_key_v ~version:schema_version ~hw ~extra_regs_per_thread params spec

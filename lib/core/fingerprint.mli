@@ -34,10 +34,27 @@ val json_of_params : Alcop_perfmodel.Params.t -> Alcop_obs.Json.t
 val of_json : Alcop_obs.Json.t -> t
 (** Digest of the canonical serialization of an arbitrary JSON document. *)
 
+val schema_version : int
+(** Version tag folded into {!compile_key}. Bumped whenever compiler
+    semantics or artifact representation change (v2: packed-program
+    traces), so cache entries can never replay across representations. *)
+
 val compile_key :
   hw:Alcop_hw.Hw_config.t ->
   extra_regs_per_thread:int ->
   Alcop_perfmodel.Params.t ->
   Alcop_sched.Op_spec.t ->
   t
-(** The cache key of one [Compiler.compile] invocation. *)
+(** The cache key of one [Compiler.compile] invocation, under the current
+    {!schema_version}. *)
+
+val compile_key_v :
+  version:int ->
+  hw:Alcop_hw.Hw_config.t ->
+  extra_regs_per_thread:int ->
+  Alcop_perfmodel.Params.t ->
+  Alcop_sched.Op_spec.t ->
+  t
+(** {!compile_key} under an explicit schema version — exists so the
+    schema-bump test can prove old-version keys cannot alias current
+    ones. *)

@@ -28,7 +28,7 @@ type mode =
 
 type storage = {
   buffer : Buffer.t;
-  data : float array;
+  data : Tensor.data;  (* unboxed float64 bigarray, like [Tensor] itself *)
   strides : int array;
 }
 
@@ -67,15 +67,18 @@ type state = {
 }
 
 let storage_of_buffer (b : Buffer.t) =
-  { buffer = b; data = Array.make (Buffer.num_elements b) 0.0;
-    strides = Tensor.strides_of b.Buffer.shape }
+  let data = Tensor.alloc (Buffer.num_elements b) in
+  Bigarray.Array1.fill data 0.0;
+  { buffer = b; data; strides = Tensor.strides_of b.Buffer.shape }
 
 let storage_of_tensor (b : Buffer.t) (t : Tensor.t) =
-  if t.Tensor.shape <> b.Buffer.shape then
+  if not (Tensor.shape_equal t.Tensor.shape b.Buffer.shape) then
     fail "input %s has shape [%s] but kernel expects [%s]" b.Buffer.name
       (String.concat "," (List.map string_of_int t.Tensor.shape))
       (String.concat "," (List.map string_of_int b.Buffer.shape));
-  { buffer = b; data = Array.copy t.Tensor.data; strides = t.Tensor.strides }
+  let data = Tensor.alloc (Bigarray.Array1.dim t.Tensor.data) in
+  Bigarray.Array1.blit t.Tensor.data data;
+  { buffer = b; data; strides = t.Tensor.strides }
 
 let record_writes st (target : storage) offs =
   if st.check_races then begin
@@ -167,7 +170,7 @@ let exec_copy st ~(kind : Stmt.copy_kind) ~dst ~src ~fused =
     fail "copy size mismatch: %s (%d) <- %s (%d)" dst.Stmt.buffer
       (Array.length dst_offs) src.Stmt.buffer (Array.length src_offs);
   let values =
-    apply_op fused (Array.map (fun o -> src_storage.data.(o)) src_offs)
+    apply_op fused (Array.map (fun o -> src_storage.data.{o}) src_offs)
   in
   let staged =
     match st.mode, kind with
@@ -189,7 +192,7 @@ let exec_copy st ~(kind : Stmt.copy_kind) ~dst ~src ~fused =
     pipe.current <- pipe.current @ writes
   | Some _ | None ->
     record_writes st dst_storage dst_offs;
-    Array.iteri (fun i o -> dst_storage.data.(o) <- values.(i)) dst_offs
+    Array.iteri (fun i o -> dst_storage.data.{o} <- values.(i)) dst_offs
 
 let exec_sync st (s : Stmt.sync) =
   let pipe gid =
@@ -219,7 +222,7 @@ let exec_sync st (s : Stmt.sync) =
       (match Queue.take_opt p.pending with
        | None -> fail "consumer_wait on %s with no committed group (deadlock)" gid
        | Some writes ->
-         List.iter (fun w -> w.target.data.(w.flat) <- w.value) writes;
+         List.iter (fun w -> w.target.data.{w.flat} <- w.value) writes;
          p.waited <- p.waited + 1)
     | Stmt.Consumer_release gid ->
       let p = pipe gid in
@@ -236,14 +239,14 @@ let exec_mma st ~c ~a ~b =
   | [ m; n ], [ _; k ], [ _; _ ] ->
     for i = 0 to m - 1 do
       for j = 0 to n - 1 do
-        let acc = ref c_st.data.(c_offs.((i * n) + j)) in
+        let acc = ref c_st.data.{c_offs.((i * n) + j)} in
         for kk = 0 to k - 1 do
           acc :=
             !acc
-            +. (a_st.data.(a_offs.((i * k) + kk))
-                *. b_st.data.(b_offs.((j * k) + kk)))
+            +. (a_st.data.{a_offs.((i * k) + kk)}
+                *. b_st.data.{b_offs.((j * k) + kk)})
         done;
-        c_st.data.(c_offs.((i * n) + j)) <- !acc
+        c_st.data.{c_offs.((i * n) + j)} <- !acc
       done
     done
   | _ -> fail "mma operands are not (squeezed) rank-2 regions"
@@ -299,7 +302,7 @@ let rec exec st stmt =
   | Stmt.Fill { dst; value } ->
     let s, offs = region_offsets st dst in
     record_writes st s offs;
-    Array.iter (fun o -> s.data.(o) <- value) offs
+    Array.iter (fun o -> s.data.{o} <- value) offs
   | Stmt.Mma { c; a; b } -> exec_mma st ~c ~a ~b
   | Stmt.Unop { dst; src; op } ->
     exec_copy st ~kind:Stmt.Sync_copy ~dst ~src ~fused:(Some op)
@@ -310,7 +313,9 @@ let rec exec st stmt =
       fail "accum size mismatch: %s += %s" dst.Stmt.buffer src.Stmt.buffer;
     record_writes st dst_storage dst_offs;
     Array.iteri
-      (fun i o -> dst_storage.data.(o) <- dst_storage.data.(o) +. src_storage.data.(src_offs.(i)))
+      (fun i o ->
+        dst_storage.data.{o} <-
+          dst_storage.data.{o} +. src_storage.data.{src_offs.(i)})
       dst_offs
   | Stmt.Sync s -> exec_sync st s
 

@@ -60,14 +60,14 @@ let stages_of t gid =
 
 (* --- recording --- *)
 
-let record_wave ~stages label count (cfg : Timing.config) trace =
+let record_wave ~stages label count (cfg : Timing.config) program =
   let advances : Timing.advance list ref = ref [] in
   let flights : Timing.flight list ref = ref [] in
   let probe =
     { Timing.on_advance = (fun a -> advances := a :: !advances);
       on_flight = (fun f -> flights := f :: !flights) }
   in
-  let result = Timing.simulate_wave ~probe cfg trace in
+  let result = Timing.simulate_program ~probe cfg program in
   let seg_of (a : Timing.advance) =
     let stage =
       match a.Timing.adv_group with
@@ -140,10 +140,11 @@ let run ?(op = "kernel") ?(schedule = "")
          List.filter_map Fun.id
            [ Option.map
                (fun cfg ->
-                 record_wave ~stages "full" pl.Timing.full_waves cfg req.trace)
+                 record_wave ~stages "full" pl.Timing.full_waves cfg
+                   req.program)
                pl.Timing.full_cfg;
              Option.map
-               (fun cfg -> record_wave ~stages "tail" 1 cfg req.trace)
+               (fun cfg -> record_wave ~stages "tail" 1 cfg req.program)
                pl.Timing.tail_cfg ]
        in
        Ok

@@ -1,17 +1,26 @@
 (* Dense row-major host tensors used by the functional interpreter and the
    reference implementations. Values are held as float64 regardless of the
-   declared dtype; dtype drives byte accounting only. *)
+   declared dtype; dtype drives byte accounting only.
+
+   Storage is an unboxed [Bigarray.Array1] (float64, C layout): element
+   reads and writes never touch the OCaml heap, so functional-correctness
+   runs stop churning the minor heap, and the payload is invisible to the
+   GC entirely. *)
 
 open Alcop_ir
+
+type data = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 type t = {
   shape : int list;
   strides : int array;
-  data : float array;
+  data : data;
   dtype : Dtype.t;
 }
 
 let num_elements shape = List.fold_left ( * ) 1 shape
+
+let shape_equal a b = List.equal Int.equal a b
 
 let strides_of shape =
   let dims = Array.of_list shape in
@@ -22,29 +31,35 @@ let strides_of shape =
   done;
   strides
 
+let alloc n = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
+
 let create ?(dtype = Dtype.F16) shape value =
-  if shape = [] || List.exists (fun d -> d <= 0) shape then
-    invalid_arg "Tensor.create: bad shape";
-  { shape; strides = strides_of shape;
-    data = Array.make (num_elements shape) value; dtype }
+  let ok =
+    match shape with
+    | [] -> false
+    | dims -> List.for_all (fun d -> d > 0) dims
+  in
+  if not ok then invalid_arg "Tensor.create: bad shape";
+  let data = alloc (num_elements shape) in
+  Bigarray.Array1.fill data value;
+  { shape; strides = strides_of shape; data; dtype }
 
 let zeros ?dtype shape = create ?dtype shape 0.0
 
 let init ?(dtype = Dtype.F16) shape f =
-  let dims = Array.of_list shape in
   let strides = strides_of shape in
   let n = num_elements shape in
-  let idx = Array.make (Array.length dims) 0 in
-  let data =
-    Array.init n (fun flat ->
-        let rem = ref flat in
-        Array.iteri
-          (fun d s ->
-            idx.(d) <- !rem / s;
-            rem := !rem mod s)
-          strides;
-        f (Array.copy idx))
-  in
+  let data = alloc n in
+  let idx = Array.make (Array.length strides) 0 in
+  for flat = 0 to n - 1 do
+    let rem = ref flat in
+    Array.iteri
+      (fun d s ->
+        idx.(d) <- !rem / s;
+        rem := !rem mod s)
+      strides;
+    Bigarray.Array1.unsafe_set data flat (f (Array.copy idx))
+  done;
   { shape; strides; data; dtype }
 
 (* Deterministic pseudo-random tensor in [-1, 1), seeded per tensor so tests
@@ -57,44 +72,60 @@ let random ?(dtype = Dtype.F16) ~seed shape =
     (float_of_int !state /. 536870912.0) -. 1.0
   in
   let n = num_elements shape in
-  { shape; strides = strides_of shape; data = Array.init n (fun _ -> next ());
-    dtype }
+  let data = alloc n in
+  for flat = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set data flat (next ())
+  done;
+  { shape; strides = strides_of shape; data; dtype }
 
 let get t idx =
   let flat = ref 0 in
   Array.iteri (fun d i -> flat := !flat + (i * t.strides.(d))) idx;
-  t.data.(!flat)
+  Bigarray.Array1.get t.data !flat
 
 let set t idx v =
   let flat = ref 0 in
   Array.iteri (fun d i -> flat := !flat + (i * t.strides.(d))) idx;
-  t.data.(!flat) <- v
+  Bigarray.Array1.set t.data !flat v
 
 let of_buffer (b : Buffer.t) =
   zeros ~dtype:b.Buffer.dtype b.Buffer.shape
 
-let map f t = { t with data = Array.map f t.data }
+let map f t =
+  let n = Bigarray.Array1.dim t.data in
+  let data = alloc n in
+  for i = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set data i (f (Bigarray.Array1.unsafe_get t.data i))
+  done;
+  { t with data }
 
 let max_abs_diff a b =
-  if a.shape <> b.shape then invalid_arg "Tensor.max_abs_diff: shape mismatch";
+  if not (shape_equal a.shape b.shape) then
+    invalid_arg "Tensor.max_abs_diff: shape mismatch";
   let worst = ref 0.0 in
-  Array.iteri
-    (fun i x -> worst := Float.max !worst (Float.abs (x -. b.data.(i))))
-    a.data;
+  for i = 0 to Bigarray.Array1.dim a.data - 1 do
+    worst :=
+      Float.max !worst
+        (Float.abs
+           (Bigarray.Array1.unsafe_get a.data i
+            -. Bigarray.Array1.unsafe_get b.data i))
+  done;
   !worst
 
 let allclose ?(atol = 1e-6) ?(rtol = 1e-6) a b =
-  if a.shape <> b.shape then false
-  else
+  if not (shape_equal a.shape b.shape) then false
+  else begin
     let ok = ref true in
-    Array.iteri
-      (fun i x ->
-        let y = b.data.(i) in
-        if Float.abs (x -. y) > atol +. (rtol *. Float.abs y) then ok := false)
-      a.data;
+    for i = 0 to Bigarray.Array1.dim a.data - 1 do
+      let x = Bigarray.Array1.unsafe_get a.data i in
+      let y = Bigarray.Array1.unsafe_get b.data i in
+      if Float.abs (x -. y) > atol +. (rtol *. Float.abs y) then ok := false
+    done;
     !ok
+  end
 
 let pp fmt t =
   Format.fprintf fmt "tensor[%s] %a (%d elements)"
     (String.concat "x" (List.map string_of_int t.shape))
-    Dtype.pp t.dtype (Array.length t.data)
+    Dtype.pp t.dtype
+    (Bigarray.Array1.dim t.data)

@@ -1,18 +1,27 @@
 (** Dense row-major host tensors for the functional interpreter and
     reference implementations. Values are float64; dtype drives byte
-    accounting only. *)
+    accounting only. Storage is an unboxed [Bigarray.Array1] (float64,
+    C layout), so element access never allocates on the OCaml heap. *)
 
 open Alcop_ir
+
+type data = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 type t = {
   shape : int list;
   strides : int array;
-  data : float array;
+  data : data;
   dtype : Dtype.t;
 }
 
 val num_elements : int list -> int
 val strides_of : int list -> int array
+
+val shape_equal : int list -> int list -> bool
+(** Dimension-wise integer equality (no polymorphic compare). *)
+
+val alloc : int -> data
+(** Fresh uninitialized float64 storage of [n] elements. *)
 
 val create : ?dtype:Dtype.t -> int list -> float -> t
 val zeros : ?dtype:Dtype.t -> int list -> t

@@ -23,6 +23,15 @@
    learned cost models retain an edge over the analytical model alone
    (paper Sec. IV-C).
 
+   The replay engine runs on the packed [Trace.program] representation:
+   per-threadblock state lives in flat arrays indexed by threadblock (and
+   by threadblock x group for pipeline accounting), and batch ordinals /
+   ring depths are read off the program instead of being discovered with
+   queues — every threadblock executes the same program, so they are
+   static. All per-wave state comes from a domain-local scratch arena that
+   grows to the high-water mark and is reused across waves, so a wave
+   simulation allocates O(1) words regardless of trace length.
+
    Every advance of a threadblock's simulated clock can additionally be
    observed through a [probe]: the engine labels each interval with the
    stall class that caused it (the substrate of [Profile]), and reports
@@ -82,47 +91,6 @@ let stall_class_name = function
 let all_stall_classes =
   [ Compute; Dram_bw; Llc_bw; Smem_port; Sync_wait; Issue; Launch ]
 
-(* Cause composition of a set of outstanding loads: how much of their
-   completion time went to DRAM service/queueing, LLC service/queueing,
-   shared-memory throughput, and fixed round-trip latency. When a consumer
-   stalls on those loads the dominant component classifies the stall:
-   queue-heavy loads mean the stall is a bandwidth problem (more pipeline
-   stages will NOT hide it), latency-heavy loads mean it is hideable
-   latency (the Fig. 1b story). *)
-type mix = {
-  mutable mx_dram : float;
-  mutable mx_llc : float;
-  mutable mx_smem : float;
-  mutable mx_lat : float;
-}
-
-let mix () = { mx_dram = 0.0; mx_llc = 0.0; mx_smem = 0.0; mx_lat = 0.0 }
-
-let mix_reset m =
-  m.mx_dram <- 0.0;
-  m.mx_llc <- 0.0;
-  m.mx_smem <- 0.0;
-  m.mx_lat <- 0.0
-
-let mix_copy m =
-  { mx_dram = m.mx_dram; mx_llc = m.mx_llc; mx_smem = m.mx_smem;
-    mx_lat = m.mx_lat }
-
-let mix_add dst src =
-  dst.mx_dram <- dst.mx_dram +. src.mx_dram;
-  dst.mx_llc <- dst.mx_llc +. src.mx_llc;
-  dst.mx_smem <- dst.mx_smem +. src.mx_smem;
-  dst.mx_lat <- dst.mx_lat +. src.mx_lat
-
-let dominant m =
-  if m.mx_dram > 0.0 && m.mx_dram >= m.mx_llc && m.mx_dram >= m.mx_smem
-     && m.mx_dram >= m.mx_lat
-  then Dram_bw
-  else if m.mx_llc > 0.0 && m.mx_llc >= m.mx_smem && m.mx_llc >= m.mx_lat then
-    Llc_bw
-  else if m.mx_smem > 0.0 && m.mx_smem >= m.mx_lat then Smem_port
-  else Sync_wait
-
 type advance = {
   adv_tb : int;
   adv_class : stall_class;
@@ -151,35 +119,6 @@ type probe = {
   on_flight : flight -> unit;
 }
 
-type pipe_acct = {
-  mutable open_batch : float;
-  mutable committed : int;  (** batches committed so far *)
-  mutable taken : int;  (** batches consumed by waits so far *)
-  open_mix : mix;
-  batches : (float * mix) Queue.t;
-}
-
-type tb = {
-  mutable time : float;
-  mutable cursor : int;
-  mutable sync_recent : float;
-      (** completion of synchronous loads issued since the last compute *)
-  mutable sync_due : float;
-      (** completion a compute event must wait for: synchronous loads up to
-          the previous compute. The one-iteration lookahead models the
-          instruction scheduler hoisting unrolled register loads above the
-          preceding iteration's math (implicit register double-buffering of
-          real compiled kernels), without which unpipelined baselines are
-          unrealistically slow. *)
-  mutable all_outstanding : float;
-  mutable at_boundary : bool;
-      (** a barrier or synchronized wait was just crossed: the next compute
-          cannot benefit from hoisted loads (nothing moves above a barrier) *)
-  sync_mix : mix;  (** cause composition behind [sync_recent] *)
-  due_mix : mix;  (** cause composition behind [sync_due] *)
-  pipes : (string, pipe_acct) Hashtbl.t;
-}
-
 type wave_result = {
   cycles : float;
   compute_busy : float;
@@ -188,18 +127,162 @@ type wave_result = {
   smem_busy : float;
 }
 
-let pipe_of tb gid =
-  match Hashtbl.find_opt tb.pipes gid with
-  | Some p -> p
-  | None ->
-    let p =
-      { open_batch = 0.0; committed = 0; taken = 0; open_mix = mix ();
-        batches = Queue.create () }
-    in
-    Hashtbl.replace tb.pipes gid p;
-    p
+(* --- cause mixes, packed ---
 
-let simulate_wave ?probe (cfg : config) (trace : Trace.event array) =
+   Cause composition of a set of outstanding loads: how much of their
+   completion time went to DRAM service/queueing, LLC service/queueing,
+   shared-memory throughput, and fixed round-trip latency. When a consumer
+   stalls on those loads the dominant component classifies the stall:
+   queue-heavy loads mean the stall is a bandwidth problem (more pipeline
+   stages will NOT hide it), latency-heavy loads mean it is hideable
+   latency (the Fig. 1b story).
+
+   A mix is four consecutive floats [dram; llc; smem; lat] at a base index
+   of a flat array — no records, so tracking waves reuse scratch too. *)
+
+let mix_reset4 m base =
+  m.(base) <- 0.0;
+  m.(base + 1) <- 0.0;
+  m.(base + 2) <- 0.0;
+  m.(base + 3) <- 0.0
+
+let mix_copy4 dst dbase src sbase =
+  dst.(dbase) <- src.(sbase);
+  dst.(dbase + 1) <- src.(sbase + 1);
+  dst.(dbase + 2) <- src.(sbase + 2);
+  dst.(dbase + 3) <- src.(sbase + 3)
+
+let mix_add4 dst dbase src sbase =
+  dst.(dbase) <- dst.(dbase) +. src.(sbase);
+  dst.(dbase + 1) <- dst.(dbase + 1) +. src.(sbase + 1);
+  dst.(dbase + 2) <- dst.(dbase + 2) +. src.(sbase + 2);
+  dst.(dbase + 3) <- dst.(dbase + 3) +. src.(sbase + 3)
+
+let mix_dominant m base =
+  let d = m.(base) and l = m.(base + 1) and s = m.(base + 2)
+  and t = m.(base + 3) in
+  if d > 0.0 && d >= l && d >= s && d >= t then Dram_bw
+  else if l > 0.0 && l >= s && l >= t then Llc_bw
+  else if s > 0.0 && s >= t then Smem_port
+  else Sync_wait
+
+(* --- advance arena ---
+
+   Preallocated, reusable buffer of (tb, class, start, stop) records — the
+   packed replacement of the old [advance list ref] bucket recorder in
+   [run]. One per domain; [run] resets it, the representative wave fills
+   it, [critical_stall_fractions] reads it before [run] returns. *)
+
+type adv_arena = {
+  mutable a_n : int;
+  mutable a_tb : int array;
+  mutable a_cls : int array;
+  mutable a_start : float array;
+  mutable a_stop : float array;
+}
+
+let stall_class_index = function
+  | Compute -> 0
+  | Dram_bw -> 1
+  | Llc_bw -> 2
+  | Smem_port -> 3
+  | Sync_wait -> 4
+  | Issue -> 5
+  | Launch -> 6
+
+let stall_class_of_index =
+  [| Compute; Dram_bw; Llc_bw; Smem_port; Sync_wait; Issue; Launch |]
+
+let arena_key =
+  Domain.DLS.new_key (fun () ->
+      { a_n = 0; a_tb = [||]; a_cls = [||]; a_start = [||]; a_stop = [||] })
+
+let obtain_arena () =
+  let a = Domain.DLS.get arena_key in
+  a.a_n <- 0;
+  a
+
+let arena_push a tb cls start stop =
+  let cap = Array.length a.a_tb in
+  if a.a_n = cap then begin
+    let ncap = if cap = 0 then 1024 else 2 * cap in
+    let gi old =
+      let x = Array.make ncap 0 in
+      Array.blit old 0 x 0 cap;
+      x
+    in
+    let gf old =
+      let x = Array.make ncap 0.0 in
+      Array.blit old 0 x 0 cap;
+      x
+    in
+    a.a_tb <- gi a.a_tb;
+    a.a_cls <- gi a.a_cls;
+    a.a_start <- gf a.a_start;
+    a.a_stop <- gf a.a_stop
+  end;
+  let k = a.a_n in
+  a.a_tb.(k) <- tb;
+  a.a_cls.(k) <- stall_class_index cls;
+  a.a_start.(k) <- start;
+  a.a_stop.(k) <- stop;
+  a.a_n <- k + 1
+
+(* --- per-wave scratch ---
+
+   Flat state arrays, domain-local and grow-only: acquired at the top of a
+   wave simulation, zeroed to the needed extent, returned on exit. The
+   [in_use] flag catches re-entrancy (a probe callback that itself
+   simulates) by falling back to a fresh allocation. *)
+
+type scratch = {
+  mutable in_use : bool;
+  mutable sc_time : float array;  (* per tb *)
+  mutable sc_recent : float array;  (* per tb: sync_recent *)
+  mutable sc_due : float array;  (* per tb: sync_due *)
+  mutable sc_out : float array;  (* per tb: all_outstanding *)
+  mutable sc_cursor : int array;  (* per tb *)
+  mutable sc_boundary : bool array;  (* per tb: at_boundary *)
+  mutable sc_open : float array;  (* per tb x group: open batch *)
+  mutable sc_ring : float array;  (* per tb x group x depth slot *)
+  mutable sc_sync_mix : float array;  (* per tb, tracking only *)
+  mutable sc_due_mix : float array;  (* per tb, tracking only *)
+  mutable sc_open_mix : float array;  (* per tb x group, tracking only *)
+  mutable sc_ring_mix : float array;  (* per ring slot, tracking only *)
+}
+
+let fresh_scratch () =
+  { in_use = false; sc_time = [||]; sc_recent = [||]; sc_due = [||];
+    sc_out = [||]; sc_cursor = [||]; sc_boundary = [||]; sc_open = [||];
+    sc_ring = [||]; sc_sync_mix = [||]; sc_due_mix = [||];
+    sc_open_mix = [||]; sc_ring_mix = [||] }
+
+let scratch_key = Domain.DLS.new_key fresh_scratch
+
+let fgrow cur n =
+  if Array.length cur >= n then begin
+    Array.fill cur 0 n 0.0;
+    cur
+  end
+  else Array.make n 0.0
+
+let igrow cur n =
+  if Array.length cur >= n then begin
+    Array.fill cur 0 n 0;
+    cur
+  end
+  else Array.make n 0
+
+let bgrow cur n =
+  if Array.length cur >= n then begin
+    Array.fill cur 0 n false;
+    cur
+  end
+  else Array.make n false
+
+(* --- the wave engine --- *)
+
+let simulate_packed ?probe ?arena (cfg : config) (p : Trace.program) =
   let hw = cfg.hw in
   let active = float_of_int (max 1 cfg.active_sms) in
   let dram = server () and llc = server () and smem = server ()
@@ -219,168 +302,325 @@ let simulate_wave ?probe (cfg : config) (trace : Trace.event array) =
     +. (cfg.miss_rate
         *. (hw.Alcop_hw.Hw_config.dram_latency -. hw.Alcop_hw.Hw_config.llc_latency))
   in
-  let tracking = Option.is_some probe in
+  let smem_latency = hw.Alcop_hw.Hw_config.smem_latency in
+  let tracking = probe <> None || arena <> None in
+  let probe_on = probe <> None in
   let att i cls group ordinal start stop =
-    match probe with
-    | Some p when stop > start ->
-      p.on_advance
-        { adv_tb = i; adv_class = cls; adv_group = group;
-          adv_ordinal = ordinal; adv_start = start; adv_stop = stop }
-    | _ -> ()
+    if stop > start then begin
+      (match probe with
+       | Some pr ->
+         pr.on_advance
+           { adv_tb = i; adv_class = cls; adv_group = group;
+             adv_ordinal = ordinal; adv_start = start; adv_stop = stop }
+       | None -> ());
+      match arena with
+      | Some a -> arena_push a i cls start stop
+      | None -> ()
+    end
   in
-  let tbs =
-    Array.init cfg.residents (fun _ ->
-        { time = 0.0; cursor = 0; sync_recent = 0.0; sync_due = 0.0;
-          all_outstanding = 0.0; at_boundary = false; sync_mix = mix ();
-          due_mix = mix (); pipes = Hashtbl.create 4 })
+  let r = cfg.residents in
+  let ng = Array.length p.Trace.groups in
+  let maxd =
+    Array.fold_left (fun acc d -> max acc d) 1 p.Trace.group_depth
   in
-  let n = Array.length trace in
-  let step i tb =
-    let t0 = tb.time in
+  let is_barrier =
+    Array.map (fun gid -> List.mem gid cfg.barrier_groups) p.Trace.groups
+  in
+  let sc =
+    let sc = Domain.DLS.get scratch_key in
+    if sc.in_use then fresh_scratch () else sc
+  in
+  sc.in_use <- true;
+  Fun.protect ~finally:(fun () -> sc.in_use <- false) @@ fun () ->
+  sc.sc_time <- fgrow sc.sc_time r;
+  sc.sc_recent <- fgrow sc.sc_recent r;
+  sc.sc_due <- fgrow sc.sc_due r;
+  sc.sc_out <- fgrow sc.sc_out r;
+  sc.sc_cursor <- igrow sc.sc_cursor r;
+  sc.sc_boundary <- bgrow sc.sc_boundary r;
+  sc.sc_open <- fgrow sc.sc_open (r * ng);
+  sc.sc_ring <- fgrow sc.sc_ring (r * ng * maxd);
+  if tracking then begin
+    sc.sc_sync_mix <- fgrow sc.sc_sync_mix (4 * r);
+    sc.sc_due_mix <- fgrow sc.sc_due_mix (4 * r);
+    sc.sc_open_mix <- fgrow sc.sc_open_mix (4 * r * ng);
+    sc.sc_ring_mix <- fgrow sc.sc_ring_mix (4 * r * ng * maxd)
+  end;
+  let time = sc.sc_time and recent = sc.sc_recent and due = sc.sc_due
+  and out = sc.sc_out and cursor = sc.sc_cursor
+  and boundary = sc.sc_boundary and openb = sc.sc_open
+  and ring = sc.sc_ring in
+  let sync_mix = sc.sc_sync_mix and due_mix = sc.sc_due_mix
+  and open_mix = sc.sc_open_mix and ring_mix = sc.sc_ring_mix in
+  let n = p.Trace.n in
+  let opcode = p.Trace.opcode and arg = p.Trace.arg
+  and group = p.Trace.group and flags = p.Trace.flags
+  and batch = p.Trace.batch and gdepth = p.Trace.group_depth in
+  let step i =
+    let t0 = time.(i) in
     let now = t0 +. cfg.issue_overhead in
-    att i Issue None (-1) t0 now;
-    (match trace.(tb.cursor) with
-     | Trace.Load { level; bytes; async; group } ->
-       let b = float_of_int bytes in
-       let lmix = if tracking then Some (mix ()) else None in
-       let completion =
-         match level with
-         | Trace.From_global ->
-           let lf = serve llc ~now ~cost:(b /. llc_rate) in
-           let df = serve dram ~now ~cost:(b *. cfg.miss_rate /. dram_rate) in
-           (match lmix with
-            | Some m ->
-              m.mx_llc <- Float.max 0.0 (lf -. now);
-              m.mx_dram <- Float.max 0.0 (df -. now);
-              m.mx_lat <- load_latency
-            | None -> ());
-           Float.max lf df +. load_latency
-         | Trace.From_shared ->
-           let sf = serve smem ~now ~cost:(b *. cfg.smem_penalty /. smem_rate) in
-           (match lmix with
-            | Some m ->
-              m.mx_smem <- Float.max 0.0 (sf -. now);
-              m.mx_lat <- hw.Alcop_hw.Hw_config.smem_latency
-            | None -> ());
-           sf +. hw.Alcop_hw.Hw_config.smem_latency
-       in
-       tb.all_outstanding <- Float.max tb.all_outstanding completion;
-       let batch_ord = ref (-1) in
-       (if async then begin
-          match group with
-          | Some gid ->
-            let p = pipe_of tb gid in
-            p.open_batch <- Float.max p.open_batch completion;
-            batch_ord := p.committed;
-            (match lmix with Some m -> mix_add p.open_mix m | None -> ())
-          | None ->
-            tb.sync_recent <- Float.max tb.sync_recent completion;
-            (match lmix with Some m -> mix_add tb.sync_mix m | None -> ())
+    if tracking then att i Issue None (-1) t0 now;
+    let c = cursor.(i) in
+    let op = opcode.{c} in
+    if op = Trace.op_load then begin
+      let bytes = arg.{c} in
+      let b = float_of_int bytes in
+      let fl = flags.{c} in
+      let shared = fl land Trace.flag_shared <> 0 in
+      let async = fl land Trace.flag_async <> 0 in
+      let g = group.{c} in
+      let piped = async && g >= 0 in
+      (* destination accumulator of this load's cause components: the open
+         batch of its pipe, or the threadblock's synchronous scoreboard *)
+      let dst, dbase =
+        if not tracking then (sync_mix, 0)
+        else if piped then (open_mix, 4 * ((i * ng) + g))
+        else (sync_mix, 4 * i)
+      in
+      let completion =
+        if not shared then begin
+          let lf = serve llc ~now ~cost:(b /. llc_rate) in
+          let df = serve dram ~now ~cost:(b *. cfg.miss_rate /. dram_rate) in
+          if tracking then begin
+            dst.(dbase) <- dst.(dbase) +. Float.max 0.0 (df -. now);
+            dst.(dbase + 1) <- dst.(dbase + 1) +. Float.max 0.0 (lf -. now);
+            dst.(dbase + 3) <- dst.(dbase + 3) +. load_latency
+          end;
+          Float.max lf df +. load_latency
         end
         else begin
-          tb.sync_recent <- Float.max tb.sync_recent completion;
-          (match lmix with Some m -> mix_add tb.sync_mix m | None -> ())
-        end);
-       (match probe with
-        | Some p ->
-          p.on_flight
-            { fl_tb = i; fl_group = group; fl_batch = !batch_ord;
-              fl_async = async; fl_level = level; fl_bytes = bytes;
-              fl_issue = now; fl_land = completion }
-        | None -> ());
-       tb.time <- now
-     | Trace.Store { bytes } ->
-       let completion =
-         serve dram ~now ~cost:(float_of_int bytes /. dram_rate)
-         +. hw.Alcop_hw.Hw_config.dram_write_latency
-       in
-       tb.all_outstanding <- Float.max tb.all_outstanding completion;
-       tb.time <- now
-     | Trace.Commit gid ->
-       let p = pipe_of tb gid in
-       Queue.push
-         (p.open_batch, if tracking then mix_copy p.open_mix else p.open_mix)
-         p.batches;
-       p.open_batch <- 0.0;
-       p.committed <- p.committed + 1;
-       if tracking then mix_reset p.open_mix;
-       tb.time <- now
-     | Trace.Wait_oldest gid ->
-       let p = pipe_of tb gid in
-       let ready, rmix =
-         match Queue.take_opt p.batches with
-         | Some (c, m) -> (c, m)
-         | None -> (0.0, tb.due_mix)
-       in
-       let ordinal = p.taken in
-       p.taken <- p.taken + 1;
-       if List.mem gid cfg.barrier_groups then tb.at_boundary <- true;
-       let t = Float.max now ready in
-       att i (dominant rmix) (Some gid) ordinal now t;
-       tb.time <- t
-     | Trace.Acquire _ | Trace.Release _ ->
-       (* Stage-slot accounting has no timing effect in a lockstep
-          threadblock model: releases precede acquires in program order. *)
-       tb.time <- now
-     | Trace.Barrier ->
-       tb.at_boundary <- true;
-       let t = Float.max now tb.all_outstanding in
-       att i Sync_wait None (-1) now t;
-       tb.time <- t
-     | Trace.Compute { flops } ->
-       if tb.at_boundary then begin
-         (* loads issued since the boundary could not be hoisted above it *)
-         tb.sync_due <- Float.max tb.sync_due tb.sync_recent;
-         tb.sync_recent <- 0.0;
-         if tracking then begin
-           mix_add tb.due_mix tb.sync_mix;
-           mix_reset tb.sync_mix
-         end;
-         tb.at_boundary <- false
-       end;
-       let start = Float.max now tb.sync_due in
-       att i (dominant tb.due_mix) None (-1) now start;
-       tb.sync_due <- Float.max tb.sync_due tb.sync_recent;
-       tb.sync_recent <- 0.0;
-       if tracking then begin
-         mix_add tb.due_mix tb.sync_mix;
-         mix_reset tb.sync_mix
-       end;
-       let finish = serve compute ~now:start ~cost:(float_of_int flops /. compute_rate) in
-       att i Compute None (-1) start finish;
-       tb.time <- finish);
-    tb.cursor <- tb.cursor + 1;
-    if tb.cursor >= n then begin
+          let sf = serve smem ~now ~cost:(b *. cfg.smem_penalty /. smem_rate) in
+          if tracking then begin
+            dst.(dbase + 2) <- dst.(dbase + 2) +. Float.max 0.0 (sf -. now);
+            dst.(dbase + 3) <- dst.(dbase + 3) +. smem_latency
+          end;
+          sf +. smem_latency
+        end
+      in
+      out.(i) <- Float.max out.(i) completion;
+      if piped then begin
+        let pg = (i * ng) + g in
+        openb.(pg) <- Float.max openb.(pg) completion
+      end
+      else recent.(i) <- Float.max recent.(i) completion;
+      (match probe with
+       | Some pr ->
+         pr.on_flight
+           { fl_tb = i;
+             fl_group = (if g >= 0 then Some p.Trace.groups.(g) else None);
+             fl_batch = batch.{c}; fl_async = async;
+             fl_level =
+               (if shared then Trace.From_shared else Trace.From_global);
+             fl_bytes = bytes; fl_issue = now; fl_land = completion }
+       | None -> ());
+      time.(i) <- now
+    end
+    else if op = Trace.op_store then begin
+      let completion =
+        serve dram ~now ~cost:(float_of_int arg.{c} /. dram_rate)
+        +. hw.Alcop_hw.Hw_config.dram_write_latency
+      in
+      out.(i) <- Float.max out.(i) completion;
+      time.(i) <- now
+    end
+    else if op = Trace.op_commit then begin
+      let g = group.{c} in
+      let pg = (i * ng) + g in
+      let slot = (pg * maxd) + (batch.{c} mod gdepth.(g)) in
+      ring.(slot) <- openb.(pg);
+      openb.(pg) <- 0.0;
+      if tracking then begin
+        mix_copy4 ring_mix (4 * slot) open_mix (4 * pg);
+        mix_reset4 open_mix (4 * pg)
+      end;
+      time.(i) <- now
+    end
+    else if op = Trace.op_wait then begin
+      let g = group.{c} in
+      (* [arg] carries the index of the committed batch this wait consumes
+         (-1 when the queue would have been empty), [batch] its
+         consumption ordinal — both precomputed by [Trace.finalize]. *)
+      let consumed = arg.{c} in
+      let slot =
+        if consumed >= 0 then
+          ((((i * ng) + g) * maxd) + (consumed mod gdepth.(g)))
+        else -1
+      in
+      let ready = if consumed >= 0 then ring.(slot) else 0.0 in
+      if is_barrier.(g) then boundary.(i) <- true;
+      let t = Float.max now ready in
+      if tracking then begin
+        let cls =
+          if consumed >= 0 then mix_dominant ring_mix (4 * slot)
+          else mix_dominant due_mix (4 * i)
+        in
+        let gname = if probe_on then Some p.Trace.groups.(g) else None in
+        att i cls gname batch.{c} now t
+      end;
+      time.(i) <- t
+    end
+    else if op = Trace.op_acquire || op = Trace.op_release then
+      (* Stage-slot accounting has no timing effect in a lockstep
+         threadblock model: releases precede acquires in program order. *)
+      time.(i) <- now
+    else if op = Trace.op_barrier then begin
+      boundary.(i) <- true;
+      let t = Float.max now out.(i) in
+      if tracking then att i Sync_wait None (-1) now t;
+      time.(i) <- t
+    end
+    else begin
+      (* compute *)
+      if boundary.(i) then begin
+        (* loads issued since the boundary could not be hoisted above it *)
+        due.(i) <- Float.max due.(i) recent.(i);
+        recent.(i) <- 0.0;
+        if tracking then begin
+          mix_add4 due_mix (4 * i) sync_mix (4 * i);
+          mix_reset4 sync_mix (4 * i)
+        end;
+        boundary.(i) <- false
+      end;
+      let start = Float.max now due.(i) in
+      if tracking then
+        att i (mix_dominant due_mix (4 * i)) None (-1) now start;
+      due.(i) <- Float.max due.(i) recent.(i);
+      recent.(i) <- 0.0;
+      if tracking then begin
+        mix_add4 due_mix (4 * i) sync_mix (4 * i);
+        mix_reset4 sync_mix (4 * i)
+      end;
+      let finish =
+        serve compute ~now:start
+          ~cost:(float_of_int arg.{c} /. compute_rate)
+      in
+      if tracking then att i Compute None (-1) start finish;
+      time.(i) <- finish
+    end;
+    cursor.(i) <- c + 1;
+    if c + 1 >= n then begin
       (* drain: the epilogue waits for every outstanding store/load *)
-      let t = Float.max tb.time tb.all_outstanding in
-      att i Sync_wait None (-1) tb.time t;
-      tb.time <- t
+      let t = Float.max time.(i) out.(i) in
+      if tracking then att i Sync_wait None (-1) time.(i) t;
+      time.(i) <- t
     end
   in
   (* Advance the earliest threadblock one event at a time so server queues
      interleave in global time order. *)
-  let rec drive () =
-    let best = ref (-1) in
-    Array.iteri
-      (fun i tb ->
-        if tb.cursor < n && (!best < 0 || tb.time < tbs.(!best).time) then
-          best := i)
-      tbs;
-    if !best >= 0 then begin
-      step !best tbs.(!best);
-      drive ()
-    end
-  in
-  if n > 0 then drive ();
-  let cycles = Array.fold_left (fun acc tb -> Float.max acc tb.time) 0.0 tbs in
-  { cycles; compute_busy = compute.busy; dram_busy = dram.busy;
+  if n > 0 then begin
+    let best = ref 0 in
+    while !best >= 0 do
+      best := -1;
+      for i = 0 to r - 1 do
+        if cursor.(i) < n && (!best < 0 || time.(i) < time.(!best)) then
+          best := i
+      done;
+      if !best >= 0 then step !best
+    done
+  end;
+  let cycles = ref 0.0 in
+  for i = 0 to r - 1 do
+    if time.(i) > !cycles then cycles := time.(i)
+  done;
+  { cycles = !cycles; compute_busy = compute.busy; dram_busy = dram.busy;
     llc_busy = llc.busy; smem_busy = smem.busy }
+
+let simulate_program ?probe cfg p = simulate_packed ?probe cfg p
+
+let simulate_wave ?probe (cfg : config) (trace : Trace.event array) =
+  simulate_packed ?probe cfg (Trace.pack trace)
+
+(* --- incremental wave reuse ---
+
+   Between tuner trials most candidate schedules share wave shapes: the
+   same packed program simulated under the same wave config produces the
+   same latencies, so the tuner opts in to a keyed cache of wave results.
+   Keys are (program content hash, residents, active SMs) with a full
+   structural check of config and program on hit, so a reused latency is
+   provably the one a fresh simulation would produce. Probe- or
+   arena-carrying waves bypass the cache (their value is the side
+   channel). Counters are exposed through a function, not [Obs], so
+   enabling reuse cannot perturb the -j determinism contract. *)
+
+type cache_entry = {
+  ce_cfg : config;
+  ce_prog : Trace.program;
+  ce_result : wave_result;
+}
+
+let wave_reuse = Atomic.make false
+let wave_cache_cap = 1024
+
+let wave_cache : (string * int * int, cache_entry) Hashtbl.t =
+  Hashtbl.create 256
+
+let wave_cache_fifo : (string * int * int) Queue.t = Queue.create ()
+let wave_cache_lock = Mutex.create ()
+let wave_cache_hits = ref 0
+let wave_cache_misses = ref 0
+
+let with_cache_lock f =
+  Mutex.lock wave_cache_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock wave_cache_lock) f
+
+let with_wave_reuse f =
+  let prev = Atomic.exchange wave_reuse true in
+  Fun.protect ~finally:(fun () -> Atomic.set wave_reuse prev) f
+
+let wave_reuse_stats () = with_cache_lock (fun () -> (!wave_cache_hits, !wave_cache_misses))
+
+let program_equal (a : Trace.program) (b : Trace.program) =
+  a == b
+  || (a.Trace.n = b.Trace.n
+      && a.Trace.opcode = b.Trace.opcode
+      && a.Trace.arg = b.Trace.arg
+      && a.Trace.group = b.Trace.group
+      && a.Trace.flags = b.Trace.flags
+      && a.Trace.groups = b.Trace.groups)
+
+let config_equal (a : config) (b : config) =
+  a.residents = b.residents && a.active_sms = b.active_sms
+  && a.warps_per_tb = b.warps_per_tb
+  && a.miss_rate = b.miss_rate
+  && a.smem_penalty = b.smem_penalty
+  && a.issue_overhead = b.issue_overhead
+  && a.barrier_groups = b.barrier_groups
+  && a.hw = b.hw
+
+let cached_simulate (cfg : config) (p : Trace.program) =
+  if not (Atomic.get wave_reuse) then simulate_packed cfg p
+  else begin
+    let key = (Trace.program_hash p, cfg.residents, cfg.active_sms) in
+    let hit =
+      with_cache_lock (fun () ->
+          match Hashtbl.find_opt wave_cache key with
+          | Some e when config_equal e.ce_cfg cfg && program_equal e.ce_prog p ->
+            incr wave_cache_hits;
+            Some e.ce_result
+          | _ ->
+            incr wave_cache_misses;
+            None)
+    in
+    match hit with
+    | Some r -> r
+    | None ->
+      let r = simulate_packed cfg p in
+      with_cache_lock (fun () ->
+          if not (Hashtbl.mem wave_cache key) then begin
+            if Queue.length wave_cache_fifo >= wave_cache_cap then
+              Hashtbl.remove wave_cache (Queue.pop wave_cache_fifo);
+            Hashtbl.replace wave_cache key
+              { ce_cfg = cfg; ce_prog = p; ce_result = r };
+            Queue.push key wave_cache_fifo
+          end);
+      r
+  end
 
 (* --- Whole-kernel latency --- *)
 
 type request = {
   hw : Alcop_hw.Hw_config.t;
-  trace : Trace.event array;
+  program : Trace.program;
   total_tbs : int;
   warps_per_tb : int;
   smem_per_tb : int;
@@ -484,18 +724,20 @@ let plan (req : request) =
 (* A cheap bucket-only recorder: per-threadblock stall-class totals of one
    simulated wave, reported for the slowest (critical-path) threadblock.
    [run] uses it to publish [timing.stall.*] gauges when observability is
-   on; [Profile] keeps full timelines instead. *)
-let critical_stall_fractions wave_result advances =
+   on; [Profile] keeps full timelines instead. The arena is iterated from
+   the end so float accumulation order matches the historical
+   reverse-chronological advance list. *)
+let critical_stall_fractions wave_result (a : adv_arena) =
   let totals : (int * stall_class, float) Hashtbl.t = Hashtbl.create 16 in
   let ends : (int, float) Hashtbl.t = Hashtbl.create 8 in
-  List.iter
-    (fun a ->
-      let key = (a.adv_tb, a.adv_class) in
-      let prior = Option.value ~default:0.0 (Hashtbl.find_opt totals key) in
-      Hashtbl.replace totals key (prior +. (a.adv_stop -. a.adv_start));
-      let e = Option.value ~default:0.0 (Hashtbl.find_opt ends a.adv_tb) in
-      Hashtbl.replace ends a.adv_tb (Float.max e a.adv_stop))
-    advances;
+  for k = a.a_n - 1 downto 0 do
+    let tb = a.a_tb.(k) in
+    let key = (tb, stall_class_of_index.(a.a_cls.(k))) in
+    let prior = Option.value ~default:0.0 (Hashtbl.find_opt totals key) in
+    Hashtbl.replace totals key (prior +. (a.a_stop.(k) -. a.a_start.(k)));
+    let e = Option.value ~default:0.0 (Hashtbl.find_opt ends tb) in
+    Hashtbl.replace ends tb (Float.max e a.a_stop.(k))
+  done;
   let critical =
     Hashtbl.fold
       (fun tb e (bt, be) -> if e > be then (tb, e) else (bt, be))
@@ -518,43 +760,35 @@ let run ?pool (req : request) =
   | Ok pl ->
     let occ = pl.plan_occ in
     let full_waves = pl.full_waves and rem = pl.remainder in
-    (* When observability is on, attach a bucket recorder to the
+    (* When observability is on, attach the arena recorder to the
        representative wave (the full wave when one exists, else the tail)
        so the stall breakdown rides along at no extra simulation cost. *)
-    let advances : advance list ref = ref [] in
-    let gauge_probe =
-      if Alcop_obs.Obs.enabled () then
-        Some
-          { on_advance = (fun a -> advances := a :: !advances);
-            on_flight = (fun _ -> ()) }
-      else None
-    in
+    let arena = if Alcop_obs.Obs.enabled () then Some (obtain_arena ()) else None in
     let representative_is_full = pl.full_cfg <> None in
-    let full_probe = if representative_is_full then gauge_probe else None in
-    let tail_probe = if representative_is_full then None else gauge_probe in
+    let full_arena = if representative_is_full then arena else None in
+    let tail_arena = if representative_is_full then None else arena in
+    let sim cfg = function
+      | Some ar -> simulate_packed ~arena:ar cfg req.program
+      | None -> cached_simulate cfg req.program
+    in
     (* The full and tail waves are independent simulations; with a pool of
        2+ workers run them on two domains. Only the representative wave
-       carries the probe, so its [advances] ref is touched by exactly one
-       worker and read after the join — and the combination below is in
-       fixed (full, tail) order, so the result is bit-identical to the
-       sequential pair. *)
+       carries the arena, so it is written by exactly one worker and read
+       after the join — and the combination below is in fixed (full, tail)
+       order, so the result is bit-identical to the sequential pair. *)
     let full_result, tail_result =
       match (pool, pl.full_cfg, pl.tail_cfg) with
       | Some p, Some full_cfg, Some tail_cfg when Alcop_par.Pool.jobs p > 1 ->
         (match
            Alcop_par.Pool.map p
-             (fun (cfg, probe) -> simulate_wave ?probe cfg req.trace)
-             [ (full_cfg, full_probe); (tail_cfg, tail_probe) ]
+             (fun (cfg, ar) -> sim cfg ar)
+             [ (full_cfg, full_arena); (tail_cfg, tail_arena) ]
          with
         | [ fr; tr ] -> (Some (full_cfg, fr), Some (tail_cfg, tr))
         | _ -> assert false)
       | _ ->
-        ( Option.map
-            (fun cfg -> (cfg, simulate_wave ?probe:full_probe cfg req.trace))
-            pl.full_cfg,
-          Option.map
-            (fun cfg -> (cfg, simulate_wave ?probe:tail_probe cfg req.trace))
-            pl.tail_cfg )
+        ( Option.map (fun cfg -> (cfg, sim cfg full_arena)) pl.full_cfg,
+          Option.map (fun cfg -> (cfg, sim cfg tail_arena)) pl.tail_cfg )
     in
     let wave_cycles =
       match full_result with Some (_, r) -> r.cycles | None -> 0.0
@@ -590,8 +824,8 @@ let run ?pool (req : request) =
        free when no sink is installed. *)
     if Alcop_obs.Obs.enabled () then begin
       let open Alcop_obs in
-      (match wave_busy with
-       | Some r when r.cycles > 0.0 ->
+      (match wave_busy, arena with
+       | Some r, Some a when r.cycles > 0.0 ->
          let frac busy = Float.min 1.0 (busy /. r.cycles) in
          Obs.gauge "timing.busy.compute" (frac r.compute_busy);
          Obs.gauge "timing.busy.dram" (frac r.dram_busy);
@@ -601,7 +835,7 @@ let run ?pool (req : request) =
            (fun (cls, f) ->
              if cls <> Launch then
                Obs.gauge ("timing.stall." ^ stall_class_name cls) f)
-           (critical_stall_fractions r !advances)
+           (critical_stall_fractions r a)
        | _ -> ());
       Obs.gauge "timing.tbs_per_sm" (float_of_int occ.Occupancy.tbs_per_sm);
       Obs.gauge "timing.n_waves" (float_of_int n_waves);

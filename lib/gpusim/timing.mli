@@ -82,15 +82,39 @@ type probe = {
   on_flight : flight -> unit;
 }
 
+val simulate_program : ?probe:probe -> config -> Trace.program -> wave_result
+(** Replay one wave of a packed program. This is the engine: flat
+    array-backed scoreboard state drawn from a domain-local scratch arena,
+    O(1) allocation per wave. With [?probe], reports every clock advance
+    ([on_advance]) and every load's issue-to-land flight ([on_advance]
+    intervals of one threadblock are contiguous from 0 to its finish
+    time). Without a probe the attribution bookkeeping is skipped
+    entirely. *)
+
 val simulate_wave : ?probe:probe -> config -> Trace.event array -> wave_result
-(** With [?probe], reports every clock advance ([on_advance]) and every
-    load's issue-to-land flight ([on_advance] intervals of one threadblock
-    are contiguous from 0 to its finish time). Without a probe the
-    attribution bookkeeping is skipped entirely. *)
+(** [simulate_program] over [Trace.pack] — the boxed-event view, for tests
+    and hand-built traces. *)
+
+(** {1 Incremental wave reuse}
+
+    Opt-in cache of wave results keyed by (program content hash,
+    residents, active SMs), with a structural config/program check on hit.
+    Between tuner trials, candidate schedules that share a wave shape skip
+    re-simulation. Probe-carrying waves (profiling, observability gauges)
+    always simulate. *)
+
+val with_wave_reuse : (unit -> 'a) -> 'a
+(** Run [f] with wave-result reuse enabled (process-wide flag; nests). *)
+
+val wave_reuse_stats : unit -> int * int
+(** [(hits, misses)] accumulated since process start. Deliberately a
+    function rather than [Obs] telemetry: cache traffic depends on trial
+    scheduling order, and the -j determinism contract says observability
+    streams must not. *)
 
 type request = {
   hw : Alcop_hw.Hw_config.t;
-  trace : Trace.event array;
+  program : Trace.program;
   total_tbs : int;
   warps_per_tb : int;
   smem_per_tb : int;

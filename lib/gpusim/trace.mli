@@ -10,7 +10,12 @@
     from the IR's primitives; register-level pipelines have no explicit
     primitives — the hardware scoreboard stalls the consumer — so the
     extractor synthesizes the equivalent batches: a compute event waits
-    until all batches except the youngest [stages-1] have completed. *)
+    until all batches except the youngest [stages-1] have completed.
+
+    The boxed {!event} type is the public/debug view. The simulator's hot
+    path runs on the packed {!program} representation — parallel int arrays
+    with an interned group table and precomputed batch ordinals — produced
+    directly by {!extract_program} with no per-event boxing. *)
 
 open Alcop_ir
 
@@ -30,11 +35,84 @@ type event =
 
 val pp_event : Format.formatter -> event -> unit
 
+(** {1 Packed programs}
+
+    Struct-of-arrays encoding: event [i] is described by [opcode.{i}],
+    [arg.{i}], [group.{i}], [flags.{i}] and [batch.{i}]. Pipeline groups
+    are interned into [groups]; [group.{i}] is an index into it, [-1] when
+    the event has no group. *)
+
+(** Opcodes (values of [opcode.{i}]). *)
+
+val op_load : int
+val op_store : int
+val op_commit : int
+val op_wait : int
+val op_acquire : int
+val op_release : int
+val op_barrier : int
+val op_compute : int
+
+(** Flag bits (values or-ed into [flags.{i}]). *)
+
+val flag_async : int
+val flag_shared : int
+
+type icol = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** A program column. Bigarray storage is malloc'd outside the OCaml heap,
+    so emitting a program costs a handful of mallocs plus a memcpy rather
+    than major-heap allocations (whose GC pacing debt dominated
+    extraction). *)
+
+type program = {
+  n : int;  (** event count *)
+  opcode : icol;
+  arg : icol;
+      (** load/store: bytes; compute: FLOPs; acquire: stages; wait: index
+          of the committed batch it consumes, [-1] when the wait fires
+          before any commit (it then waits on nothing) *)
+  group : icol;  (** index into [groups], [-1] = no group *)
+  flags : icol;
+  batch : icol;
+      (** precomputed batch ordinal within the event's group: for async
+          grouped loads the batch they join, for commits the batch they
+          close, for waits their consumption ordinal; [-1] otherwise.
+          Program-static because every threadblock runs the same program. *)
+  groups : string array;  (** interned pipeline-group ids *)
+  group_depth : int array;
+      (** per group: peak committed-but-unconsumed batches (ring capacity
+          a replay needs), always [>= 1] *)
+  mutable hash : string;  (** internal memo for {!program_hash}; [""] unset *)
+}
+
+val length : program -> int
+
+val extract_program :
+  groups:Alcop_pipeline.Analysis.group list -> Kernel.t -> program
+(** Extract the packed trace of one representative threadblock. [groups]
+    must be the pipeline groups the pass reported for this kernel (empty
+    for unpipelined kernels). This is the allocation-lean primary path:
+    the kernel body is resolved once into a slot-indexed closure tree,
+    then executed straight into int buffers. *)
+
 val extract :
   groups:Alcop_pipeline.Analysis.group list -> Kernel.t -> event array
-(** Extract the trace of one representative threadblock. [groups] must be
-    the pipeline groups the pass reported for this kernel (empty for
-    unpipelined kernels). *)
+(** [decode] of {!extract_program} — the boxed debug view. *)
+
+val pack : event array -> program
+(** Pack a boxed event sequence (computes batch ordinals and ring depths
+    the same way {!extract_program} does). Intended for tests and
+    hand-built traces. *)
+
+val decode : program -> event array
+
+val event_at : program -> int -> event
+(** Decode a single event (for [pp_event] and spot debugging). *)
+
+val program_hash : program -> string
+(** Content digest of the packed encoding (group table included), memoized
+    on first use. Two programs with equal hashes are, up to MD5 collision,
+    the same event sequence — the incremental re-simulation key. *)
 
 type stats = {
   global_load_bytes : int;
@@ -45,3 +123,4 @@ type stats = {
 }
 
 val stats_of : event array -> stats
+val stats_of_program : program -> stats

@@ -30,4 +30,5 @@ let () =
      @ Test_analytics.suite
      @ Test_benchdb.suite
      @ Test_profile.suite
-     @ Test_property.suite)
+     @ Test_property.suite
+     @ Test_packed.suite)

@@ -19,7 +19,8 @@ let test_compile_ok () =
   | Ok c ->
     Alcotest.(check bool) "positive latency" true (c.Compiler.latency_cycles > 0.0);
     Alcotest.(check int) "two pipeline groups" 2 (List.length c.Compiler.groups);
-    Alcotest.(check bool) "trace non-empty" true (Array.length c.Compiler.trace > 0)
+    Alcotest.(check bool) "trace non-empty" true
+      (Alcop_gpusim.Trace.length c.Compiler.program > 0)
 
 let test_compile_verifies_numerically () =
   let small = Op_spec.matmul ~name:"comp_verify" ~m:64 ~n:64 ~k:128 () in

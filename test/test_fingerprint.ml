@@ -46,6 +46,21 @@ let test_name_does_not_matter_but_shape_does () =
   Alcotest.(check bool) "renamed operator re-keys" false
     (Fingerprint.equal (key params spec) (key params renamed))
 
+let test_schema_bump () =
+  (* The packed-program datapath changed what a compiled artifact *is*,
+     so the key schema was bumped: a v2 key can never collide with a v1
+     key for the same inputs — cached replay across the representation
+     change is impossible by construction. *)
+  Alcotest.(check int) "schema version is 2" 2 Fingerprint.schema_version;
+  let v_key v =
+    Fingerprint.compile_key_v ~version:v ~hw ~extra_regs_per_thread:0 params
+      spec
+  in
+  Alcotest.(check bool) "v1 and v2 keys differ" false
+    (Fingerprint.equal (v_key 1) (v_key 2));
+  Alcotest.(check bool) "compile_key is the v2 key" true
+    (Fingerprint.equal (key params spec) (v_key Fingerprint.schema_version))
+
 (* --- canonical float rendering (satellite: float-keyed stability) --- *)
 
 let test_float_repr_examples () =
@@ -92,6 +107,8 @@ let suite =
           test_sensitive_to_each_component;
         Alcotest.test_case "operator identity is part of the key" `Quick
           test_name_does_not_matter_but_shape_does;
+        Alcotest.test_case "packed-datapath schema bump re-keys" `Quick
+          test_schema_bump;
         Alcotest.test_case "float_repr examples" `Quick
           test_float_repr_examples;
         QCheck_alcotest.to_alcotest prop_float_repr_roundtrip;

@@ -289,9 +289,10 @@ let test_tensor_random_deterministic () =
   let c = Tensor.random ~seed:43 [ 16 ] in
   Alcotest.(check bool) "same seed same data" true (Tensor.allclose a b);
   Alcotest.(check bool) "different seed differs" false (Tensor.allclose a c);
-  Array.iter
-    (fun x -> Alcotest.(check bool) "in range" true (x >= -1.0 && x < 1.0))
-    a.Tensor.data
+  for i = 0 to Bigarray.Array1.dim a.Tensor.data - 1 do
+    let x = a.Tensor.data.{i} in
+    Alcotest.(check bool) "in range" true (x >= -1.0 && x < 1.0)
+  done
 
 let test_reference_gemm_tiny () =
   (* 1x1x2 GEMM by hand: C = A.B^T with B stored [n, k]. *)

@@ -1,0 +1,276 @@
+(* Equivalence gate of the packed-program replay datapath.
+
+   [Legacy_sim] is a frozen copy of the boxed-event wave simulator as it
+   stood before the packed refactor. These properties drive both engines
+   over random schedules — unstructured event soups and structured
+   multi-stage pipelines, scope-synchronized and not — and demand exact
+   equality: wave latencies, busy counters, the full advance/flight
+   probe streams (hence per-class stall breakdowns), at -j 1 and -j 4.
+   They are what allowed the legacy replay path to be deleted from the
+   library.
+
+   Also here: incremental wave-reuse soundness and the allocation budget
+   of a cold compile+simulate. *)
+
+open Alcop_gpusim
+
+let hw = Alcop_hw.Hw_config.ampere_a100
+let gshared = "pipe.shared.ko"
+let greg = "pipe.register.ki"
+
+type sched = { events : Trace.event array; cfg : Timing.config }
+
+let sched_to_string s =
+  Format.asprintf "tbs=%d sms=%d warps=%d miss=%.1f pen=%.1f io=%.1f bar=[%s]@ %a"
+    s.cfg.Timing.residents s.cfg.Timing.active_sms s.cfg.Timing.warps_per_tb
+    s.cfg.Timing.miss_rate s.cfg.Timing.smem_penalty
+    s.cfg.Timing.issue_overhead
+    (String.concat "," s.cfg.Timing.barrier_groups)
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f "; ")
+       Trace.pp_event)
+    (Array.to_list s.events)
+
+(* Unstructured schedules: arbitrary event orders exercise every edge of
+   the batch-ordinal precomputation — waits before commits, unbalanced
+   commits, group-less async loads, back-to-back barriers. *)
+let gen_event =
+  let open QCheck.Gen in
+  let any_group = oneofl [ None; Some gshared; Some greg ] in
+  let some_group = oneofl [ gshared; greg ] in
+  let bytes = oneofl [ 128; 512; 2048; 16384; 131072 ] in
+  frequency
+    [ ( 4,
+        let* level = oneofl [ Trace.From_global; Trace.From_shared ] in
+        let* bytes = bytes in
+        let* async = bool in
+        let* group = any_group in
+        return (Trace.Load { level; bytes; async; group }) );
+      ( 2,
+        let* flops = oneofl [ 2048; 65536; 409600 ] in
+        return (Trace.Compute { flops }) );
+      (1, let* b = bytes in return (Trace.Store { bytes = b }));
+      (2, let* g = some_group in return (Trace.Commit g));
+      (2, let* g = some_group in return (Trace.Wait_oldest g));
+      ( 1,
+        let* g = some_group in
+        let* stages = int_range 2 4 in
+        return (Trace.Acquire { group = g; stages }) );
+      (1, let* g = some_group in return (Trace.Release g));
+      (1, return Trace.Barrier) ]
+
+(* Structured schedules: the shape the pipelining pass actually emits —
+   a [stages - 1]-deep prologue then a steady-state loop, optionally with
+   a register-level (non-synchronized) inner pipeline. *)
+let structured ~stages ~iters ~bytes ~flops ~reg =
+  let acq = Trace.Acquire { group = gshared; stages } in
+  let aload b =
+    Trace.Load
+      { level = Trace.From_global; bytes = b; async = true;
+        group = Some gshared }
+  in
+  let sload b =
+    Trace.Load
+      { level = Trace.From_shared; bytes = b; async = reg;
+        group = (if reg then Some greg else None) }
+  in
+  let prologue =
+    List.concat
+      (List.init (stages - 1) (fun _ ->
+           [ acq; aload bytes; Trace.Commit gshared ]))
+  in
+  let iter _ =
+    [ acq; aload bytes; Trace.Commit gshared; Trace.Wait_oldest gshared ]
+    @ (if reg then
+         [ sload (bytes / 4); Trace.Commit greg; Trace.Wait_oldest greg ]
+       else [ sload (bytes / 4) ])
+    @ [ Trace.Compute { flops }; Trace.Release gshared ]
+  in
+  prologue
+  @ List.concat (List.init iters iter)
+  @ [ Trace.Barrier; Trace.Store { bytes } ]
+
+let gen_sched =
+  let open QCheck.Gen in
+  let* events =
+    oneof
+      [ (let* n = int_range 8 60 in
+         list_repeat n gen_event >|= Array.of_list);
+        (let* stages = int_range 2 4 in
+         let* iters = int_range 3 10 in
+         let* bytes = oneofl [ 2048; 16384; 131072 ] in
+         let* flops = oneofl [ 65536; 409600 ] in
+         let* reg = bool in
+         return (Array.of_list (structured ~stages ~iters ~bytes ~flops ~reg)))
+      ]
+  in
+  let* residents = int_range 1 4 in
+  let* active_sms = oneofl [ 1; 2; 8; 108 ] in
+  let* warps_per_tb = int_range 1 8 in
+  let* miss_rate = oneofl [ 0.0; 0.3; 1.0 ] in
+  let* smem_penalty = oneofl [ 1.0; 2.0; 3.0 ] in
+  let* issue_overhead = oneofl [ 0.0; 4.0 ] in
+  let* barrier_groups = oneofl [ []; [ gshared ]; [ gshared; greg ] ] in
+  return
+    { events;
+      cfg =
+        { Timing.hw; residents; active_sms; warps_per_tb; miss_rate;
+          smem_penalty; issue_overhead; barrier_groups } }
+
+let arb_sched = QCheck.make ~print:sched_to_string gen_sched
+
+let collecting () =
+  let advs : Timing.advance list ref = ref [] in
+  let fls : Timing.flight list ref = ref [] in
+  ( { Timing.on_advance = (fun a -> advs := a :: !advs);
+      on_flight = (fun f -> fls := f :: !fls) },
+    advs, fls )
+
+(* Latency + busy equivalence, no probe: the tuner-facing fast path. *)
+let prop_results_equal =
+  QCheck.Test.make ~name:"packed replay == legacy (latencies, busy)"
+    ~count:150 arb_sched (fun s ->
+      let legacy = Legacy_sim.simulate_wave s.cfg s.events in
+      let packed = Timing.simulate_wave s.cfg s.events in
+      legacy = packed)
+
+(* Probe equivalence: the complete advance and flight streams — classes,
+   groups, batch ordinals, interval endpoints, order — must be
+   bit-identical, which subsumes every per-class stall breakdown. *)
+let prop_probe_streams_equal =
+  QCheck.Test.make ~name:"packed replay == legacy (probe streams)"
+    ~count:120 arb_sched (fun s ->
+      let lp, ladv, lfl = collecting () in
+      let pp, padv, pfl = collecting () in
+      let lr = Legacy_sim.simulate_wave ~probe:lp s.cfg s.events in
+      let pr = Timing.simulate_wave ~probe:pp s.cfg s.events in
+      lr = pr && !ladv = !padv && !lfl = !pfl)
+
+(* Same, over real compiler output: traces extracted from random
+   pipelined kernels (reusing the property-test generator), with the
+   packed side fed by [extract_program] directly — covering the
+   extraction rewrite, not just [pack]. *)
+let prop_compiled_equal =
+  QCheck.Test.make ~name:"packed replay == legacy (compiled kernels)"
+    ~count:25 Test_property.arb_case (fun c ->
+      match Test_property.compile_case c with
+      | None -> QCheck.assume_fail ()
+      | Some (_, _, kernel, groups) ->
+        let events = Trace.extract ~groups kernel in
+        let program = Trace.extract_program ~groups kernel in
+        let barrier_groups =
+          List.filter_map
+            (fun (g : Alcop_pipeline.Analysis.group) ->
+              if g.Alcop_pipeline.Analysis.synchronized then
+                Some g.Alcop_pipeline.Analysis.id
+              else None)
+            groups
+        in
+        let cfg =
+          { Timing.hw; residents = 2; active_sms = 8; warps_per_tb = 4;
+            miss_rate = 0.5; smem_penalty = 1.0; issue_overhead = 4.0;
+            barrier_groups }
+        in
+        let lp, ladv, lfl = collecting () in
+        let pp, padv, pfl = collecting () in
+        let lr = Legacy_sim.simulate_wave ~probe:lp cfg events in
+        let pr = Timing.simulate_program ~probe:pp cfg program in
+        lr = pr && !ladv = !padv && !lfl = !pfl)
+
+let request_of_sched s total_tbs =
+  { Timing.hw; program = Trace.pack s.events; total_tbs; warps_per_tb = 4;
+    smem_per_tb = 49152; regs_per_thread = 64; grid_m = 8; grid_n = 8;
+    grid_z = 4; tb_m = 64; tb_n = 64; tb_k = 32; elem_bytes = 2;
+    swizzle = true; jitter_key = 17;
+    barrier_groups = s.cfg.Timing.barrier_groups }
+
+(* Whole-kernel runs must be bit-identical between -j 1 (inline) and
+   -j 4 (full and tail wave on separate domains). *)
+let test_parallel_waves_identical () =
+  let rand = Random.State.make [| 0xA1C0; 42 |] in
+  let scheds = QCheck.Gen.generate ~n:100 ~rand gen_sched in
+  Alcop_par.Pool.with_pool ~jobs:4 (fun pool ->
+      List.iteri
+        (fun i s ->
+          let total_tbs =
+            match i mod 4 with 0 -> 1 | 1 -> 200 | 2 -> 500 | _ -> 5000
+          in
+          let req = request_of_sched s total_tbs in
+          let seq = Timing.run req in
+          let par = Timing.run ~pool req in
+          if seq <> par then
+            Alcotest.failf "-j1 / -j4 timing mismatch on schedule %d" i)
+        scheds)
+
+let test_empty_trace () =
+  let cfg =
+    { Timing.hw; residents = 3; active_sms = 8; warps_per_tb = 4;
+      miss_rate = 1.0; smem_penalty = 1.0; issue_overhead = 4.0;
+      barrier_groups = [] }
+  in
+  Alcotest.(check bool) "empty trace identical" true
+    (Legacy_sim.simulate_wave cfg [||] = Timing.simulate_wave cfg [||])
+
+(* Wave reuse returns exactly what a fresh simulation returns, and the
+   cache actually hits. Hits are asserted in aggregate because the cache
+   keeps the first entry on a key collision (same program hash and
+   occupancy, different rates), so an individual schedule may legally
+   never hit — but the repeated runs must. *)
+let test_wave_reuse_identical () =
+  let rand = Random.State.make [| 0xA1C0; 7 |] in
+  let scheds = QCheck.Gen.generate ~n:30 ~rand gen_sched in
+  let h0, _ = Timing.wave_reuse_stats () in
+  List.iter
+    (fun s ->
+      let req = request_of_sched s 500 in
+      let plain = Timing.run req in
+      let reused =
+        Timing.with_wave_reuse (fun () ->
+            ignore (Timing.run req);
+            (* second run reuses the cached wave results *)
+            Timing.run req)
+      in
+      Alcotest.(check bool) "reused run identical" true (plain = reused))
+    scheds;
+  let h1, _ = Timing.wave_reuse_stats () in
+  Alcotest.(check bool) "cache hits advanced" true (h1 > h0)
+
+(* Allocation budget of one cold compile+simulate (ROADMAP item 5): the
+   packed datapath landed at roughly 1.85e4 minor words; the ceiling is
+   ~2x that so creep is caught by `dune runtest` without flaking on
+   compiler-version noise. *)
+let alloc_budget_minor_words = 37_000.0
+
+let test_allocation_budget () =
+  let spec = Alcop_workloads.Suites.mm_rn50_fc in
+  let tiling =
+    Alcop_sched.Tiling.make ~tb_m:64 ~tb_n:64 ~tb_k:32 ~warp_m:32 ~warp_n:32
+      ~warp_k:16 ()
+  in
+  let params =
+    Alcop_perfmodel.Params.make ~tiling ~smem_stages:3 ~reg_stages:2 ()
+  in
+  let session = Alcop.Session.create ~hw ~cache:false () in
+  (* warm: first compile pays one-time lazies and scratch growth *)
+  ignore (Alcop.Session.compile session params spec);
+  let w0 = Gc.minor_words () in
+  ignore (Alcop.Session.compile session params spec);
+  let dw = Gc.minor_words () -. w0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "cold compile+simulate allocates %.0f minor words (budget %.0f)"
+       dw alloc_budget_minor_words)
+    true
+    (dw < alloc_budget_minor_words)
+
+let suite =
+  [ ( "packed",
+      [ QCheck_alcotest.to_alcotest prop_results_equal;
+        QCheck_alcotest.to_alcotest prop_probe_streams_equal;
+        QCheck_alcotest.to_alcotest prop_compiled_equal;
+        Alcotest.test_case "-j1 == -j4 over 100 random schedules" `Quick
+          test_parallel_waves_identical;
+        Alcotest.test_case "empty trace" `Quick test_empty_trace;
+        Alcotest.test_case "wave reuse: identical results, real hits" `Quick
+          test_wave_reuse_identical;
+        Alcotest.test_case "allocation budget per cold compile" `Quick
+          test_allocation_budget ] ) ]
