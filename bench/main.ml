@@ -497,6 +497,16 @@ let measure_pass ~quiet () =
             ignore (Session.compile cold params spec)));
         Test.make ~name:"session-evaluate-hit" (Staged.stage (fun () ->
             ignore (Session.compile warm params spec)));
+        (* Probe-on variant of compile+simulate: the same cold compile plus
+           the pipeline observatory's probed wave replay and reduction.
+           The delta against the compile+simulate row is the cost of
+           turning the pipeview probe on. *)
+        Test.make ~name:"pipeview-probe-overhead" (Staged.stage (fun () ->
+            match Session.compile cold params spec with
+            | Ok c ->
+              ignore
+                (Alcop_gpusim.Pipeview.run c.Compiler.timing_request)
+            | Error _ -> ()));
         Test.make ~name:"analytical-model" (Staged.stage (fun () ->
             ignore (Alcop_perfmodel.Model.predict hw spec params))) ]
   in

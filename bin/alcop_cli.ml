@@ -435,7 +435,32 @@ let tune_cmd =
       Printf.printf "%s\n" (Session.summary session);
     (match log with
      | Some path ->
-       Alcop_tune.Tuning_log.write_file ~path
+       (* Attach the pipeline observatory's per-schedule feature record to
+          every measured trial: recompiles are session cache hits, so the
+          extra cost is one probe-on wave replay per trial. *)
+       let features =
+         Array.to_list result.Alcop_tune.Tuner.trials
+         |> List.filter_map (fun (t : Alcop_tune.Tuner.trial) ->
+                match t.Alcop_tune.Tuner.cost with
+                | None -> None
+                | Some _ ->
+                  (match Session.compile session t.Alcop_tune.Tuner.params spec with
+                   | Error _ -> None
+                   | Ok c ->
+                     (match
+                        Alcop_gpusim.Pipeview.run
+                          ~op:spec.Alcop_sched.Op_spec.name
+                          ~schedule:
+                            (Alcop_perfmodel.Params.to_string
+                               t.Alcop_tune.Tuner.params)
+                          c.Compiler.timing_request
+                      with
+                      | Ok v ->
+                        Some (t.Alcop_tune.Tuner.index,
+                              Alcop_gpusim.Pipeview.features v)
+                      | Error _ -> None)))
+       in
+       Alcop_tune.Tuning_log.write_file ~features ~path
          ~spec_name:spec.Alcop_sched.Op_spec.name ~method_ ~seed result;
        Printf.printf "tuning log written to %s\n" path
      | None -> ());
@@ -674,6 +699,263 @@ let explain_cmd =
              simulator gauges.")
     Term.(const run $ spec_arg $ params_term $ dump_ir_term)
 
+(* alcop explain-pipeline: the pipeline observatory (doc/pipeview.md) —
+   per-stage buffer occupancy timelines, per-wait prefetch slack, a
+   five-term partition of the critical threadblock's cycles, and (with
+   --compare) an exact integer telescoping of the latency delta between
+   two stage configurations of the same tiling. *)
+let stage_pair_conv =
+  let parse s =
+    let bad () =
+      Error (`Msg (Printf.sprintf "bad stage pair %s (want SMEMxREG, e.g. 3x2)" s))
+    in
+    match String.split_on_char 'x' s with
+    | [ a; b ] ->
+      (match (int_of_string_opt a, int_of_string_opt b) with
+       | Some smem, Some reg when smem >= 1 && reg >= 1 -> Ok (smem, reg)
+       | _ -> bad ())
+    | _ -> bad ()
+  in
+  Arg.conv (parse, fun fmt (s, r) -> Format.fprintf fmt "%dx%d" s r)
+
+let explain_pipeline_cmd =
+  let with_stages (params : Alcop_perfmodel.Params.t) (smem_stages, reg_stages) =
+    Alcop_perfmodel.Params.make ~swizzle:params.Alcop_perfmodel.Params.swizzle
+      ~inner_fuse:params.Alcop_perfmodel.Params.inner_fuse
+      ~tiling:params.Alcop_perfmodel.Params.tiling ~smem_stages ~reg_stages ()
+  in
+  let view session spec params =
+    with_compiled ~session params spec (fun c ->
+        match
+          Alcop_gpusim.Pipeview.run ~op:spec.Alcop_sched.Op_spec.name
+            ~schedule:(Alcop_perfmodel.Params.to_string params)
+            c.Compiler.timing_request
+        with
+        | Ok v -> v
+        | Error f ->
+          Format.eprintf "cannot analyze: %a@."
+            Alcop_gpusim.Occupancy.pp_failure f;
+          exit 1)
+  in
+  (* HTML building blocks (shared report scaffold, inline SVG only) *)
+  let occupancy_section (v : Alcop_gpusim.Pipeview.t) =
+    let open Alcop_gpusim.Pipeview in
+    let rows =
+      List.concat_map
+        (fun g ->
+          Array.to_list g.gv_slots
+          |> List.map (fun slot ->
+                 ( Printf.sprintf "%s stage %d" g.gv_id slot.oc_stage,
+                   Array.to_list slot.oc_intervals )))
+        v.pv_groups
+    in
+    Alcop_obs.Report.section ~title:"Stage occupancy"
+      ~intro:
+        "Fill-to-retire intervals of every pipeline stage slot across the \
+         critical threadblock's wave, on a shared cycle axis. Gaps are \
+         cycles the stage buffer sat empty."
+      [ Alcop_obs.Report.interval_rows ~x_label:"cycles"
+          ~total:v.pv_wave_cycles ~rows () ]
+  in
+  let slack_section (v : Alcop_gpusim.Pipeview.t) =
+    let open Alcop_gpusim.Pipeview in
+    let slacks = List.map (fun s -> (s.sl_group, s.sl_slack)) v.pv_slacks in
+    if slacks = [] then ""
+    else begin
+      let values = List.map snd slacks in
+      let lo = List.fold_left Float.min 0.0 values in
+      let hi = Float.max 1.0 (List.fold_left Float.max 0.0 values) in
+      let nbins = 8 in
+      let width = (hi -. lo) /. float_of_int nbins in
+      let bin x =
+        min (nbins - 1) (max 0 (int_of_float ((x -. lo) /. width)))
+      in
+      let categories =
+        List.init nbins (fun i ->
+            Printf.sprintf "%.0f..%.0f"
+              (lo +. (float_of_int i *. width))
+              (lo +. (float_of_int (i + 1) *. width)))
+      in
+      let groups =
+        List.sort_uniq compare (List.map fst slacks)
+      in
+      let series =
+        List.map
+          (fun g ->
+            let counts = Array.make nbins 0.0 in
+            List.iter
+              (fun (g', x) ->
+                if String.equal g g' then
+                  counts.(bin x) <- counts.(bin x) +. 1.0)
+              slacks;
+            (g, Array.to_list counts))
+          groups
+      in
+      let table_rows =
+        List.map
+          (fun g ->
+            [ g.gv_id; string_of_int g.gv_stages;
+              (if g.gv_synchronized then "scope" else "soft");
+              Printf.sprintf "%.1f" g.gv_mean_slack;
+              Printf.sprintf "%.1f" g.gv_min_slack;
+              Printf.sprintf "%.0f" g.gv_exposed_cycles;
+              Printf.sprintf "%.2f" g.gv_duty ])
+          v.pv_groups
+      in
+      Alcop_obs.Report.section ~title:"Prefetch slack"
+        ~intro:
+          "Per-wait slack = wait-start minus batch-land cycle; negative \
+           slack is exposed copy latency the pipeline failed to hide."
+        [ Alcop_obs.Report.grouped_bars ~y_label:"waits"
+            ~categories ~series ();
+          Alcop_obs.Report.table
+            ~header:[ "group"; "stages"; "protocol"; "mean slack";
+                      "min slack"; "exposed cycles"; "duty" ]
+            ~rows:table_rows ]
+    end
+  in
+  let partition_section (v : Alcop_gpusim.Pipeview.t) =
+    let open Alcop_gpusim.Pipeview in
+    Alcop_obs.Report.section ~title:"Cycle partition"
+      ~intro:
+        "The five terms partition the critical threadblock's wave cycles \
+         exactly; their schedule-to-schedule deltas telescope the latency \
+         delta."
+      [ Alcop_obs.Report.table ~header:[ "term"; "cycles"; "share" ]
+          ~rows:
+            (List.map
+               (fun (name, c) ->
+                 [ name; Printf.sprintf "%.0f" c;
+                   Printf.sprintf "%.1f%%"
+                     (100.0 *. c /. Float.max 1.0 v.pv_wave_cycles) ])
+               v.pv_terms) ]
+  in
+  let compare_section label_a label_b a b =
+    let cmp = Alcop_gpusim.Pipeview.compare_views a b in
+    let open Alcop_gpusim.Pipeview in
+    Alcop_obs.Report.section ~title:"Latency delta, telescoped"
+      ~intro:
+        (Printf.sprintf
+           "Wave-cycle delta %s → %s, split across the five partition \
+            terms; the term deltas sum to the total exactly (integer \
+            cycles)."
+           (Alcop_obs.Report.html_escape label_a)
+           (Alcop_obs.Report.html_escape label_b))
+      [ Alcop_obs.Report.table
+          ~header:[ "term"; label_a; label_b; "delta" ]
+          ~rows:
+            (List.map
+               (fun t ->
+                 [ t.dt_name; string_of_int t.dt_a; string_of_int t.dt_b;
+                   Printf.sprintf "%+d" t.dt_delta ])
+               cmp.cmp_terms
+            @ [ [ "total"; string_of_int cmp.cmp_total_a;
+                  string_of_int cmp.cmp_total_b;
+                  Printf.sprintf "%+d" cmp.cmp_total_delta ] ]);
+        Alcop_obs.Report.diverging_bars ~pos_label:"slower in B"
+          ~neg_label:"faster in B"
+          ~rows:
+            (List.map (fun t -> (t.dt_name, float_of_int t.dt_delta))
+               cmp.cmp_terms)
+          () ]
+  in
+  let write_html path sections =
+    let doc =
+      Alcop_obs.Report.page ~title:"ALCOP pipeline observatory"
+        ~subtitle:"per-stage occupancy, prefetch slack, sync attribution"
+        sections
+    in
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+        output_string oc doc);
+    Printf.printf "HTML report written to %s\n" path
+  in
+  let run spec params stages compare html jsonl_out =
+    let session = session_of ~no_cache:false in
+    match compare with
+    | Some (pair_a, pair_b) ->
+      let params_a = with_stages params pair_a
+      and params_b = with_stages params pair_b in
+      let label_a = Printf.sprintf "%dx%d" (fst pair_a) (snd pair_a)
+      and label_b = Printf.sprintf "%dx%d" (fst pair_b) (snd pair_b) in
+      let a = view session spec params_a in
+      let b = view session spec params_b in
+      print_string
+        (Alcop_gpusim.Pipeview.compare_report ~label_a ~label_b a b);
+      (match jsonl_out with
+       | Some path ->
+         Alcop_gpusim.Pipeview.write_jsonl path b;
+         Printf.printf "JSONL event log (schedule %s) written to %s\n"
+           label_b path
+       | None -> ());
+      (match html with
+       | Some path ->
+         write_html path
+           [ compare_section label_a label_b a b;
+             partition_section a; occupancy_section a; slack_section a;
+             partition_section b; occupancy_section b; slack_section b ]
+       | None -> ())
+    | None ->
+      let params =
+        match stages with None -> params | Some pair -> with_stages params pair
+      in
+      let v = view session spec params in
+      print_string (Alcop_gpusim.Pipeview.report v);
+      (match Alcop_perfmodel.Model.predict hw spec params with
+       | Ok m ->
+         let predicted =
+           Alcop_perfmodel.Model.predicted_smem_slack m
+             ~smem_stages:params.Alcop_perfmodel.Params.smem_stages
+         in
+         Printf.printf
+           "predicted smem slack (Table I): %+.0f cycles per iteration (%s)\n"
+           predicted
+           (if predicted >= 0.0 then "latency hidden" else "exposed")
+       | Error _ -> ());
+      (match jsonl_out with
+       | Some path ->
+         Alcop_gpusim.Pipeview.write_jsonl path v;
+         Printf.printf "JSONL event log written to %s\n" path
+       | None -> ());
+      (match html with
+       | Some path ->
+         write_html path
+           [ partition_section v; occupancy_section v; slack_section v ]
+       | None -> ())
+  in
+  let stages =
+    Arg.(value & opt (some stage_pair_conv) None
+         & info [ "stages" ] ~docv:"SxR"
+             ~doc:"Shorthand for --smem-stages S --reg-stages R.")
+  in
+  let compare =
+    Arg.(value & opt (some (t2 ~sep:',' stage_pair_conv stage_pair_conv)) None
+         & info [ "compare" ] ~docv:"SxR,SxR"
+             ~doc:"Analyze two stage configurations of the same tiling \
+                   (e.g. 1x1,3x2) and telescope the latency delta into \
+                   slack/occupancy/sync terms, in exact integer cycles.")
+  in
+  let html =
+    Arg.(value & opt (some string) None
+         & info [ "html" ] ~docv:"FILE"
+             ~doc:"Write a self-contained HTML report: stage-occupancy \
+                   waterfall, prefetch-slack histogram, cycle partition \
+                   (and the telescoped delta under --compare).")
+  in
+  let jsonl_out =
+    Arg.(value & opt (some string) None
+         & info [ "jsonl-out" ] ~docv:"FILE"
+             ~doc:"Write the observatory events (feature record, per-wait \
+                   slack points, occupancy spans) as a JSONL log.")
+  in
+  Cmd.v
+    (Cmd.info "explain-pipeline"
+       ~doc:"Pipeline observatory: per-stage buffer occupancy, prefetch \
+             slack and sync-wait attribution for one schedule, or an exact \
+             telescoped latency delta between two (doc/pipeview.md).")
+    Term.(const run $ spec_arg $ params_term $ stages $ compare $ html
+          $ jsonl_out)
+
 let verify_cmd =
   let run spec params =
     if Alcop_sched.Op_spec.flops spec > 200_000_000 then begin
@@ -793,4 +1075,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ ops_cmd; show_cmd; time_cmd; profile_cmd; perf_cmd; model_cmd;
-            tune_cmd; explain_cmd; verify_cmd; trace_cmd; report_cmd ]))
+            tune_cmd; explain_cmd; explain_pipeline_cmd; verify_cmd; trace_cmd;
+            report_cmd ]))

@@ -279,6 +279,87 @@ let stall_diff_section ~hw () =
           ();
         Report.table ~header ~rows ]
 
+(* Pipeline observatory on the same fig 2/3 pair: stage-occupancy
+   waterfall and prefetch-slack stats of the pipelined schedule, plus the
+   five-term exact telescoping of the latency delta (doc/pipeview.md). *)
+let pipeview_of ~hw spec params =
+  match Session.compile (Session.for_hw hw) params spec with
+  | Error _ -> None
+  | Ok c ->
+    (match
+       Alcop_gpusim.Pipeview.run ~op:spec.Alcop_sched.Op_spec.name
+         ~schedule:(Alcop_perfmodel.Params.to_string params)
+         c.Compiler.timing_request
+     with
+     | Error _ -> None
+     | Ok v -> Some v)
+
+let pipeview_section ~hw () =
+  let spec = Alcop_workloads.Suites.mm_rn50_fc in
+  let tiling =
+    Alcop_sched.Tiling.make ~tb_m:64 ~tb_n:64 ~tb_k:32 ~warp_m:32 ~warp_n:32
+      ~warp_k:16 ()
+  in
+  let params ~smem_stages ~reg_stages =
+    Alcop_perfmodel.Params.make ~tiling ~smem_stages ~reg_stages ()
+  in
+  match
+    ( pipeview_of ~hw spec (params ~smem_stages:1 ~reg_stages:1),
+      pipeview_of ~hw spec (params ~smem_stages:3 ~reg_stages:2) )
+  with
+  | None, _ | _, None ->
+    Report.section ~title:"Pipeline observatory"
+      ~intro:"(analyzing the example variants failed on this build)" []
+  | Some base, Some piped ->
+    let open Alcop_gpusim.Pipeview in
+    let cmp = compare_views base piped in
+    let delta_rows =
+      List.map
+        (fun t ->
+          [ t.dt_name; string_of_int t.dt_a; string_of_int t.dt_b;
+            Printf.sprintf "%+d" t.dt_delta ])
+        cmp.cmp_terms
+      @ [ [ "total"; string_of_int cmp.cmp_total_a;
+            string_of_int cmp.cmp_total_b;
+            Printf.sprintf "%+d" cmp.cmp_total_delta ] ]
+    in
+    let occupancy_rows =
+      List.concat_map
+        (fun g ->
+          Array.to_list g.gv_slots
+          |> List.map (fun slot ->
+                 ( Printf.sprintf "%s stage %d" g.gv_id slot.oc_stage,
+                   Array.to_list slot.oc_intervals )))
+        piped.pv_groups
+    in
+    let group_rows =
+      List.map
+        (fun g ->
+          [ g.gv_id; string_of_int g.gv_stages;
+            (if g.gv_synchronized then "scope" else "soft");
+            Printf.sprintf "%.1f" g.gv_mean_slack;
+            Printf.sprintf "%.1f" g.gv_min_slack;
+            Printf.sprintf "%.0f" g.gv_exposed_cycles;
+            Printf.sprintf "%.2f" g.gv_duty ])
+        piped.pv_groups
+    in
+    Report.section ~title:"Pipeline observatory"
+      ~intro:
+        (Printf.sprintf
+           "Per-stage buffer occupancy and prefetch slack of the 3x2 \
+            pipelined schedule on %s, and the 1x1 -> 3x2 latency delta \
+            telescoped into five partition terms (integer cycles, exact; \
+            doc/pipeview.md)."
+           spec.Alcop_sched.Op_spec.name)
+      [ Report.table ~header:[ "term"; "1x1"; "3x2"; "delta" ]
+          ~rows:delta_rows;
+        Report.interval_rows ~x_label:"cycles"
+          ~total:piped.pv_wave_cycles ~rows:occupancy_rows ();
+        Report.table
+          ~header:[ "group"; "stages"; "protocol"; "mean slack"; "min slack";
+                    "exposed cycles"; "duty" ]
+          ~rows:group_rows ]
+
 (* --- assembly --- *)
 
 let generate ?(hw = Alcop_hw.Hw_config.default) ?pool
@@ -295,7 +376,7 @@ let generate ?(hw = Alcop_hw.Hw_config.default) ?pool
        fig13_section ~results_dir ~hw ~pool ();
        selfbench_section ~bench_json () ]
      @ history_sections ~history_dir ()
-     @ [ stall_diff_section ~hw () ])
+     @ [ stall_diff_section ~hw (); pipeview_section ~hw () ])
 
 let write ?hw ?pool ?results_dir ?bench_json ?history_dir path =
   let html = generate ?hw ?pool ?results_dir ?bench_json ?history_dir () in

@@ -53,6 +53,9 @@ type t = {
   p_timing : Timing.kernel_timing;
   p_waves : wave_profile list;  (** full wave first when both exist *)
   p_stages : (string * int) list;  (** pipeline group id -> stage count *)
+  p_program_hash : string;  (** [Trace.program_hash] of the replayed program *)
+  p_n_groups : int;  (** group-table size of the packed program *)
+  p_n_events : int;  (** packed program length *)
 }
 
 let stages_of t gid =
@@ -149,7 +152,10 @@ let run ?(op = "kernel") ?(schedule = "")
        in
        Ok
          { p_op = op; p_schedule = schedule; p_timing = timing;
-           p_waves = waves; p_stages = stage_list })
+           p_waves = waves; p_stages = stage_list;
+           p_program_hash = Digest.to_hex (Trace.program_hash req.program);
+           p_n_groups = Array.length req.program.Trace.groups;
+           p_n_events = Trace.length req.program })
 
 (* --- aggregation --- *)
 
@@ -311,6 +317,9 @@ let chrome_events t =
          fields =
            [ ("op", Json.Str t.p_op); ("schedule", Json.Str t.p_schedule);
              ("total_cycles", Json.Float t.p_timing.Timing.total_cycles);
+             ("program_hash", Json.Str t.p_program_hash);
+             ("n_groups", Json.Int t.p_n_groups);
+             ("n_events", Json.Int t.p_n_events);
              ("#process_name", Json.Str "alcop profile") ] });
   List.iteri
     (fun wi w ->

@@ -49,6 +49,10 @@ type t = {
   p_timing : Timing.kernel_timing;
   p_waves : wave_profile list;  (** full wave first when both exist *)
   p_stages : (string * int) list;  (** pipeline group id -> stage count *)
+  p_program_hash : string;
+      (** hex [Trace.program_hash] of the replayed packed program *)
+  p_n_groups : int;  (** group-table size of the packed program *)
+  p_n_events : int;  (** packed program length *)
 }
 
 val run :

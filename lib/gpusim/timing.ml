@@ -119,6 +119,40 @@ type probe = {
   on_flight : flight -> unit;
 }
 
+(* --- pipeline probe ---
+
+   Opt-in observatory channel, separate from [probe] so the equivalence
+   gate against the frozen legacy engine (which predates it) is
+   untouched. The [advance] stream only materializes non-empty stall
+   intervals — a wait that finds its batch already landed produces
+   nothing there — so positive prefetch slack is invisible to it; these
+   events carry the ready/start pair for every commit and wait
+   regardless of whether anyone stalled. *)
+
+type pipe_event =
+  | Fill of {
+      pf_tb : int;
+      pf_group : int;  (** index into [Trace.program.groups] *)
+      pf_batch : int;  (** batch ordinal the commit closes *)
+      pf_commit : float;  (** cycle the commit issues *)
+      pf_ready : float;
+          (** cycle the batch's last async load lands (0 when the batch
+              contains no loads) *)
+    }
+  | Consume of {
+      pc_tb : int;
+      pc_group : int;
+      pc_ordinal : int;  (** consumption ordinal of the wait *)
+      pc_consumed : int;  (** committed batch index it consumes; -1 none *)
+      pc_start : float;  (** cycle the wait begins *)
+      pc_ready : float;  (** cycle the consumed batch landed *)
+      pc_finish : float;  (** [max start ready] *)
+    }
+  | Barrier_wait of { pw_tb : int; pw_start : float; pw_finish : float }
+  | Drain of { pd_tb : int; pd_start : float; pd_finish : float }
+      (** end-of-program wait for outstanding loads/stores; also the
+          threadblock's completion time ([pd_finish]) *)
+
 type wave_result = {
   cycles : float;
   compute_busy : float;
@@ -282,7 +316,7 @@ let bgrow cur n =
 
 (* --- the wave engine --- *)
 
-let simulate_packed ?probe ?arena (cfg : config) (p : Trace.program) =
+let simulate_packed ?probe ?arena ?pipe (cfg : config) (p : Trace.program) =
   let hw = cfg.hw in
   let active = float_of_int (max 1 cfg.active_sms) in
   let dram = server () and llc = server () and smem = server ()
@@ -428,6 +462,12 @@ let simulate_packed ?probe ?arena (cfg : config) (p : Trace.program) =
       let pg = (i * ng) + g in
       let slot = (pg * maxd) + (batch.{c} mod gdepth.(g)) in
       ring.(slot) <- openb.(pg);
+      (match pipe with
+       | Some f ->
+         f (Fill
+              { pf_tb = i; pf_group = g; pf_batch = batch.{c};
+                pf_commit = now; pf_ready = openb.(pg) })
+       | None -> ());
       openb.(pg) <- 0.0;
       if tracking then begin
         mix_copy4 ring_mix (4 * slot) open_mix (4 * pg);
@@ -457,6 +497,13 @@ let simulate_packed ?probe ?arena (cfg : config) (p : Trace.program) =
         let gname = if probe_on then Some p.Trace.groups.(g) else None in
         att i cls gname batch.{c} now t
       end;
+      (match pipe with
+       | Some f ->
+         f (Consume
+              { pc_tb = i; pc_group = g; pc_ordinal = batch.{c};
+                pc_consumed = consumed; pc_start = now; pc_ready = ready;
+                pc_finish = t })
+       | None -> ());
       time.(i) <- t
     end
     else if op = Trace.op_acquire || op = Trace.op_release then
@@ -467,6 +514,9 @@ let simulate_packed ?probe ?arena (cfg : config) (p : Trace.program) =
       boundary.(i) <- true;
       let t = Float.max now out.(i) in
       if tracking then att i Sync_wait None (-1) now t;
+      (match pipe with
+       | Some f -> f (Barrier_wait { pw_tb = i; pw_start = now; pw_finish = t })
+       | None -> ());
       time.(i) <- t
     end
     else begin
@@ -500,8 +550,12 @@ let simulate_packed ?probe ?arena (cfg : config) (p : Trace.program) =
     cursor.(i) <- c + 1;
     if c + 1 >= n then begin
       (* drain: the epilogue waits for every outstanding store/load *)
-      let t = Float.max time.(i) out.(i) in
-      if tracking then att i Sync_wait None (-1) time.(i) t;
+      let t0d = time.(i) in
+      let t = Float.max t0d out.(i) in
+      if tracking then att i Sync_wait None (-1) t0d t;
+      (match pipe with
+       | Some f -> f (Drain { pd_tb = i; pd_start = t0d; pd_finish = t })
+       | None -> ());
       time.(i) <- t
     end
   in
@@ -525,10 +579,10 @@ let simulate_packed ?probe ?arena (cfg : config) (p : Trace.program) =
   { cycles = !cycles; compute_busy = compute.busy; dram_busy = dram.busy;
     llc_busy = llc.busy; smem_busy = smem.busy }
 
-let simulate_program ?probe cfg p = simulate_packed ?probe cfg p
+let simulate_program ?probe ?pipe cfg p = simulate_packed ?probe ?pipe cfg p
 
-let simulate_wave ?probe (cfg : config) (trace : Trace.event array) =
-  simulate_packed ?probe cfg (Trace.pack trace)
+let simulate_wave ?probe ?pipe (cfg : config) (trace : Trace.event array) =
+  simulate_packed ?probe ?pipe cfg (Trace.pack trace)
 
 (* --- incremental wave reuse ---
 

@@ -82,16 +82,59 @@ type probe = {
   on_flight : flight -> unit;
 }
 
-val simulate_program : ?probe:probe -> config -> Trace.program -> wave_result
+(** {1 Pipeline probe}
+
+    Opt-in channel for the pipeline observatory ({!Pipeview}), separate
+    from {!probe}: the [advance] stream materializes only non-empty stall
+    intervals, so a wait whose batch already landed — positive prefetch
+    slack, the thing multi-stage buffering exists to produce — is
+    invisible there. These events carry the ready/start cycle pair of
+    every commit and wait regardless of whether anyone stalled. With the
+    probe absent the engine performs no extra work or allocation. *)
+
+type pipe_event =
+  | Fill of {
+      pf_tb : int;
+      pf_group : int;  (** index into [Trace.program.groups] *)
+      pf_batch : int;  (** batch ordinal the commit closes *)
+      pf_commit : float;  (** cycle the commit issues *)
+      pf_ready : float;
+          (** cycle the batch's last async load lands ([0.] when the
+              batch contains no loads) *)
+    }
+  | Consume of {
+      pc_tb : int;
+      pc_group : int;
+      pc_ordinal : int;  (** consumption ordinal of the wait *)
+      pc_consumed : int;
+          (** committed batch index it consumes; [-1] when the wait fired
+              before any commit *)
+      pc_start : float;  (** cycle the wait begins; prefetch slack is
+                             [pc_start -. pc_ready] — negative means the
+                             consumer stalled (exposed latency) *)
+      pc_ready : float;  (** cycle the consumed batch landed *)
+      pc_finish : float;  (** [max pc_start pc_ready] *)
+    }
+  | Barrier_wait of { pw_tb : int; pw_start : float; pw_finish : float }
+  | Drain of { pd_tb : int; pd_start : float; pd_finish : float }
+      (** end-of-program wait for outstanding loads/stores; [pd_finish]
+          is the threadblock's completion time *)
+
+val simulate_program :
+  ?probe:probe -> ?pipe:(pipe_event -> unit) -> config -> Trace.program ->
+  wave_result
 (** Replay one wave of a packed program. This is the engine: flat
     array-backed scoreboard state drawn from a domain-local scratch arena,
     O(1) allocation per wave. With [?probe], reports every clock advance
     ([on_advance]) and every load's issue-to-land flight ([on_advance]
     intervals of one threadblock are contiguous from 0 to its finish
-    time). Without a probe the attribution bookkeeping is skipped
-    entirely. *)
+    time). With [?pipe], additionally reports every pipeline fill/consume
+    and barrier/drain wait. Without either the attribution bookkeeping is
+    skipped entirely. *)
 
-val simulate_wave : ?probe:probe -> config -> Trace.event array -> wave_result
+val simulate_wave :
+  ?probe:probe -> ?pipe:(pipe_event -> unit) -> config ->
+  Trace.event array -> wave_result
 (** [simulate_program] over [Trace.pack] — the boxed-event view, for tests
     and hand-built traces. *)
 

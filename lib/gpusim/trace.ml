@@ -48,8 +48,8 @@ type level =
 type event =
   | Load of { level : level; bytes : int; async : bool; group : string option }
   | Store of { bytes : int }
-  | Commit of string
-  | Wait_oldest of string
+  | Commit of { group : string; sync : bool }
+  | Wait_oldest of { group : string; sync : bool }
   | Acquire of { group : string; stages : int }
   | Release of string
   | Barrier
@@ -63,8 +63,10 @@ let pp_event fmt = function
       (if async then " async" else "")
       (match group with None -> "" | Some g -> " @" ^ g)
   | Store { bytes } -> Format.fprintf fmt "store %dB" bytes
-  | Commit g -> Format.fprintf fmt "commit @%s" g
-  | Wait_oldest g -> Format.fprintf fmt "wait @%s" g
+  | Commit { group = g; sync } ->
+    Format.fprintf fmt "commit @%s%s" g (if sync then "" else " soft")
+  | Wait_oldest { group = g; sync } ->
+    Format.fprintf fmt "wait @%s%s" g (if sync then "" else " soft")
   | Acquire { group; stages } -> Format.fprintf fmt "acquire @%s (%d)" group stages
   | Release g -> Format.fprintf fmt "release @%s" g
   | Barrier -> Format.fprintf fmt "barrier"
@@ -83,6 +85,13 @@ let op_compute = 7
 
 let flag_async = 1
 let flag_shared = 2
+
+(* Set on the commit/wait/acquire/release events of scope-synchronized
+   pipeline groups; scoreboard-synthesized ("soft") register-pipeline
+   commits and waits carry a clear bit. The simulator never reads it — it
+   exists so decoded views and the pipeline observatory can tell the two
+   protocols apart without re-running the analysis. *)
+let flag_sync_group = 4
 
 (* Program columns live in int Bigarrays: their storage is malloc'd
    outside the OCaml heap, so emitting a ~1k-event program costs five
@@ -107,6 +116,9 @@ type program = {
   batch : icol;
   groups : string array;
   group_depth : int array;
+  group_stages : int array;
+  group_sync : bool array;
+  group_bytes : int array;
   mutable hash : string;  (** lazily memoized content digest; [""] = unset *)
 }
 
@@ -126,19 +138,37 @@ let finalize ~groups ~opcode ~arg ~group ~flags =
   let taken = Array.make ng 0 in
   let popped = Array.make ng 0 in
   let depth = Array.make ng 1 in
+  (* Group-table metadata, derived best-effort from the event stream (the
+     primary path, [extract_program], fills exact values from the pipeline
+     analysis instead): a group is scope-synchronized when any of its
+     protocol events carries [flag_sync_group]; its stage count is the
+     acquire argument when one exists (ring depth otherwise); its
+     per-stage byte footprint is the peak sum of async load bytes joining
+     one batch. *)
+  let stages = Array.make ng 0 in
+  let sync = Array.make ng false in
+  let gbytes = Array.make ng 0 in
+  let openb = Array.make ng 0 in
   for i = 0 to n - 1 do
     let g = group.(i) in
     let op = opcode.(i) in
     if op = op_load then begin
-      if flags.(i) land flag_async <> 0 && g >= 0 then batch.(i) <- committed.(g)
+      if flags.(i) land flag_async <> 0 && g >= 0 then begin
+        batch.(i) <- committed.(g);
+        openb.(g) <- openb.(g) + arg.(i)
+      end
     end
     else if op = op_commit then begin
+      if flags.(i) land flag_sync_group <> 0 then sync.(g) <- true;
+      if openb.(g) > gbytes.(g) then gbytes.(g) <- openb.(g);
+      openb.(g) <- 0;
       batch.(i) <- committed.(g);
       committed.(g) <- committed.(g) + 1;
       let occ = committed.(g) - popped.(g) in
       if occ > depth.(g) then depth.(g) <- occ
     end
     else if op = op_wait then begin
+      if flags.(i) land flag_sync_group <> 0 then sync.(g) <- true;
       batch.(i) <- taken.(g);
       taken.(g) <- taken.(g) + 1;
       if popped.(g) < committed.(g) then begin
@@ -147,10 +177,20 @@ let finalize ~groups ~opcode ~arg ~group ~flags =
       end
       else arg.(i) <- -1
     end
+    else if op = op_acquire then begin
+      sync.(g) <- true;
+      if arg.(i) > stages.(g) then stages.(g) <- arg.(i)
+    end
+    else if op = op_release then sync.(g) <- true
+  done;
+  for g = 0 to ng - 1 do
+    if stages.(g) = 0 then stages.(g) <- depth.(g)
   done;
   { n; opcode = icol_of_array opcode; arg = icol_of_array arg;
     group = icol_of_array group; flags = icol_of_array flags;
-    batch = icol_of_array batch; groups; group_depth = depth; hash = "" }
+    batch = icol_of_array batch; groups; group_depth = depth;
+    group_stages = stages; group_sync = sync; group_bytes = gbytes;
+    hash = "" }
 
 let program_hash p =
   if String.length p.hash = 0 then
@@ -171,8 +211,12 @@ let event_at p i =
         async = p.flags.{i} land flag_async <> 0;
         group = (if g >= 0 then Some p.groups.(g) else None) }
   else if op = op_store then Store { bytes = p.arg.{i} }
-  else if op = op_commit then Commit p.groups.(g)
-  else if op = op_wait then Wait_oldest p.groups.(g)
+  else if op = op_commit then
+    Commit
+      { group = p.groups.(g); sync = p.flags.{i} land flag_sync_group <> 0 }
+  else if op = op_wait then
+    Wait_oldest
+      { group = p.groups.(g); sync = p.flags.{i} land flag_sync_group <> 0 }
   else if op = op_acquire then Acquire { group = p.groups.(g); stages = p.arg.{i} }
   else if op = op_release then Release p.groups.(g)
   else if op = op_barrier then Barrier
@@ -212,18 +256,22 @@ let pack (events : event array) =
       | Store { bytes } ->
         opcode.(i) <- op_store;
         arg.(i) <- bytes
-      | Commit g ->
+      | Commit { group = g; sync } ->
         opcode.(i) <- op_commit;
+        flags.(i) <- (if sync then flag_sync_group else 0);
         group.(i) <- intern g
-      | Wait_oldest g ->
+      | Wait_oldest { group = g; sync } ->
         opcode.(i) <- op_wait;
+        flags.(i) <- (if sync then flag_sync_group else 0);
         group.(i) <- intern g
       | Acquire { group = g; stages } ->
         opcode.(i) <- op_acquire;
         arg.(i) <- stages;
+        flags.(i) <- flag_sync_group;
         group.(i) <- intern g
       | Release g ->
         opcode.(i) <- op_release;
+        flags.(i) <- flag_sync_group;
         group.(i) <- intern g
       | Barrier -> opcode.(i) <- op_barrier
       | Compute { flops } ->
@@ -353,6 +401,9 @@ type xstate = {
   g_taken : int array;
   g_popped : int array;
   g_depth : int array;
+  g_flags : int array;
+      (** flag bits stamped on the group's commit/wait events
+          ([flag_sync_group] for scope pipelines, 0 for soft ones) *)
   (* register ("soft") pipeline bookkeeping, one slot per group *)
   s_gid : int array;  (** interned group index *)
   s_hide : int array;  (** stages - 1: batches the pipeline keeps in flight *)
@@ -380,7 +431,7 @@ let[@inline] push_load st ~bytes ~group ~flags =
        else -1)
 
 let push_commit st ~group =
-  push_row st ~op:op_commit ~arg:0 ~group ~flags:0
+  push_row st ~op:op_commit ~arg:0 ~group ~flags:st.g_flags.(group)
     ~batch:st.g_committed.(group);
   let c = st.g_committed.(group) + 1 in
   st.g_committed.(group) <- c;
@@ -396,7 +447,7 @@ let push_wait st ~group =
     end
     else -1
   in
-  push_row st ~op:op_wait ~arg:consumed ~group ~flags:0
+  push_row st ~op:op_wait ~arg:consumed ~group ~flags:st.g_flags.(group)
     ~batch:st.g_taken.(group);
   st.g_taken.(group) <- st.g_taken.(group) + 1
 
@@ -507,11 +558,13 @@ let rec exec st node =
   | Rbarrier ->
     push_row st ~op:op_barrier ~arg:0 ~group:(-1) ~flags:0 ~batch:(-1)
   | Racquire { group; stages } ->
-    push_row st ~op:op_acquire ~arg:stages ~group ~flags:0 ~batch:(-1)
+    push_row st ~op:op_acquire ~arg:stages ~group ~flags:flag_sync_group
+      ~batch:(-1)
   | Rcommit { group } -> push_commit st ~group
   | Rwait { group } -> push_wait st ~group
   | Rrelease { group } ->
-    push_row st ~op:op_release ~arg:0 ~group ~flags:0 ~batch:(-1)
+    push_row st ~op:op_release ~arg:0 ~group ~flags:flag_sync_group
+      ~batch:(-1)
   | Rnop -> ()
   | Rfail msg -> invalid_arg msg
 
@@ -674,6 +727,26 @@ let extract_program ~(groups : Alcop_pipeline.Analysis.group list)
          softs)
   in
   let ng = !gn in
+  (* Exact group-table metadata from the pipeline analysis: protocol kind
+     (stamped on commit/wait flags via [g_flags]), declared stage count and
+     the pass's per-stage byte footprint. Groups the analysis does not
+     know (never happens today) default to a soft single-stage entry. *)
+  let g_flags = Array.make (max 1 ng) 0 in
+  let g_stages = Array.make (max 1 ng) 0 in
+  let g_sync = Array.make (max 1 ng) false in
+  let g_bytes = Array.make (max 1 ng) 0 in
+  List.iter
+    (fun (g : Alcop_pipeline.Analysis.group) ->
+      match Hashtbl.find_opt gtbl g.Alcop_pipeline.Analysis.id with
+      | None -> ()  (* group emitted no events; keep it out of the table *)
+      | Some idx ->
+        g_stages.(idx) <- g.Alcop_pipeline.Analysis.stages;
+        g_bytes.(idx) <- Alcop_pipeline.Analysis.stage_footprint_bytes g;
+        if g.Alcop_pipeline.Analysis.synchronized then begin
+          g_sync.(idx) <- true;
+          g_flags.(idx) <- flag_sync_group
+        end)
+    groups;
   let scratch =
     let b = Domain.DLS.get xbuf_key in
     if b.xb_in_use then xbuf_fresh 1024 else b
@@ -687,6 +760,7 @@ let extract_program ~(groups : Alcop_pipeline.Analysis.group list)
       g_taken = Array.make (max 1 ng) 0;
       g_popped = Array.make (max 1 ng) 0;
       g_depth = Array.make (max 1 ng) 1;
+      g_flags;
       s_gid; s_hide;
       s_open = Array.make (List.length softs) false;
       s_batches = Array.make (List.length softs) 0;
@@ -694,6 +768,13 @@ let extract_program ~(groups : Alcop_pipeline.Analysis.group list)
   in
   exec st rbody;
   let len = st.len in
+  let group_depth = Array.sub st.g_depth 0 ng in
+  let group_stages = Array.sub g_stages 0 ng in
+  let group_sync = Array.sub g_sync 0 ng in
+  let group_bytes = Array.sub g_bytes 0 ng in
+  for g = 0 to ng - 1 do
+    if group_stages.(g) = 0 then group_stages.(g) <- group_depth.(g)
+  done;
   { n = len;
     opcode = icol_take scratch.xb_op len;
     arg = icol_take scratch.xb_arg len;
@@ -701,7 +782,7 @@ let extract_program ~(groups : Alcop_pipeline.Analysis.group list)
     flags = icol_take scratch.xb_flg len;
     batch = icol_take scratch.xb_bat len;
     groups = Array.of_list (List.rev !glist);
-    group_depth = Array.sub st.g_depth 0 ng;
+    group_depth; group_stages; group_sync; group_bytes;
     hash = "" }
 
 let extract ~groups kernel = decode (extract_program ~groups kernel)

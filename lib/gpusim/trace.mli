@@ -26,8 +26,10 @@ type level =
 type event =
   | Load of { level : level; bytes : int; async : bool; group : string option }
   | Store of { bytes : int }
-  | Commit of string
-  | Wait_oldest of string
+  | Commit of { group : string; sync : bool }
+      (** [sync] distinguishes scope-synchronized pipeline commits from
+          scoreboard-synthesized register-pipeline ones *)
+  | Wait_oldest of { group : string; sync : bool }
   | Acquire of { group : string; stages : int }
   | Release of string
   | Barrier
@@ -58,6 +60,12 @@ val op_compute : int
 val flag_async : int
 val flag_shared : int
 
+val flag_sync_group : int
+(** Set on commit/wait/acquire/release events of scope-synchronized
+    pipeline groups; clear on the synthesized commit/wait pairs of
+    register ("soft") pipelines. Ignored by the simulator — carried for
+    decoded views and the pipeline observatory. *)
+
 type icol = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
 (** A program column. Bigarray storage is malloc'd outside the OCaml heap,
     so emitting a program costs a handful of mallocs plus a memcpy rather
@@ -82,6 +90,18 @@ type program = {
   group_depth : int array;
       (** per group: peak committed-but-unconsumed batches (ring capacity
           a replay needs), always [>= 1] *)
+  group_stages : int array;
+      (** per group: the pipeline stage count the pass planned (exact on
+          the {!extract_program} path; for {!pack}-built traces the max
+          acquire argument, falling back to the observed ring depth) *)
+  group_sync : bool array;
+      (** per group: [true] for scope-synchronized pipelines, [false] for
+          scoreboard-synthesized register pipelines *)
+  group_bytes : int array;
+      (** per group: bytes one pipeline stage occupies — the pass's
+          per-stage buffer footprint on the {!extract_program} path, the
+          peak per-batch async-load byte sum for {!pack}-built traces;
+          [0] when unknown *)
   mutable hash : string;  (** internal memo for {!program_hash}; [""] unset *)
 }
 

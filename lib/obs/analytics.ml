@@ -234,6 +234,40 @@ let summary_lines (trace : Trace_reader.trace) =
           (fmt_num (pct h 0.99)))
       trace.tr_hists
   end;
+  (* Per-kernel identity of profiled programs: the profiler's anchor point
+     carries the packed program's content hash and group-table size, so a
+     summary names exactly which program a trace replayed. *)
+  let kernels =
+    List.filter_map
+      (fun (p : Trace_reader.point) ->
+        if not (String.equal p.Trace_reader.pt_name "profile") then None
+        else
+          let str k =
+            match List.assoc_opt k p.Trace_reader.pt_fields with
+            | Some (Json.Str s) -> s
+            | _ -> ""
+          in
+          let int k =
+            match List.assoc_opt k p.Trace_reader.pt_fields with
+            | Some (Json.Int i) -> i
+            | Some (Json.Float f) -> int_of_float f
+            | _ -> -1
+          in
+          let hash = str "program_hash" in
+          if String.equal hash "" then None
+          else Some (str "op", str "schedule", hash, int "n_groups",
+                     int "n_events"))
+      trace.tr_points
+  in
+  if kernels <> [] then begin
+    line "-- kernels --";
+    line "%-24s %-20s %-34s %7s %8s" "op" "schedule" "program hash" "groups"
+      "events";
+    List.iter
+      (fun (op, sched, hash, ngroups, nevents) ->
+        line "%-24s %-20s %-34s %7d %8d" op sched hash ngroups nevents)
+      kernels
+  end;
   List.rev !buf
 
 let diff_lines ~old_trace ~new_trace =

@@ -487,6 +487,66 @@ let diverging_bars ?(pos_label = "more") ?(neg_label = "less") ~rows () =
     Buffer.contents buf
   end
 
+(* --- interval waterfall (horizontal occupancy timelines) --- *)
+
+let interval_rows ?(x_label = "") ~total ~rows () =
+  if rows = [] || total <= 0.0 then ""
+  else begin
+    let row_h = 26.0 in
+    let label_w = 170.0 in
+    let h =
+      margin_t +. (row_h *. float_of_int (List.length rows)) +. margin_b
+    in
+    let px = chart_w -. label_w -. margin_r in
+    let sx v = label_w +. (px *. (Float.max 0.0 (Float.min total v) /. total)) in
+    let buf = Buffer.create 4096 in
+    let out s = Buffer.add_string buf s; Buffer.add_char buf '\n' in
+    out (svg_open ~h ());
+    (* quarter gridlines with cycle labels *)
+    for q = 0 to 4 do
+      let v = total *. float_of_int q /. 4.0 in
+      let x = sx v in
+      out
+        (Printf.sprintf
+           "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" \
+            stroke=\"var(--grid)\"/>\n\
+            <text x=\"%g\" y=\"%g\" text-anchor=\"middle\">%s</text>"
+           x margin_t x (h -. margin_b) x (h -. margin_b +. 16.0)
+           (Analytics.fmt_num v))
+    done;
+    if x_label <> "" then
+      out
+        (Printf.sprintf
+           "<text x=\"%g\" y=\"%g\" text-anchor=\"middle\">%s</text>"
+           (label_w +. (px /. 2.0)) (h -. 6.0) (html_escape x_label));
+    List.iteri
+      (fun i (name, intervals) ->
+        let y = margin_t +. (row_h *. float_of_int i) +. 5.0 in
+        let bh = row_h -. 10.0 in
+        out
+          (Printf.sprintf
+             "<text x=\"%g\" y=\"%g\" text-anchor=\"end\">%s</text>"
+             (label_w -. 8.0) (y +. (bh /. 2.0) +. 4.0) (html_escape name));
+        out
+          (Printf.sprintf
+             "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" \
+              stroke=\"var(--grid)\"/>"
+             label_w (y +. (bh /. 2.0)) (sx total) (y +. (bh /. 2.0)));
+        List.iter
+          (fun (s, e) ->
+            let x = sx s and w = sx e -. sx s in
+            if w > 0.0 then
+              out
+                (Printf.sprintf
+                   "<rect x=\"%g\" y=\"%g\" width=\"%g\" height=\"%g\" \
+                    rx=\"2\" fill=\"%s\"/>"
+                   x y w bh (series_var i)))
+          intervals)
+      rows;
+    out "</svg>";
+    Buffer.contents buf
+  end
+
 (* --- page assembly --- *)
 
 let section ~title ?(intro = "") body_parts =

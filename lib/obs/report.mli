@@ -54,6 +54,14 @@ val diverging_bars :
     to the right in the "worse" color, negative to the left in the
     "better" color, each end-labeled with its signed value. *)
 
+val interval_rows :
+  ?x_label:string -> total:float -> rows:(string * (float * float) list) list ->
+  unit -> string
+(** Horizontal interval waterfall on a shared [0, total] axis — one row
+    per label, one rounded bar per (start, stop) interval. Used for the
+    pipeline observatory's stage-occupancy timelines. Empty string for no
+    rows or a non-positive total. *)
+
 val section : title:string -> ?intro:string -> string list -> string
 (** A titled report section wrapping pre-rendered body parts. *)
 

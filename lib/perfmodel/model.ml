@@ -206,3 +206,13 @@ let predict_cycles hw spec p =
   match predict hw spec p with
   | Ok pr -> Some pr.cycles
   | Error _ -> None
+
+(* First-order prefetch-slack prediction from Table I terms: a batch
+   loaded at outer iteration [k] is consumed at [k + stages - 1], so the
+   time budget the pipeline grants the copy is [(stages - 1) * t_smem_use]
+   against a [t_smem_load] service-plus-latency cost. Positive = the
+   model expects the copy hidden; negative = expected exposed latency per
+   steady-state iteration. The observatory compares this against the
+   simulator's measured per-wait slack (doc/pipeview.md). *)
+let predicted_smem_slack pr ~smem_stages =
+  (float_of_int (max 0 (smem_stages - 1)) *. pr.t_smem_use) -. pr.t_smem_load

@@ -40,3 +40,10 @@ val predict : Alcop_hw.Hw_config.t -> Op_spec.t -> Params.t -> (prediction, fail
 
 val predict_cycles : Alcop_hw.Hw_config.t -> Op_spec.t -> Params.t -> float option
 (** [None] when the schedule cannot launch. *)
+
+val predicted_smem_slack : prediction -> smem_stages:int -> float
+(** Table I's first-order prefetch-slack estimate for the shared-memory
+    pipeline: [(stages - 1) * t_smem_use - t_smem_load]. Positive means
+    the model expects async copies fully hidden; negative is the exposed
+    latency it predicts per steady-state iteration. Compared against the
+    simulator's measured slack by [alcop explain-pipeline]. *)

@@ -79,6 +79,13 @@ let group_of_buffer t name =
 
 let member_names g = List.map (fun m -> m.buffer.Buffer.name) g.members
 
+(* Bytes one pipeline stage of this group occupies: the sum of the
+   pre-expansion member buffers. The transformation multiplies this by
+   [stages] when it prepends the stage dimension, so this is the footprint
+   the observatory compares occupancy high-water marks against. *)
+let stage_footprint_bytes g =
+  List.fold_left (fun acc m -> acc + Buffer.size_bytes m.buffer) 0 g.members
+
 let is_pipelined t name = group_of_buffer t name <> None
 
 (* Collect the producing copies of all hinted buffers, with their loop

@@ -55,6 +55,11 @@ type t = { groups : group list (** outermost first *) }
 val find_group : t -> string -> group option
 val group_of_buffer : t -> string -> group option
 val member_names : group -> string list
+
+(** Bytes one stage of the group's expanded buffers occupies (sum of the
+    pre-expansion member buffer sizes); the footprint the pipeline
+    observatory compares occupancy high-water marks against. *)
+val stage_footprint_bytes : group -> int
 val is_pipelined : t -> string -> bool
 
 val run :

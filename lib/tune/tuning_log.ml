@@ -27,13 +27,25 @@ let opt_cost = function
   | Some c -> Json.Float c
   | None -> Json.Null
 
-let trial_to_json (t : Tuner.trial) =
-  Json.Obj
+(* [features]: per-trial pipeline feature records from the observatory
+   (Pipeview), keyed by trial index — cost-model features richer than the
+   scalar latency, attached as a "pipeline_features" object. *)
+let trial_to_json ?(features = []) (t : Tuner.trial) =
+  let base =
     [ ("index", Json.Int t.Tuner.index);
       ("schedule", params_to_json t.Tuner.params);
       ("cost_cycles", opt_cost t.Tuner.cost) ]
+  in
+  let extra =
+    match List.assoc_opt t.Tuner.index features with
+    | Some feats when feats <> [] ->
+      [ ("pipeline_features",
+         Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) feats)) ]
+    | _ -> []
+  in
+  Json.Obj (base @ extra)
 
-let run_to_json ~spec_name ~method_ ~seed (r : Tuner.result) =
+let run_to_json ?(features = []) ~spec_name ~method_ ~seed (r : Tuner.result) =
   Json.Obj
     [ ("operator", Json.Str spec_name);
       ("method", Json.Str (Tuner.method_to_string method_));
@@ -41,17 +53,19 @@ let run_to_json ~spec_name ~method_ ~seed (r : Tuner.result) =
       ("space_size", Json.Int r.Tuner.space_size);
       ("best_cycles", opt_cost (Tuner.best r));
       ("trials",
-       Json.List (Array.to_list (Array.map trial_to_json r.Tuner.trials))) ]
+       Json.List
+         (Array.to_list
+            (Array.map (trial_to_json ~features) r.Tuner.trials))) ]
 
-let to_json ~spec_name ~method_ ~seed r =
-  Json.to_string (run_to_json ~spec_name ~method_ ~seed r)
+let to_json ?(features = []) ~spec_name ~method_ ~seed r =
+  Json.to_string (run_to_json ~features ~spec_name ~method_ ~seed r)
 
-let write_file ~path ~spec_name ~method_ ~seed r =
+let write_file ?(features = []) ~path ~spec_name ~method_ ~seed r =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (to_json ~spec_name ~method_ ~seed r);
+      output_string oc (to_json ~features ~spec_name ~method_ ~seed r);
       output_char oc '\n')
 
 (* --- reading logs back ---
@@ -67,6 +81,8 @@ type replayed_trial = {
   rt_index : int;
   rt_params : Alcop_perfmodel.Params.t;
   rt_cost : float option;
+  rt_features : (string * float) list;
+      (** pipeline feature record, [[]] when the log predates them *)
 }
 
 type replay = {
@@ -150,7 +166,15 @@ let replay_of_json j =
           | None -> Error "trial missing schedule"
         in
         let rt_cost = Option.bind (Json.member "cost_cycles" t) Json.number in
-        Ok ({ rt_index; rt_params; rt_cost } :: acc))
+        let rt_features =
+          match Json.member "pipeline_features" t with
+          | Some (Json.Obj kvs) ->
+            List.filter_map
+              (fun (k, v) -> Option.map (fun f -> (k, f)) (Json.number v))
+              kvs
+          | _ -> []
+        in
+        Ok ({ rt_index; rt_params; rt_cost; rt_features } :: acc))
       (Ok []) trials
   in
   Ok

@@ -7,6 +7,7 @@ val params_to_json : Alcop_perfmodel.Params.t -> Alcop_obs.Json.t
 val json_of_params : Alcop_perfmodel.Params.t -> string
 
 val run_to_json :
+  ?features:(int * (string * float) list) list ->
   spec_name:string ->
   method_:Tuner.method_ ->
   seed:int ->
@@ -14,12 +15,16 @@ val run_to_json :
   Alcop_obs.Json.t
 
 val to_json :
+  ?features:(int * (string * float) list) list ->
   spec_name:string -> method_:Tuner.method_ -> seed:int -> Tuner.result -> string
 (** One JSON object: operator, method, seed, space size, best cost, and
     every trial with its schedule knobs and measured cost (null = compile
-    failure). *)
+    failure). [features] attaches a pipeline observatory feature record
+    ({!Alcop_gpusim} pipeview) to trials by index, as a
+    ["pipeline_features"] object of floats. *)
 
 val write_file :
+  ?features:(int * (string * float) list) list ->
   path:string ->
   spec_name:string ->
   method_:Tuner.method_ ->
@@ -37,6 +42,8 @@ type replayed_trial = {
   rt_index : int;
   rt_params : Alcop_perfmodel.Params.t;
   rt_cost : float option;  (** [None] = compile failure, as written *)
+  rt_features : (string * float) list;
+      (** pipeline feature record; [[]] when the log predates them *)
 }
 
 type replay = {

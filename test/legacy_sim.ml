@@ -188,7 +188,7 @@ let simulate_wave ?probe (cfg : Timing.config) (trace : Trace.event array) =
        in
        tb.all_outstanding <- Float.max tb.all_outstanding completion;
        tb.time <- now
-     | Trace.Commit gid ->
+     | Trace.Commit { group = gid; _ } ->
        let p = pipe_of tb gid in
        Queue.push
          (p.open_batch, if tracking then mix_copy p.open_mix else p.open_mix)
@@ -197,7 +197,7 @@ let simulate_wave ?probe (cfg : Timing.config) (trace : Trace.event array) =
        p.committed <- p.committed + 1;
        if tracking then mix_reset p.open_mix;
        tb.time <- now
-     | Trace.Wait_oldest gid ->
+     | Trace.Wait_oldest { group = gid; _ } ->
        let p = pipe_of tb gid in
        let ready, rmix =
          match Queue.take_opt p.batches with

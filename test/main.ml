@@ -31,4 +31,5 @@ let () =
      @ Test_benchdb.suite
      @ Test_profile.suite
      @ Test_property.suite
-     @ Test_packed.suite)
+     @ Test_packed.suite
+     @ Test_pipeview.suite)

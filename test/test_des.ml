@@ -62,8 +62,8 @@ let test_async_pipeline_overlap () =
      compute-bound and loads vanish behind it. *)
   let g = "p" in
   let iter i =
-    [ aload 128 g; Trace.Commit g; Trace.Wait_oldest g; compute 2048000 ]
-    |> fun l -> if i = 0 then (aload 128 g :: Trace.Commit g :: l) else l
+    [ aload 128 g; Trace.Commit { group = g; sync = true }; Trace.Wait_oldest { group = g; sync = true }; compute 2048000 ]
+    |> fun l -> if i = 0 then (aload 128 g :: Trace.Commit { group = g; sync = true } :: l) else l
   in
   let events = List.concat (List.init 4 iter) in
   let r = run events in
@@ -78,7 +78,7 @@ let test_wait_blocks_until_oldest () =
   let bytes = 110300 in
   let service = float_of_int bytes /. (1103.0 /. 108.0) in
   let r =
-    run [ aload bytes g; Trace.Commit g; Trace.Wait_oldest g; compute 2048 ]
+    run [ aload bytes g; Trace.Commit { group = g; sync = true }; Trace.Wait_oldest { group = g; sync = true }; compute 2048 ]
   in
   let expected = service +. hw.Alcop_hw.Hw_config.dram_latency +. 1.0 in
   Alcotest.(check bool) "wait exposes the async load" true
@@ -100,7 +100,7 @@ let test_compute_multiplexing_hides_loads () =
      gaps and push tensor-core utilization up. *)
   let g = "p" in
   let iter _ =
-    [ aload 1024 g; Trace.Commit g; Trace.Wait_oldest g; compute 204800 ]
+    [ aload 1024 g; Trace.Commit { group = g; sync = true }; Trace.Wait_oldest { group = g; sync = true }; compute 204800 ]
   in
   let events = List.concat (List.init 8 iter) in
   let one = run ~residents:1 events in
@@ -126,7 +126,7 @@ let test_boundary_flushes_lookahead () =
   let bytes = 110300 in
   let tail = 204800 (* 100 cycles at full rate *) in
   let events =
-    [ aload 16 g; Trace.Commit g; Trace.Wait_oldest g; gload bytes;
+    [ aload 16 g; Trace.Commit { group = g; sync = true }; Trace.Wait_oldest { group = g; sync = true }; gload bytes;
       compute tail; compute tail ]
   in
   let with_boundary = run ~barrier_groups:[ g ] events in

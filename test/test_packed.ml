@@ -50,8 +50,14 @@ let gen_event =
         let* flops = oneofl [ 2048; 65536; 409600 ] in
         return (Trace.Compute { flops }) );
       (1, let* b = bytes in return (Trace.Store { bytes = b }));
-      (2, let* g = some_group in return (Trace.Commit g));
-      (2, let* g = some_group in return (Trace.Wait_oldest g));
+      ( 2,
+        let* g = some_group in
+        let* sync = bool in
+        return (Trace.Commit { group = g; sync }) );
+      ( 2,
+        let* g = some_group in
+        let* sync = bool in
+        return (Trace.Wait_oldest { group = g; sync }) );
       ( 1,
         let* g = some_group in
         let* stages = int_range 2 4 in
@@ -74,15 +80,18 @@ let structured ~stages ~iters ~bytes ~flops ~reg =
       { level = Trace.From_shared; bytes = b; async = reg;
         group = (if reg then Some greg else None) }
   in
+  let commit_sh = Trace.Commit { group = gshared; sync = true } in
+  let wait_sh = Trace.Wait_oldest { group = gshared; sync = true } in
   let prologue =
     List.concat
-      (List.init (stages - 1) (fun _ ->
-           [ acq; aload bytes; Trace.Commit gshared ]))
+      (List.init (stages - 1) (fun _ -> [ acq; aload bytes; commit_sh ]))
   in
   let iter _ =
-    [ acq; aload bytes; Trace.Commit gshared; Trace.Wait_oldest gshared ]
+    [ acq; aload bytes; commit_sh; wait_sh ]
     @ (if reg then
-         [ sload (bytes / 4); Trace.Commit greg; Trace.Wait_oldest greg ]
+         [ sload (bytes / 4);
+           Trace.Commit { group = greg; sync = false };
+           Trace.Wait_oldest { group = greg; sync = false } ]
        else [ sload (bytes / 4) ])
     @ [ Trace.Compute { flops }; Trace.Release gshared ]
   in
@@ -177,6 +186,33 @@ let prop_compiled_equal =
         let pr = Timing.simulate_program ~probe:pp cfg program in
         lr = pr && !ladv = !padv && !lfl = !pfl)
 
+(* The packed form is lossless: decoding every index of [pack events]
+   returns the original boxed event — including the new sync bit on
+   commits and waits ([flag_sync_group]), which distinguishes
+   scope-synchronized pipeline protocols from scoreboard-only register
+   pipelines in the flags column. *)
+let prop_pack_decode_roundtrip =
+  QCheck.Test.make ~name:"decode (pack events) == events (incl. sync flag)"
+    ~count:200 arb_sched (fun s ->
+      let p = Trace.pack s.events in
+      Trace.decode p = s.events
+      && (let ok = ref true in
+          Array.iteri
+            (fun i ev ->
+              let synced =
+                Bigarray.Array1.get p.Trace.flags i
+                land Trace.flag_sync_group <> 0
+              in
+              match ev with
+              (* acquire/release are scope-protocol by definition *)
+              | Trace.Acquire _ | Trace.Release _ ->
+                if not synced then ok := false
+              | Trace.Commit { sync; _ } | Trace.Wait_oldest { sync; _ } ->
+                if synced <> sync then ok := false
+              | _ -> ())
+            s.events;
+          !ok))
+
 let request_of_sched s total_tbs =
   { Timing.hw; program = Trace.pack s.events; total_tbs; warps_per_tb = 4;
     smem_per_tb = 49152; regs_per_thread = 64; grid_m = 8; grid_n = 8;
@@ -264,7 +300,8 @@ let test_allocation_budget () =
 
 let suite =
   [ ( "packed",
-      [ QCheck_alcotest.to_alcotest prop_results_equal;
+      [ QCheck_alcotest.to_alcotest prop_pack_decode_roundtrip;
+        QCheck_alcotest.to_alcotest prop_results_equal;
         QCheck_alcotest.to_alcotest prop_probe_streams_equal;
         QCheck_alcotest.to_alcotest prop_compiled_equal;
         Alcotest.test_case "-j1 == -j4 over 100 random schedules" `Quick

@@ -84,11 +84,11 @@ let test_register_pipeline_synthesis () =
       .Alcop_pipeline.Analysis.id
   in
   let commits =
-    count trace (function Trace.Commit g -> String.equal g reg_gid | _ -> false)
+    count trace (function Trace.Commit { group = g; _ } -> String.equal g reg_gid | _ -> false)
   in
   let waits =
     count trace
-      (function Trace.Wait_oldest g -> String.equal g reg_gid | _ -> false)
+      (function Trace.Wait_oldest { group = g; _ } -> String.equal g reg_gid | _ -> false)
   in
   (* hoisted prologue: 1 chunk; steady: 8 ko x 2 ki = 16 -> 17 commits.
      waits: one per compute = 16. *)
@@ -100,8 +100,8 @@ let test_register_pipeline_synthesis () =
   Array.iter
     (fun e ->
       match e with
-      | Trace.Commit g when String.equal g reg_gid -> incr depth
-      | Trace.Wait_oldest g when String.equal g reg_gid ->
+      | Trace.Commit { group = g; _ } when String.equal g reg_gid -> incr depth
+      | Trace.Wait_oldest { group = g; _ } when String.equal g reg_gid ->
         decr depth;
         if !depth < 0 then Alcotest.fail "register wait underflow"
       | _ -> ())
@@ -121,8 +121,8 @@ let test_wait_follows_commit_order () =
   Array.iter
     (fun e ->
       match e with
-      | Trace.Commit g when String.equal g gid -> incr depth
-      | Trace.Wait_oldest g when String.equal g gid ->
+      | Trace.Commit { group = g; _ } when String.equal g gid -> incr depth
+      | Trace.Wait_oldest { group = g; _ } when String.equal g gid ->
         decr depth;
         if !depth < 0 then Alcotest.fail "shared wait underflow"
       | _ -> ())
