@@ -482,6 +482,22 @@ let measure_pass ~quiet () =
   let cold = Session.create ~hw ~cache:false () in
   let warm = Session.create ~hw () in
   ignore (Session.compile warm params spec);
+  (* Persistent-store rows, against a throwaway store under the temp dir:
+     store-cold re-colds the key each run (compile + record write);
+     store-warm-disk answers from the on-disk record through a fresh
+     session, i.e. what a brand-new process pays; store-warm-mem answers
+     from the record already resident in a warmed session. *)
+  let store_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "alcop-selfbench-store-%d" (Unix.getpid ()))
+  in
+  let store = Store.create ~root:store_dir () in
+  let store_key =
+    Fingerprint.to_hex
+      (Fingerprint.compile_key ~hw ~extra_regs_per_thread:0 params spec)
+  in
+  let warm_store = Session.create ~hw ~store () in
+  ignore (Session.timing warm_store params spec);
   let tests =
     Test.make_grouped ~name:"alcop"
       [ Test.make ~name:"lower" (Staged.stage (fun () ->
@@ -497,6 +513,15 @@ let measure_pass ~quiet () =
             ignore (Session.compile cold params spec)));
         Test.make ~name:"session-evaluate-hit" (Staged.stage (fun () ->
             ignore (Session.compile warm params spec)));
+        Test.make ~name:"store-cold" (Staged.stage (fun () ->
+            Store.remove store ~ns:"compile" store_key;
+            let s = Session.create ~hw ~store () in
+            ignore (Session.timing s params spec)));
+        Test.make ~name:"store-warm-disk" (Staged.stage (fun () ->
+            let s = Session.create ~hw ~store () in
+            ignore (Session.timing s params spec)));
+        Test.make ~name:"store-warm-mem" (Staged.stage (fun () ->
+            ignore (Session.timing warm_store params spec)));
         (* Probe-on variant of compile+simulate: the same cold compile plus
            the pipeline observatory's probed wave replay and reduction.
            The delta against the compile+simulate row is the cost of

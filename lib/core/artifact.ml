@@ -1,0 +1,143 @@
+(* Evaluation-record (de)serialization for the on-disk store. The JSON is
+   versioned independently of the fingerprint schema: the fingerprint
+   names *what* was compiled, [version] here names how the record is laid
+   out on disk. Any mismatch or malformed field parses to [None]. *)
+
+module Json = Alcop_obs.Json
+module Timing = Alcop_gpusim.Timing
+
+type record = {
+  latency_cycles : float;
+  timing : Timing.kernel_timing;
+  gauges : (string * float) list;
+}
+
+type t =
+  | Success of record
+  | Failure of {
+      kind : string;
+      message : string;
+    }
+
+let version = 1
+
+let json_of_wave (w : Timing.wave_result) =
+  Json.Obj
+    [ ("cycles", Json.Float w.Timing.cycles);
+      ("compute_busy", Json.Float w.Timing.compute_busy);
+      ("dram_busy", Json.Float w.Timing.dram_busy);
+      ("llc_busy", Json.Float w.Timing.llc_busy);
+      ("smem_busy", Json.Float w.Timing.smem_busy) ]
+
+let json_of_timing (k : Timing.kernel_timing) =
+  Json.Obj
+    [ ("total_cycles", Json.Float k.Timing.total_cycles);
+      ("microseconds", Json.Float k.Timing.microseconds);
+      ("n_waves", Json.Int k.Timing.n_waves);
+      ("tbs_per_sm", Json.Int k.Timing.tbs_per_sm);
+      ("occupancy_limiter", Json.Str k.Timing.occupancy_limiter);
+      ("wave_cycles", Json.Float k.Timing.wave_cycles);
+      ("tail_cycles", Json.Float k.Timing.tail_cycles);
+      ("miss_rate", Json.Float k.Timing.miss_rate);
+      ("compute_utilization", Json.Float k.Timing.compute_utilization);
+      ("wave_busy",
+       match k.Timing.wave_busy with
+       | None -> Json.Null
+       | Some w -> json_of_wave w) ]
+
+let to_string t =
+  let doc =
+    match t with
+    | Success r ->
+      Json.Obj
+        [ ("v", Json.Int version);
+          ("ok", Json.Bool true);
+          ("latency_cycles", Json.Float r.latency_cycles);
+          ("timing", json_of_timing r.timing);
+          ("gauges",
+           Json.Obj (List.map (fun (n, v) -> (n, Json.Float v)) r.gauges)) ]
+    | Failure { kind; message } ->
+      Json.Obj
+        [ ("v", Json.Int version);
+          ("ok", Json.Bool false);
+          ("kind", Json.Str kind);
+          ("message", Json.Str message) ]
+  in
+  Json.to_string doc
+
+(* Decoding combinators over [option]: any absent or mistyped field
+   collapses the whole parse to [None]. *)
+
+let ( let* ) = Option.bind
+
+let num name doc = Option.bind (Json.member name doc) Json.number
+
+let int_field name doc =
+  match Json.member name doc with Some (Json.Int i) -> Some i | _ -> None
+
+let str_field name doc =
+  match Json.member name doc with Some (Json.Str s) -> Some s | _ -> None
+
+let wave_of_json doc =
+  let* cycles = num "cycles" doc in
+  let* compute_busy = num "compute_busy" doc in
+  let* dram_busy = num "dram_busy" doc in
+  let* llc_busy = num "llc_busy" doc in
+  let* smem_busy = num "smem_busy" doc in
+  Some { Timing.cycles; compute_busy; dram_busy; llc_busy; smem_busy }
+
+let timing_of_json doc =
+  let* total_cycles = num "total_cycles" doc in
+  let* microseconds = num "microseconds" doc in
+  let* n_waves = int_field "n_waves" doc in
+  let* tbs_per_sm = int_field "tbs_per_sm" doc in
+  let* occupancy_limiter = str_field "occupancy_limiter" doc in
+  let* wave_cycles = num "wave_cycles" doc in
+  let* tail_cycles = num "tail_cycles" doc in
+  let* miss_rate = num "miss_rate" doc in
+  let* compute_utilization = num "compute_utilization" doc in
+  let* wave_busy =
+    match Json.member "wave_busy" doc with
+    | Some Json.Null -> Some None
+    | Some (Json.Obj _ as w) ->
+      (match wave_of_json w with Some w -> Some (Some w) | None -> None)
+    | _ -> None
+  in
+  Some
+    { Timing.total_cycles; microseconds; n_waves; tbs_per_sm;
+      occupancy_limiter; wave_cycles; tail_cycles; miss_rate;
+      compute_utilization; wave_busy }
+
+let gauges_of_json doc =
+  match Json.member "gauges" doc with
+  | Some (Json.Obj fields) ->
+    List.fold_left
+      (fun acc (name, v) ->
+        let* acc = acc in
+        let* v = Json.number v in
+        Some ((name, v) :: acc))
+      (Some []) fields
+    |> Option.map List.rev
+  | _ -> None
+
+let of_string data =
+  match Json.of_string data with
+  | Error _ -> None
+  | Ok doc ->
+    let* v = int_field "v" doc in
+    if v <> version then None
+    else begin
+      match Json.member "ok" doc with
+      | Some (Json.Bool true) ->
+        let* latency_cycles = num "latency_cycles" doc in
+        let* timing =
+          Option.bind (Json.member "timing" doc) timing_of_json
+        in
+        let* gauges = gauges_of_json doc in
+        Some (Success { latency_cycles; timing; gauges })
+      | Some (Json.Bool false) ->
+        let* kind = str_field "kind" doc in
+        let* message = str_field "message" doc in
+        Some (Failure { kind; message })
+      | _ -> None
+    end

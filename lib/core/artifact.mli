@@ -1,0 +1,38 @@
+(** Serializable evaluation records: what the {!Store} persists per
+    compile fingerprint.
+
+    A record is deliberately *evaluation-grade*, not the full compiled
+    artifact: the simulated latency, the complete {!Alcop_gpusim.Timing.kernel_timing}
+    scalars (wave-busy breakdown included) and the [timing.*] gauges the
+    cold compile published. That is everything {!Session.evaluate},
+    {!Session.timing}, the tuners and [alcop time] consume; callers that
+    need the lowered IR or the packed trace (IR dumps, chrome traces,
+    profilers) recompile. Failed compiles persist too — failed points
+    recur in sweeps just as often as good ones — as their error kind and
+    message.
+
+    Floats render through {!Alcop_obs.Json.float_repr}, so a value read
+    back from disk is bit-identical to the one simulation produced, and a
+    store-warm process reports byte-identical numbers to a cold one. *)
+
+type record = {
+  latency_cycles : float;
+  timing : Alcop_gpusim.Timing.kernel_timing;
+  gauges : (string * float) list;
+      (** the [timing.*] gauges captured at the cold compile, re-published
+          on every store hit exactly like in-memory session hits *)
+}
+
+type t =
+  | Success of record
+  | Failure of {
+      kind : string;    (** {!Compiler.error_kind} *)
+      message : string; (** {!Compiler.error_to_string} *)
+    }
+
+val to_string : t -> string
+(** One-line JSON, versioned. *)
+
+val of_string : string -> t option
+(** [None] on any parse or schema mismatch — corrupt store entries must
+    read as misses, never raise. *)

@@ -5,7 +5,15 @@
    representation (Json.float_repr), strings escaped one way. MD5 of that
    text is the fingerprint. Everything [Compiler.compile] reads must appear
    here — adding a schedule knob or a hardware parameter without extending
-   the canonical form would silently alias distinct compilations. *)
+   the canonical form would silently alias distinct compilations.
+
+   Two renderers produce that canonical text:
+   - [json_of_hw] / [json_of_spec] / [json_of_params] build the Json tree;
+     they are the specification, exposed so tests can pin the form;
+   - [compile_key] emits the same bytes directly into a domain-local
+     scratch buffer, skipping the tree. The session cache computes a key
+     per compile, so the hot path should not allocate a throwaway document.
+     A test digests both renderings and asserts they agree. *)
 
 open Alcop_sched
 module Json = Alcop_obs.Json
@@ -103,14 +111,171 @@ let of_json doc = Digest.string (Json.to_string doc)
    never be satisfied from entries recorded under the boxed-event one. *)
 let schema_version = 2
 
+(* --- direct emission of the canonical text ---
+
+   Byte-for-byte the serialization [Json.to_string] would produce for the
+   trees above. Strings here never contain characters the JSON emitter
+   escapes, but [estr] applies the same escaping anyway so the equivalence
+   is structural, not an accident of today's field contents. *)
+
+let key_buf = Domain.DLS.new_key (fun () -> Buffer.create 1024)
+
+let estr buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* ["name":] — first field of an object emits [{], later ones [,]. *)
+let fld buf ~first name =
+  Buffer.add_char buf (if first then '{' else ',');
+  estr buf name;
+  Buffer.add_char buf ':'
+
+let eint buf ~first name v =
+  fld buf ~first name;
+  Buffer.add_string buf (string_of_int v)
+
+let efloat buf ~first name v =
+  fld buf ~first name;
+  Buffer.add_string buf (Json.float_repr v)
+
+let ename buf ~first name v =
+  fld buf ~first name;
+  estr buf v
+
+let ebool buf ~first name v =
+  fld buf ~first name;
+  Buffer.add_string buf (if v then "true" else "false")
+
+let eopt_s buf ~first name v =
+  fld buf ~first name;
+  match v with None -> Buffer.add_string buf "null" | Some x -> estr buf x
+
+let eint_list buf l =
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun k v ->
+      if k > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int v))
+    l;
+  Buffer.add_char buf ']'
+
+let emit_hw buf (hw : Alcop_hw.Hw_config.t) =
+  let scopes name ~first l =
+    fld buf ~first name;
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun k sc ->
+        if k > 0 then Buffer.add_char buf ',';
+        estr buf (Alcop_ir.Buffer.scope_to_string sc))
+      l;
+    Buffer.add_char buf ']'
+  in
+  ename buf ~first:true "name" hw.Alcop_hw.Hw_config.name;
+  eint buf ~first:false "num_sms" hw.Alcop_hw.Hw_config.num_sms;
+  efloat buf ~first:false "clock_ghz" hw.Alcop_hw.Hw_config.clock_ghz;
+  eint buf ~first:false "tensor_core_flops_per_cycle"
+    hw.Alcop_hw.Hw_config.tensor_core_flops_per_cycle;
+  eint buf ~first:false "cuda_core_flops_per_cycle"
+    hw.Alcop_hw.Hw_config.cuda_core_flops_per_cycle;
+  eint buf ~first:false "smem_bytes_per_sm"
+    hw.Alcop_hw.Hw_config.smem_bytes_per_sm;
+  eint buf ~first:false "smem_bytes_per_tb_max"
+    hw.Alcop_hw.Hw_config.smem_bytes_per_tb_max;
+  eint buf ~first:false "registers_per_sm"
+    hw.Alcop_hw.Hw_config.registers_per_sm;
+  eint buf ~first:false "registers_per_thread_max"
+    hw.Alcop_hw.Hw_config.registers_per_thread_max;
+  eint buf ~first:false "max_threads_per_sm"
+    hw.Alcop_hw.Hw_config.max_threads_per_sm;
+  eint buf ~first:false "max_tbs_per_sm" hw.Alcop_hw.Hw_config.max_tbs_per_sm;
+  eint buf ~first:false "threads_per_warp"
+    hw.Alcop_hw.Hw_config.threads_per_warp;
+  eint buf ~first:false "llc_bytes" hw.Alcop_hw.Hw_config.llc_bytes;
+  efloat buf ~first:false "dram_bytes_per_cycle"
+    hw.Alcop_hw.Hw_config.dram_bytes_per_cycle;
+  efloat buf ~first:false "llc_bytes_per_cycle"
+    hw.Alcop_hw.Hw_config.llc_bytes_per_cycle;
+  efloat buf ~first:false "smem_bytes_per_cycle_per_sm"
+    hw.Alcop_hw.Hw_config.smem_bytes_per_cycle_per_sm;
+  efloat buf ~first:false "dram_latency" hw.Alcop_hw.Hw_config.dram_latency;
+  efloat buf ~first:false "llc_latency" hw.Alcop_hw.Hw_config.llc_latency;
+  efloat buf ~first:false "smem_latency" hw.Alcop_hw.Hw_config.smem_latency;
+  efloat buf ~first:false "dram_write_latency"
+    hw.Alcop_hw.Hw_config.dram_write_latency;
+  scopes "async_scopes" ~first:false hw.Alcop_hw.Hw_config.async_scopes;
+  scopes "scope_synchronized" ~first:false
+    hw.Alcop_hw.Hw_config.scope_synchronized;
+  Buffer.add_char buf '}'
+
+let emit_spec buf (spec : Op_spec.t) =
+  ename buf ~first:true "name" spec.Op_spec.name;
+  fld buf ~first:false "kind";
+  (match spec.Op_spec.kind with
+   | Op_spec.Matmul -> estr buf "matmul"
+   | Op_spec.Batched_matmul -> estr buf "batched_matmul"
+   | Op_spec.Conv2d c ->
+     fld buf ~first:true "conv2d";
+     eint_list buf
+       [ c.Op_spec.cn; c.Op_spec.ci; c.Op_spec.ch; c.Op_spec.cw; c.Op_spec.co;
+         c.Op_spec.ckh; c.Op_spec.ckw; c.Op_spec.stride; c.Op_spec.pad ];
+     Buffer.add_char buf '}');
+  eint buf ~first:false "batch" spec.Op_spec.batch;
+  eint buf ~first:false "m" spec.Op_spec.m;
+  eint buf ~first:false "n" spec.Op_spec.n;
+  eint buf ~first:false "k" spec.Op_spec.k;
+  ename buf ~first:false "dtype" (Alcop_ir.Dtype.to_string spec.Op_spec.dtype);
+  eopt_s buf ~first:false "a_op" spec.Op_spec.a_op;
+  eopt_s buf ~first:false "b_op" spec.Op_spec.b_op;
+  eopt_s buf ~first:false "epilogue" spec.Op_spec.epilogue;
+  Buffer.add_char buf '}'
+
+let emit_params buf (p : Alcop_perfmodel.Params.t) =
+  let t = p.Alcop_perfmodel.Params.tiling in
+  fld buf ~first:true "tiling";
+  eint_list buf
+    [ t.Tiling.tb_m; t.Tiling.tb_n; t.Tiling.tb_k; t.Tiling.warp_m;
+      t.Tiling.warp_n; t.Tiling.warp_k; t.Tiling.split_k ];
+  eint buf ~first:false "smem_stages" p.Alcop_perfmodel.Params.smem_stages;
+  eint buf ~first:false "reg_stages" p.Alcop_perfmodel.Params.reg_stages;
+  ebool buf ~first:false "swizzle" p.Alcop_perfmodel.Params.swizzle;
+  ebool buf ~first:false "inner_fuse" p.Alcop_perfmodel.Params.inner_fuse;
+  Buffer.add_char buf '}'
+
 let compile_key_v ~version ~hw ~extra_regs_per_thread params spec =
-  of_json
-    (Json.Obj
-       [ ("v", i version);
-         ("hw", json_of_hw hw);
-         ("spec", json_of_spec spec);
-         ("params", json_of_params params);
-         ("extra_regs_per_thread", i extra_regs_per_thread) ])
+  let buf = Domain.DLS.get key_buf in
+  Buffer.clear buf;
+  eint buf ~first:true "v" version;
+  fld buf ~first:false "hw";
+  emit_hw buf hw;
+  fld buf ~first:false "spec";
+  emit_spec buf spec;
+  fld buf ~first:false "params";
+  emit_params buf params;
+  eint buf ~first:false "extra_regs_per_thread" extra_regs_per_thread;
+  Buffer.add_char buf '}';
+  Digest.string (Buffer.contents buf)
+
+(* The tree-built document the direct emitter above must match, exposed so
+   the equivalence test can digest both renderings. *)
+let compile_key_doc ~version ~hw ~extra_regs_per_thread params spec =
+  Json.Obj
+    [ ("v", i version);
+      ("hw", json_of_hw hw);
+      ("spec", json_of_spec spec);
+      ("params", json_of_params params);
+      ("extra_regs_per_thread", i extra_regs_per_thread) ]
 
 let compile_key ~hw ~extra_regs_per_thread params spec =
   compile_key_v ~version:schema_version ~hw ~extra_regs_per_thread params spec

@@ -58,3 +58,15 @@ val compile_key_v :
 (** {!compile_key} under an explicit schema version — exists so the
     schema-bump test can prove old-version keys cannot alias current
     ones. *)
+
+val compile_key_doc :
+  version:int ->
+  hw:Alcop_hw.Hw_config.t ->
+  extra_regs_per_thread:int ->
+  Alcop_perfmodel.Params.t ->
+  Alcop_sched.Op_spec.t ->
+  Alcop_obs.Json.t
+(** The tree-built canonical document of one compile key. {!compile_key_v}
+    emits the same bytes directly into a scratch buffer without building
+    this tree; [Fingerprint.of_json (compile_key_doc ...)] must equal
+    [compile_key_v ...] — a test enforces the equivalence. *)

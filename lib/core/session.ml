@@ -19,8 +19,17 @@ let session_probe = Hostprof.make_lock "session.lock"
 let registry_probe = Hostprof.make_lock "session.registry"
 let ready_probe = Hostprof.make_lock "session.ready"
 
+(* An entry is either the full in-memory artifact (produced by a cold
+   compile in this process) or an evaluation record read through from the
+   on-disk store — enough for [evaluate]/[timing] but not for callers
+   that need the IR; [compile] treats a [Record] as a miss and upgrades
+   it in place. *)
+type payload =
+  | Full of (Compiler.compiled, Compiler.error) result
+  | Record of Artifact.t
+
 type entry = {
-  outcome : (Compiler.compiled, Compiler.error) result;
+  payload : payload;
   gauges : (string * float) list;
       (* [timing.*] gauges captured right after the cold compile, re-published
          on every hit so gauge readers stay consistent with the latest
@@ -43,13 +52,14 @@ type t = {
   table : (Fingerprint.t, entry) Hashtbl.t;
   inflight : (Fingerprint.t, unit) Hashtbl.t;
   order : Fingerprint.t Queue.t;  (* insertion order, for FIFO eviction *)
+  mutable store : Store.t option;  (* persistent tier, when attached *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
 }
 
 let create ?(hw = Alcop_hw.Hw_config.default) ?(capacity = 8192)
-    ?(cache = true) () =
+    ?(cache = true) ?store () =
   if capacity < 1 then invalid_arg "Session.create: capacity must be >= 1";
   { hw; capacity; cache;
     lock = Mutex.create ();
@@ -57,10 +67,13 @@ let create ?(hw = Alcop_hw.Hw_config.default) ?(capacity = 8192)
     table = Hashtbl.create (min capacity 1024);
     inflight = Hashtbl.create 8;
     order = Queue.create ();
+    store;
     hits = 0; misses = 0; evictions = 0 }
 
 let hw t = t.hw
 let cache_enabled t = t.cache
+let attach_store t store = t.store <- store
+let store t = t.store
 
 let locked t f = Hostprof.locked session_probe t.lock f
 
@@ -144,6 +157,97 @@ let evict_to_capacity t =
     end
   done
 
+let compile_ns = "compile"
+
+(* The in-flight-deduplicated miss protocol, shared by [compile] and
+   [timing]. [want_full]: [compile] cannot be served by a disk record, so
+   a [Record] entry counts as a miss for it (and is upgraded in place
+   afterwards). Returns [`Hit entry] or [`Miss]; a [`Miss] caller holds
+   the in-flight claim and MUST release it. *)
+let acquire t key ~want_full =
+  let rec go () =
+    match Hashtbl.find_opt t.table key with
+    | Some e when (not want_full) || (match e.payload with Full _ -> true | Record _ -> false) ->
+      t.hits <- t.hits + 1;
+      `Hit e
+    | Some _ | None ->
+      if Hashtbl.mem t.inflight key then begin
+        (* another domain is compiling this key; [wait] releases the
+           session mutex, so time it as its own probe *)
+        Hostprof.blocking ready_probe (fun () ->
+            Condition.wait t.ready t.lock);
+        go ()
+      end
+      else begin
+        Hashtbl.replace t.inflight key ();
+        t.misses <- t.misses + 1;
+        `Miss
+      end
+  in
+  Hostprof.lock_acquire session_probe t.lock;
+  let decision = go () in
+  Mutex.unlock t.lock;
+  decision
+
+let release t key () =
+  Hashtbl.remove t.inflight key;
+  Condition.broadcast t.ready
+
+(* Insert under the lock and release the in-flight claim. Pushing into
+   the FIFO only on first insertion keeps a Record->Full upgrade from
+   double-queueing its key. *)
+let land_entry t key entry =
+  locked t (fun () ->
+      let known = Hashtbl.mem t.table key in
+      if not known then evict_to_capacity t;
+      Hashtbl.replace t.table key entry;
+      if not known then Queue.push key t.order;
+      release t key ())
+
+let record_of_outcome outcome gauges =
+  match outcome with
+  | Ok c ->
+    Artifact.Success
+      { Artifact.latency_cycles = c.Compiler.latency_cycles;
+        timing = c.Compiler.timing;
+        gauges }
+  | Error e ->
+    Artifact.Failure
+      { kind = Compiler.error_kind e; message = Compiler.error_to_string e }
+
+(* Write-through: every cold compile leaves an evaluation record behind
+   for future processes. Counted through [Obs] — safe for the -j
+   byte-identity contract because it happens only on the deduplicated
+   sole-miss path, exactly like [session.cache.miss]. *)
+let store_write t key outcome gauges =
+  match t.store with
+  | None -> ()
+  | Some st ->
+    Store.write st ~ns:compile_ns (Fingerprint.to_hex key)
+      (Artifact.to_string (record_of_outcome outcome gauges));
+    Obs.count "session.store.write"
+
+(* The cold path both [compile] and [timing] fall back to: run the real
+   compiler, capture its gauges, land a [Full] entry, write through. *)
+let compile_cold t ?pool ~extra_regs_per_thread ~key params spec =
+  let outcome =
+    try Compiler.compile ?pool ~hw:t.hw ~extra_regs_per_thread params spec
+    with e ->
+      let bt = Printexc.get_raw_backtrace () in
+      locked t (release t key);
+      Printexc.raise_with_backtrace e bt
+  in
+  (* Capture-local read: under a pool this sees only the gauges this
+     very compile published, never another domain's. *)
+  let gauges =
+    match outcome with
+    | Ok _ -> Obs.gauges_with_prefix timing_prefix
+    | Error _ -> []
+  in
+  store_write t key outcome gauges;
+  land_entry t key { payload = Full outcome; gauges };
+  (outcome, gauges)
+
 let compile t ?pool ?(extra_regs_per_thread = 0)
     (params : Alcop_perfmodel.Params.t) (spec : Op_spec.t) =
   if not t.cache then
@@ -152,64 +256,97 @@ let compile t ?pool ?(extra_regs_per_thread = 0)
     let key =
       Fingerprint.compile_key ~hw:t.hw ~extra_regs_per_thread params spec
     in
-    let rec acquire () =
-      match Hashtbl.find_opt t.table key with
-      | Some e ->
-        t.hits <- t.hits + 1;
-        `Hit e
-      | None ->
-        if Hashtbl.mem t.inflight key then begin
-          (* another domain is compiling this key; [wait] releases the
-             session mutex, so time it as its own probe *)
-          Hostprof.blocking ready_probe (fun () ->
-              Condition.wait t.ready t.lock);
-          acquire ()
-        end
-        else begin
-          Hashtbl.replace t.inflight key ();
-          t.misses <- t.misses + 1;
-          `Miss
-        end
+    match acquire t key ~want_full:true with
+    | `Hit { payload = Full outcome; gauges } ->
+      Obs.count "session.cache.hit";
+      List.iter (fun (name, v) -> Obs.gauge name v) gauges;
+      outcome
+    | `Hit { payload = Record _; _ } -> assert false  (* want_full *)
+    | `Miss ->
+      Obs.count "session.cache.miss";
+      fst (compile_cold t ?pool ~extra_regs_per_thread ~key params spec)
+  end
+
+(* --- evaluation-grade lookups: may be served by the persistent store --- *)
+
+type timed = {
+  latency_cycles : float;
+  timing : Alcop_gpusim.Timing.kernel_timing;
+}
+
+let timed_of_entry e =
+  match e.payload with
+  | Full (Ok c) ->
+    Ok { latency_cycles = c.Compiler.latency_cycles; timing = c.Compiler.timing }
+  | Full (Error err) -> Error (Compiler.error_to_string err)
+  | Record (Artifact.Success r) ->
+    Ok { latency_cycles = r.Artifact.latency_cycles; timing = r.Artifact.timing }
+  | Record (Artifact.Failure { message; _ }) -> Error message
+
+let timed_of_outcome = function
+  | Ok c ->
+    Ok { latency_cycles = c.Compiler.latency_cycles; timing = c.Compiler.timing }
+  | Error err -> Error (Compiler.error_to_string err)
+
+let timing t ?pool ?(extra_regs_per_thread = 0)
+    (params : Alcop_perfmodel.Params.t) (spec : Op_spec.t) =
+  if not t.cache then
+    timed_of_outcome
+      (Compiler.compile ?pool ~hw:t.hw ~extra_regs_per_thread params spec)
+  else begin
+    let key =
+      Fingerprint.compile_key ~hw:t.hw ~extra_regs_per_thread params spec
     in
-    Hostprof.lock_acquire session_probe t.lock;
-    let decision = acquire () in
-    Mutex.unlock t.lock;
-    match decision with
+    match acquire t key ~want_full:false with
     | `Hit e ->
       Obs.count "session.cache.hit";
       List.iter (fun (name, v) -> Obs.gauge name v) e.gauges;
-      e.outcome
+      timed_of_entry e
     | `Miss ->
       Obs.count "session.cache.miss";
-      let release () =
-        Hashtbl.remove t.inflight key;
-        Condition.broadcast t.ready
+      (* Read-through: a fresh process finds the record a previous one
+         left behind and skips the compile entirely. Corrupt bytes are a
+         miss (plus the store's corrupt counter), never an error. *)
+      let from_disk =
+        match t.store with
+        | None -> None
+        | Some st ->
+          let hex = Fingerprint.to_hex key in
+          (match Store.read st ~ns:compile_ns hex with
+           | None ->
+             Obs.count "session.store.miss";
+             None
+           | Some data ->
+             (match Artifact.of_string data with
+              | Some a ->
+                Obs.count "session.store.hit";
+                Some a
+              | None ->
+                Store.mark_corrupt st ~ns:compile_ns hex;
+                Obs.count "session.store.miss";
+                None))
       in
-      let outcome =
-        try Compiler.compile ?pool ~hw:t.hw ~extra_regs_per_thread params spec
-        with e ->
-          let bt = Printexc.get_raw_backtrace () in
-          locked t release;
-          Printexc.raise_with_backtrace e bt
-      in
-      (* Capture-local read: under a pool this sees only the gauges this
-         very compile published, never another domain's. *)
-      let gauges =
-        match outcome with
-        | Ok _ -> Obs.gauges_with_prefix timing_prefix
-        | Error _ -> []
-      in
-      locked t (fun () ->
-          evict_to_capacity t;
-          Hashtbl.replace t.table key { outcome; gauges };
-          Queue.push key t.order;
-          release ());
-      outcome
+      (match from_disk with
+       | Some a ->
+         let gauges =
+           match a with
+           | Artifact.Success r -> r.Artifact.gauges
+           | Artifact.Failure _ -> []
+         in
+         let e = { payload = Record a; gauges } in
+         land_entry t key e;
+         List.iter (fun (name, v) -> Obs.gauge name v) gauges;
+         timed_of_entry e
+       | None ->
+         let outcome, _ =
+           compile_cold t ?pool ~extra_regs_per_thread ~key params spec
+         in
+         timed_of_outcome outcome)
   end
 
 let evaluate t ?pool ?extra_regs_per_thread params spec =
-  match compile t ?pool ?extra_regs_per_thread params spec with
-  | Ok c -> Some c.Compiler.latency_cycles
+  match timing t ?pool ?extra_regs_per_thread params spec with
+  | Ok r -> Some r.latency_cycles
   | Error _ -> None
 
 let evaluator t ?(extra_regs = fun _ -> 0) (spec : Op_spec.t) =

@@ -38,10 +38,28 @@ type stats = {
 }
 
 val create :
-  ?hw:Alcop_hw.Hw_config.t -> ?capacity:int -> ?cache:bool -> unit -> t
+  ?hw:Alcop_hw.Hw_config.t ->
+  ?capacity:int ->
+  ?cache:bool ->
+  ?store:Store.t ->
+  unit ->
+  t
 (** A fresh session. [capacity] bounds resident entries (default 8192);
     [cache:false] makes the session a transparent pass-through that
-    neither stores nor counts (the CLI's [--no-cache]). *)
+    neither stores nor counts (the CLI's [--no-cache]). [store] attaches
+    a persistent on-disk tier — see {!attach_store}. *)
+
+val attach_store : t -> Store.t option -> unit
+(** Attach (or detach, with [None]) the persistent tier. With a store
+    attached, every cold compile writes an evaluation record through
+    ([session.store.write]), and {!timing}/{!evaluate} misses read the
+    store before compiling: a hit ([session.store.hit]) serves the
+    recorded latency, kernel timing and gauges without running the
+    compiler at all — that is what makes warm compiles near-free across
+    processes. {!compile} needs the full artifact, so it never reads the
+    store (records cannot reconstruct the IR); it only writes through. *)
+
+val store : t -> Store.t option
 
 val for_hw : Alcop_hw.Hw_config.t -> t
 (** The shared session for a hardware config, from a global registry keyed
@@ -68,6 +86,27 @@ val compile :
     parallel-wave mode on cold compiles (see {!Alcop_gpusim.Timing.run});
     it never changes the artifact, only wall-clock time. *)
 
+type timed = {
+  latency_cycles : float;
+  timing : Alcop_gpusim.Timing.kernel_timing;
+}
+(** The evaluation-grade view of a compile: everything [alcop time], the
+    tuners and the experiment sweeps consume, and exactly what a store
+    record can serve without recompiling. *)
+
+val timing :
+  t ->
+  ?pool:Alcop_par.Pool.t ->
+  ?extra_regs_per_thread:int ->
+  Alcop_perfmodel.Params.t ->
+  Alcop_sched.Op_spec.t ->
+  (timed, string) result
+(** Like {!compile} but returns only the timing view, which allows one
+    extra serving tier: on an in-memory miss with a store attached, a
+    persisted record from *any previous process* satisfies the call
+    (bit-identically — floats round-trip exactly). [Error] carries the
+    memoized compile error's rendering. *)
+
 val evaluate :
   t ->
   ?pool:Alcop_par.Pool.t ->
@@ -75,7 +114,7 @@ val evaluate :
   Alcop_perfmodel.Params.t ->
   Alcop_sched.Op_spec.t ->
   float option
-(** [latency_cycles] of {!compile}; [None] = failed to compile or launch. *)
+(** [latency_cycles] of {!timing}; [None] = failed to compile or launch. *)
 
 val evaluator :
   t ->

@@ -56,17 +56,18 @@ type server = { mutable next_free : float; mutable busy : float }
 
 let server () = { next_free = 0.0; busy = 0.0 }
 
-(* [serve_ex] also exposes when the request entered service, i.e. how long
-   it queued behind earlier requests — the bandwidth-contention signal the
-   stall attribution needs. *)
-let serve_ex srv ~now ~cost =
-  let start = Float.max now srv.next_free in
+(* Simulated times are never NaN, so a plain compare matches [fmax]
+   bit-for-bit. Both helpers are small enough for the non-flambda inliner:
+   on the per-event path neither the comparison nor the served floats box,
+   which is what keeps a wave O(1) allocation. *)
+let fmax (a : float) (b : float) = if a >= b then a else b
+
+let serve srv ~now ~cost =
+  let start = fmax now srv.next_free in
   let finish = start +. cost in
   srv.next_free <- finish;
   srv.busy <- srv.busy +. cost;
-  (start, finish)
-
-let serve srv ~now ~cost = snd (serve_ex srv ~now ~cost)
+  finish
 
 (* --- stall attribution --- *)
 
@@ -416,27 +417,27 @@ let simulate_packed ?probe ?arena ?pipe (cfg : config) (p : Trace.program) =
           let lf = serve llc ~now ~cost:(b /. llc_rate) in
           let df = serve dram ~now ~cost:(b *. cfg.miss_rate /. dram_rate) in
           if tracking then begin
-            dst.(dbase) <- dst.(dbase) +. Float.max 0.0 (df -. now);
-            dst.(dbase + 1) <- dst.(dbase + 1) +. Float.max 0.0 (lf -. now);
+            dst.(dbase) <- dst.(dbase) +. fmax 0.0 (df -. now);
+            dst.(dbase + 1) <- dst.(dbase + 1) +. fmax 0.0 (lf -. now);
             dst.(dbase + 3) <- dst.(dbase + 3) +. load_latency
           end;
-          Float.max lf df +. load_latency
+          fmax lf df +. load_latency
         end
         else begin
           let sf = serve smem ~now ~cost:(b *. cfg.smem_penalty /. smem_rate) in
           if tracking then begin
-            dst.(dbase + 2) <- dst.(dbase + 2) +. Float.max 0.0 (sf -. now);
+            dst.(dbase + 2) <- dst.(dbase + 2) +. fmax 0.0 (sf -. now);
             dst.(dbase + 3) <- dst.(dbase + 3) +. smem_latency
           end;
           sf +. smem_latency
         end
       in
-      out.(i) <- Float.max out.(i) completion;
+      out.(i) <- fmax out.(i) completion;
       if piped then begin
         let pg = (i * ng) + g in
-        openb.(pg) <- Float.max openb.(pg) completion
+        openb.(pg) <- fmax openb.(pg) completion
       end
-      else recent.(i) <- Float.max recent.(i) completion;
+      else recent.(i) <- fmax recent.(i) completion;
       (match probe with
        | Some pr ->
          pr.on_flight
@@ -454,7 +455,7 @@ let simulate_packed ?probe ?arena ?pipe (cfg : config) (p : Trace.program) =
         serve dram ~now ~cost:(float_of_int arg.{c} /. dram_rate)
         +. hw.Alcop_hw.Hw_config.dram_write_latency
       in
-      out.(i) <- Float.max out.(i) completion;
+      out.(i) <- fmax out.(i) completion;
       time.(i) <- now
     end
     else if op = Trace.op_commit then begin
@@ -488,7 +489,7 @@ let simulate_packed ?probe ?arena ?pipe (cfg : config) (p : Trace.program) =
       in
       let ready = if consumed >= 0 then ring.(slot) else 0.0 in
       if is_barrier.(g) then boundary.(i) <- true;
-      let t = Float.max now ready in
+      let t = fmax now ready in
       if tracking then begin
         let cls =
           if consumed >= 0 then mix_dominant ring_mix (4 * slot)
@@ -512,7 +513,7 @@ let simulate_packed ?probe ?arena ?pipe (cfg : config) (p : Trace.program) =
       time.(i) <- now
     else if op = Trace.op_barrier then begin
       boundary.(i) <- true;
-      let t = Float.max now out.(i) in
+      let t = fmax now out.(i) in
       if tracking then att i Sync_wait None (-1) now t;
       (match pipe with
        | Some f -> f (Barrier_wait { pw_tb = i; pw_start = now; pw_finish = t })
@@ -523,7 +524,7 @@ let simulate_packed ?probe ?arena ?pipe (cfg : config) (p : Trace.program) =
       (* compute *)
       if boundary.(i) then begin
         (* loads issued since the boundary could not be hoisted above it *)
-        due.(i) <- Float.max due.(i) recent.(i);
+        due.(i) <- fmax due.(i) recent.(i);
         recent.(i) <- 0.0;
         if tracking then begin
           mix_add4 due_mix (4 * i) sync_mix (4 * i);
@@ -531,10 +532,10 @@ let simulate_packed ?probe ?arena ?pipe (cfg : config) (p : Trace.program) =
         end;
         boundary.(i) <- false
       end;
-      let start = Float.max now due.(i) in
+      let start = fmax now due.(i) in
       if tracking then
         att i (mix_dominant due_mix (4 * i)) None (-1) now start;
-      due.(i) <- Float.max due.(i) recent.(i);
+      due.(i) <- fmax due.(i) recent.(i);
       recent.(i) <- 0.0;
       if tracking then begin
         mix_add4 due_mix (4 * i) sync_mix (4 * i);
@@ -551,7 +552,7 @@ let simulate_packed ?probe ?arena ?pipe (cfg : config) (p : Trace.program) =
     if c + 1 >= n then begin
       (* drain: the epilogue waits for every outstanding store/load *)
       let t0d = time.(i) in
-      let t = Float.max t0d out.(i) in
+      let t = fmax t0d out.(i) in
       if tracking then att i Sync_wait None (-1) t0d t;
       (match pipe with
        | Some f -> f (Drain { pd_tb = i; pd_start = t0d; pd_finish = t })
@@ -623,6 +624,30 @@ let with_wave_reuse f =
 
 let wave_reuse_stats () = with_cache_lock (fun () -> (!wave_cache_hits, !wave_cache_misses))
 
+(* Optional disk tier behind the in-memory cache, injected from above
+   (lib/core's [Store] depends on this library, not vice versa). The
+   loader is handed the full config so it can verify a persisted entry
+   against the machine model before trusting it. Disk traffic depends on
+   what earlier processes left behind, so like the in-memory counters the
+   disk counters are a function, never [Obs] telemetry. *)
+type wave_persist = {
+  wp_load : program_hash:string -> config -> wave_result option;
+  wp_save : program_hash:string -> config -> wave_result -> unit;
+}
+
+let wave_persist : wave_persist option Atomic.t = Atomic.make None
+let set_wave_persist p = Atomic.set wave_persist p
+let wave_disk_hits = ref 0
+let wave_disk_misses = ref 0
+
+let wave_persist_stats () =
+  with_cache_lock (fun () -> (!wave_disk_hits, !wave_disk_misses))
+
+let wave_cache_clear () =
+  with_cache_lock (fun () ->
+      Hashtbl.reset wave_cache;
+      Queue.clear wave_cache_fifo)
+
 let program_equal (a : Trace.program) (b : Trace.program) =
   a == b
   || (a.Trace.n = b.Trace.n
@@ -644,7 +669,8 @@ let config_equal (a : config) (b : config) =
 let cached_simulate (cfg : config) (p : Trace.program) =
   if not (Atomic.get wave_reuse) then simulate_packed cfg p
   else begin
-    let key = (Trace.program_hash p, cfg.residents, cfg.active_sms) in
+    let ph = Trace.program_hash p in
+    let key = (ph, cfg.residents, cfg.active_sms) in
     let hit =
       with_cache_lock (fun () ->
           match Hashtbl.find_opt wave_cache key with
@@ -655,10 +681,7 @@ let cached_simulate (cfg : config) (p : Trace.program) =
             incr wave_cache_misses;
             None)
     in
-    match hit with
-    | Some r -> r
-    | None ->
-      let r = simulate_packed cfg p in
+    let insert r =
       with_cache_lock (fun () ->
           if not (Hashtbl.mem wave_cache key) then begin
             if Queue.length wave_cache_fifo >= wave_cache_cap then
@@ -666,8 +689,37 @@ let cached_simulate (cfg : config) (p : Trace.program) =
             Hashtbl.replace wave_cache key
               { ce_cfg = cfg; ce_prog = p; ce_result = r };
             Queue.push key wave_cache_fifo
-          end);
-      r
+          end)
+    in
+    match hit with
+    | Some r -> r
+    | None ->
+      (* Memory miss: consult the disk tier (when installed) before
+         simulating; a verified disk entry back-fills the memory cache so
+         the next hit in this process is lock-and-go. *)
+      let disk =
+        match Atomic.get wave_persist with
+        | None -> None
+        | Some wp ->
+          (match wp.wp_load ~program_hash:ph cfg with
+           | Some r ->
+             with_cache_lock (fun () -> incr wave_disk_hits);
+             Some r
+           | None ->
+             with_cache_lock (fun () -> incr wave_disk_misses);
+             None)
+      in
+      (match disk with
+       | Some r ->
+         insert r;
+         r
+       | None ->
+         let r = simulate_packed cfg p in
+         insert r;
+         (match Atomic.get wave_persist with
+          | Some wp -> wp.wp_save ~program_hash:ph cfg r
+          | None -> ());
+         r)
   end
 
 (* --- Whole-kernel latency --- *)
@@ -790,7 +842,7 @@ let critical_stall_fractions wave_result (a : adv_arena) =
     let prior = Option.value ~default:0.0 (Hashtbl.find_opt totals key) in
     Hashtbl.replace totals key (prior +. (a.a_stop.(k) -. a.a_start.(k)));
     let e = Option.value ~default:0.0 (Hashtbl.find_opt ends tb) in
-    Hashtbl.replace ends tb (Float.max e a.a_stop.(k))
+    Hashtbl.replace ends tb (fmax e a.a_stop.(k))
   done;
   let critical =
     Hashtbl.fold

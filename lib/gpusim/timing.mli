@@ -155,6 +155,34 @@ val wave_reuse_stats : unit -> int * int
     scheduling order, and the -j determinism contract says observability
     streams must not. *)
 
+(** {2 Disk tier}
+
+    An optional persistence layer behind the in-memory wave cache,
+    injected from the layer above (the artifact store lives in [Alcop]
+    which depends on this library). On a memory miss the loader is
+    consulted first; on a fresh simulation the saver is offered the
+    result. The loader receives the full {!config} so it can refuse
+    entries recorded under a different machine model — a load must
+    return a result only when it is exactly what simulation would
+    produce. *)
+
+type wave_persist = {
+  wp_load : program_hash:string -> config -> wave_result option;
+  wp_save : program_hash:string -> config -> wave_result -> unit;
+}
+
+val set_wave_persist : wave_persist option -> unit
+(** Install (or remove, with [None]) the process-wide disk tier. *)
+
+val wave_persist_stats : unit -> int * int
+(** [(disk hits, disk misses)] since process start; a function for the
+    same -j determinism reason as {!wave_reuse_stats}. *)
+
+val wave_cache_clear : unit -> unit
+(** Drop the in-memory wave cache (counters are kept). Exists so tests
+    can force the next lookup to the disk tier, simulating a fresh
+    process. *)
+
 type request = {
   hw : Alcop_hw.Hw_config.t;
   program : Trace.program;

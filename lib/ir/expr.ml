@@ -127,18 +127,27 @@ let eval_const e =
   | n -> Some n
   | exception Invalid_argument _ -> None
 
+(* Sharing-preserving: a subtree that does not mention [name] comes back
+   physically unchanged (expressions are built through the smart
+   constructors, so an untouched subtree is already folded and there is
+   nothing to re-simplify). *)
 let rec subst name replacement expr =
   let s = subst name replacement in
+  let node2 mk a b =
+    let a' = s a in
+    let b' = s b in
+    if a' == a && b' == b then expr else mk a' b'
+  in
   match expr with
   | Const _ -> expr
   | Var v -> if String.equal v name then replacement else expr
-  | Add (a, b) -> add (s a) (s b)
-  | Sub (a, b) -> sub (s a) (s b)
-  | Mul (a, b) -> mul (s a) (s b)
-  | Div (a, b) -> div (s a) (s b)
-  | Mod (a, b) -> modulo (s a) (s b)
-  | Min (a, b) -> min_ (s a) (s b)
-  | Max (a, b) -> max_ (s a) (s b)
+  | Add (a, b) -> node2 add a b
+  | Sub (a, b) -> node2 sub a b
+  | Mul (a, b) -> node2 mul a b
+  | Div (a, b) -> node2 div a b
+  | Mod (a, b) -> node2 modulo a b
+  | Min (a, b) -> node2 min_ a b
+  | Max (a, b) -> node2 max_ a b
 
 let rec free_vars acc = function
   | Const _ -> acc

@@ -127,12 +127,37 @@ let rec iter f stmt =
   | For { body; _ } | Alloc { body; _ } | If { then_ = body; _ } -> iter f body
   | Copy _ | Fill _ | Mma _ | Unop _ | Accum _ | Sync _ -> ()
 
-let rec map_children f = function
-  | Seq ss -> Seq (List.map f ss)
-  | For r -> For { r with body = f r.body }
-  | Alloc r -> Alloc { r with body = f r.body }
-  | If r -> If { r with then_ = f r.then_ }
-  | (Copy _ | Fill _ | Mma _ | Unop _ | Accum _ | Sync _) as leaf -> leaf
+(* [List.map] that returns the input list physically unchanged when [f] is
+   the identity on every element — the sharing-preservation trick the
+   pipelining pass relies on to avoid rebuilding untouched subtrees. *)
+let map_list_sharing f l =
+  let rec go l =
+    match l with
+    | [] -> l
+    | x :: tl ->
+      let x' = f x in
+      let tl' = go tl in
+      if x' == x && tl' == tl then l else x' :: tl'
+  in
+  go l
+
+(* Rebuild a node only when a child actually changed; otherwise return the
+   original node so enclosing rewrites can preserve sharing too. *)
+let rec map_children f stmt =
+  match stmt with
+  | Seq ss ->
+    let ss' = map_list_sharing f ss in
+    if ss' == ss then stmt else Seq ss'
+  | For r ->
+    let body = f r.body in
+    if body == r.body then stmt else For { r with body }
+  | Alloc r ->
+    let body = f r.body in
+    if body == r.body then stmt else Alloc { r with body }
+  | If r ->
+    let then_ = f r.then_ in
+    if then_ == r.then_ then stmt else If { r with then_ }
+  | Copy _ | Fill _ | Mma _ | Unop _ | Accum _ | Sync _ -> stmt
 
 and map f stmt = f (map_children (map f) stmt)
 
@@ -159,21 +184,53 @@ let loop_vars stmt =
        (fun acc s -> match s with For { var; _ } -> var :: acc | _ -> acc)
        [] stmt)
 
-(* Substitute an index variable throughout all expressions of a statement. *)
+(* Substitute an index variable throughout all expressions of a statement.
+   Sharing-preserving: subtrees that never mention the variable come back
+   physically unchanged. *)
 let subst_var name replacement stmt =
   let in_expr e = Expr.subst name replacement e in
-  let in_slice s = { s with offset = in_expr s.offset } in
-  let in_region r = { r with slices = List.map in_slice r.slices } in
-  let in_cond c = { c with lhs = in_expr c.lhs; rhs = in_expr c.rhs } in
-  let rewrite = function
-    | Copy c -> Copy { c with dst = in_region c.dst; src = in_region c.src }
-    | Fill f -> Fill { f with dst = in_region f.dst }
-    | Mma m -> Mma { c = in_region m.c; a = in_region m.a; b = in_region m.b }
-    | Unop u -> Unop { u with dst = in_region u.dst; src = in_region u.src }
-    | Accum a -> Accum { dst = in_region a.dst; src = in_region a.src }
-    | For r -> For { r with extent = in_expr r.extent }
-    | If r -> If { r with cond = in_cond r.cond }
-    | (Seq _ | Alloc _ | Sync _) as s -> s
+  let in_slice s =
+    let offset = in_expr s.offset in
+    if offset == s.offset then s else { s with offset }
+  in
+  let in_region r =
+    let slices = map_list_sharing in_slice r.slices in
+    if slices == r.slices then r else { r with slices }
+  in
+  let in_cond c =
+    let lhs = in_expr c.lhs in
+    let rhs = in_expr c.rhs in
+    if lhs == c.lhs && rhs == c.rhs then c else { c with lhs; rhs }
+  in
+  let rewrite stmt =
+    match stmt with
+    | Copy c ->
+      let dst = in_region c.dst in
+      let src = in_region c.src in
+      if dst == c.dst && src == c.src then stmt else Copy { c with dst; src }
+    | Fill f ->
+      let dst = in_region f.dst in
+      if dst == f.dst then stmt else Fill { f with dst }
+    | Mma m ->
+      let c = in_region m.c in
+      let a = in_region m.a in
+      let b = in_region m.b in
+      if c == m.c && a == m.a && b == m.b then stmt else Mma { c; a; b }
+    | Unop u ->
+      let dst = in_region u.dst in
+      let src = in_region u.src in
+      if dst == u.dst && src == u.src then stmt else Unop { u with dst; src }
+    | Accum a ->
+      let dst = in_region a.dst in
+      let src = in_region a.src in
+      if dst == a.dst && src == a.src then stmt else Accum { dst; src }
+    | For r ->
+      let extent = in_expr r.extent in
+      if extent == r.extent then stmt else For { r with extent }
+    | If r ->
+      let cond = in_cond r.cond in
+      if cond == r.cond then stmt else If { r with cond }
+    | Seq _ | Alloc _ | Sync _ -> stmt
   in
   map rewrite stmt
 

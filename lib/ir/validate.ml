@@ -25,6 +25,17 @@ type env = {
 
 let find_buffer env name = List.assoc_opt name env.buffers
 
+(* Fast path for the common all-bound case: scan without materializing the
+   free-variable list. Only when a variable is actually unbound do we fall
+   back to [Expr.free_vars], whose dedup/order the error messages rely on. *)
+let rec all_vars_bound vars e =
+  match e with
+  | Expr.Const _ -> true
+  | Expr.Var v -> List.mem v vars
+  | Expr.Add (a, b) | Expr.Sub (a, b) | Expr.Mul (a, b) | Expr.Div (a, b)
+  | Expr.Mod (a, b) | Expr.Min (a, b) | Expr.Max (a, b) ->
+    all_vars_bound vars a && all_vars_bound vars b
+
 let check_region env ~context errs (r : Stmt.region) =
   match find_buffer env r.Stmt.buffer with
   | None ->
@@ -59,7 +70,8 @@ let check_region env ~context errs (r : Stmt.region) =
     in
     List.fold_left
       (fun errs (s : Stmt.slice) ->
-        List.fold_left check_var errs (Expr.free_vars s.Stmt.offset))
+        if all_vars_bound env.loop_vars s.Stmt.offset then errs
+        else List.fold_left check_var errs (Expr.free_vars s.Stmt.offset))
       errs r.Stmt.slices
 
 let region_scope env (r : Stmt.region) =
@@ -75,11 +87,15 @@ let rec check_stmt env errs stmt =
       else errs
     in
     let errs =
-      List.fold_left
-        (fun errs v ->
-          if List.mem v env.loop_vars then errs
-          else error "for" "extent of loop %s uses unbound variable %s" var v :: errs)
-        errs (Expr.free_vars extent)
+      if all_vars_bound env.loop_vars extent then errs
+      else
+        List.fold_left
+          (fun errs v ->
+            if List.mem v env.loop_vars then errs
+            else
+              error "for" "extent of loop %s uses unbound variable %s" var v
+              :: errs)
+          errs (Expr.free_vars extent)
     in
     check_stmt { env with loop_vars = var :: env.loop_vars } errs body
   | Stmt.Alloc { buffer; body } ->
@@ -93,12 +109,17 @@ let rec check_stmt env errs stmt =
       errs body
   | Stmt.If { cond; then_ } ->
     let errs =
-      List.fold_left
-        (fun errs v ->
-          if List.mem v env.loop_vars then errs
-          else error "if" "condition uses unbound variable %s" v :: errs)
-        errs
-        (Expr.free_vars cond.Stmt.lhs @ Expr.free_vars cond.Stmt.rhs)
+      if
+        all_vars_bound env.loop_vars cond.Stmt.lhs
+        && all_vars_bound env.loop_vars cond.Stmt.rhs
+      then errs
+      else
+        List.fold_left
+          (fun errs v ->
+            if List.mem v env.loop_vars then errs
+            else error "if" "condition uses unbound variable %s" v :: errs)
+          errs
+          (Expr.free_vars cond.Stmt.lhs @ Expr.free_vars cond.Stmt.rhs)
     in
     check_stmt env errs then_
   | Stmt.Copy { kind; dst; src; fused } ->

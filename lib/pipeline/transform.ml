@@ -141,18 +141,27 @@ let rewrite_loop_body (analysis : Analysis.t) (g : Analysis.group) body =
       { r with Stmt.slices = Stmt.point_slice read_stage :: r.Stmt.slices }
     else r
   in
-  let rewrite = function
+  (* Leaves untouched by the group rewrite come back physically unchanged,
+     so [Stmt.map] (sharing-preserving) leaves their spines alone too. *)
+  let rewrite stmt =
+    match stmt with
     | Stmt.Copy ({ dst; src; _ } as c) when List.mem dst.Stmt.buffer names ->
       let dst', src' =
         rewrite_producer_copy g ~shifted ~dst_stage:ring_shifted
           ~outer:(outer_mode src.Stmt.buffer) ~dst ~src
       in
       Stmt.Copy { c with dst = dst'; src = src'; kind = Stmt.Async_copy }
-    | Stmt.Copy c -> Stmt.Copy { c with src = add_read_stage c.src }
-    | Stmt.Mma { c; a; b } ->
-      Stmt.Mma { c = add_read_stage c; a = add_read_stage a; b = add_read_stage b }
-    | Stmt.Unop u -> Stmt.Unop { u with src = add_read_stage u.src }
-    | Stmt.Fill f -> Stmt.Fill f
+    | Stmt.Copy c ->
+      let src = add_read_stage c.src in
+      if src == c.src then stmt else Stmt.Copy { c with src }
+    | Stmt.Mma m ->
+      let c = add_read_stage m.c in
+      let a = add_read_stage m.a in
+      let b = add_read_stage m.b in
+      if c == m.c && a == m.a && b == m.b then stmt else Stmt.Mma { c; a; b }
+    | Stmt.Unop u ->
+      let src = add_read_stage u.src in
+      if src == u.src then stmt else Stmt.Unop { u with src }
     | s -> s
   in
   Stmt.map rewrite body
@@ -296,12 +305,13 @@ let boundary_wait (outer : Analysis.group) (inner : Analysis.group) =
 
 (* Step 1: prepend the stage dimension to every pipelined buffer. *)
 let expand_allocs (analysis : Analysis.t) body =
-  let rewrite = function
+  let rewrite stmt =
+    match stmt with
     | Stmt.Alloc { buffer; body } ->
       (match Analysis.group_of_buffer analysis buffer.Buffer.name with
        | Some g ->
          Stmt.Alloc { buffer = Buffer.with_stage_dim g.Analysis.stages buffer; body }
-       | None -> Stmt.Alloc { buffer; body })
+       | None -> stmt)
     | s -> s
   in
   Stmt.map rewrite body
@@ -330,7 +340,10 @@ let run (analysis : Analysis.t) (kernel : Kernel.t) =
         (match group_for_loop r.var with
          | None ->
            let body', hoisted = rewrite r.body in
-           (Stmt.For { r with body = body' }, hoisted)
+           let stmt' =
+             if body' == r.body then stmt else Stmt.For { r with body = body' }
+           in
+           (stmt', hoisted)
          | Some g ->
            let prologue = build_prologue analysis g r.body in
            let body = rewrite_loop_body analysis g r.body in
@@ -385,13 +398,24 @@ let run (analysis : Analysis.t) (kernel : Kernel.t) =
               (s' :: acc, hs @ h))
             ([], []) ss
         in
-        (Stmt.seq (List.rev ss'), hoisted)
+        let ss' = List.rev ss' in
+        let stmt' =
+          if hoisted = [] && List.for_all2 (fun a b -> a == b) ss ss' then stmt
+          else Stmt.seq ss'
+        in
+        (stmt', hoisted)
       | Stmt.Alloc r ->
         let body', hoisted = rewrite r.body in
-        (Stmt.Alloc { r with body = body' }, hoisted)
+        let stmt' =
+          if body' == r.body then stmt else Stmt.Alloc { r with body = body' }
+        in
+        (stmt', hoisted)
       | Stmt.If r ->
         let then', hoisted = rewrite r.then_ in
-        (Stmt.If { r with then_ = then' }, hoisted)
+        let stmt' =
+          if then' == r.then_ then stmt else Stmt.If { r with then_ = then' }
+        in
+        (stmt', hoisted)
       | Stmt.Copy _ | Stmt.Fill _ | Stmt.Mma _ | Stmt.Unop _ | Stmt.Accum _
       | Stmt.Sync _ ->
         (stmt, [])

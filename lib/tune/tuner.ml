@@ -104,9 +104,13 @@ let last_stall_breakdown () =
 let trial_recorder () =
   let best = ref None in
   let ordinal = ref 0 in
-  let cache_hits =
-    ref (Alcop_obs.Obs.counter_value "session.cache.hit")
+  let served_hits () =
+    (* In-memory hits plus persistent-store hits: both mean the trial was
+       served without running the compiler. *)
+    Alcop_obs.Obs.counter_value "session.cache.hit"
+    + Alcop_obs.Obs.counter_value "session.store.hit"
   in
+  let cache_hits = ref (served_hits ()) in
   fun (t : trial) ->
     if Alcop_obs.Obs.enabled () then begin
       incr ordinal;
@@ -116,10 +120,10 @@ let trial_recorder () =
           | Some b when b <= c -> ()
           | _ -> best := Some c)
        | None -> ());
-      (* The session bumps [session.cache.hit] during [evaluate]; a delta
-         since the previous trial means this measurement was served from
-         the cache. *)
-      let hits_now = Alcop_obs.Obs.counter_value "session.cache.hit" in
+      (* The session bumps [session.cache.hit] (or [session.store.hit])
+         during [evaluate]; a delta since the previous trial means this
+         measurement was served from a cache rather than compiled. *)
+      let hits_now = served_hits () in
       let cached = hits_now > !cache_hits in
       cache_hits := hits_now;
       let open Alcop_obs in

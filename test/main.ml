@@ -32,4 +32,7 @@ let () =
      @ Test_profile.suite
      @ Test_property.suite
      @ Test_packed.suite
-     @ Test_pipeview.suite)
+     @ Test_pipeview.suite
+     (* last: the store hammer test spawns domains, and Test_obs's
+        fork-based test must run before any domain exists *)
+     @ Test_store.suite)

@@ -61,6 +61,38 @@ let test_schema_bump () =
   Alcotest.(check bool) "compile_key is the v2 key" true
     (Fingerprint.equal (key params spec) (v_key Fingerprint.schema_version))
 
+let test_direct_emission_matches_tree () =
+  (* [compile_key_v] emits the canonical JSON bytes directly into a scratch
+     buffer; the tree built by [compile_key_doc] is the specification. The
+     digests must agree — on several spec shapes so the conv2d / epilogue /
+     split-k branches of the direct emitter are all exercised. *)
+  let check_spec name params spec =
+    Alcotest.(check bool) name true
+      (Fingerprint.equal
+         (Fingerprint.compile_key_v ~version:Fingerprint.schema_version ~hw
+            ~extra_regs_per_thread:3 params spec)
+         (Fingerprint.of_json
+            (Fingerprint.compile_key_doc ~version:Fingerprint.schema_version
+               ~hw ~extra_regs_per_thread:3 params spec)))
+  in
+  check_spec "matmul" params spec;
+  let conv =
+    Op_spec.conv2d ~name:"fp_conv"
+      { Op_spec.cn = 8; ci = 64; ch = 28; cw = 28; co = 128; ckh = 3; ckw = 3;
+        stride = 1; pad = 1 }
+  in
+  check_spec "conv2d" params conv;
+  let epi = Op_spec.matmul ~name:"fp_epi" ~m:256 ~n:128 ~k:512 ~epilogue:"relu" () in
+  check_spec "epilogue" params epi;
+  let splitk =
+    Alcop_perfmodel.Params.make
+      ~tiling:
+        (Tiling.make ~tb_m:64 ~tb_n:64 ~tb_k:32 ~warp_m:32 ~warp_n:32
+           ~warp_k:16 ~split_k:4 ())
+      ~smem_stages:2 ~reg_stages:1 ~swizzle:false ()
+  in
+  check_spec "split-k params" splitk spec
+
 (* --- canonical float rendering (satellite: float-keyed stability) --- *)
 
 let test_float_repr_examples () =
@@ -109,6 +141,8 @@ let suite =
           test_name_does_not_matter_but_shape_does;
         Alcotest.test_case "packed-datapath schema bump re-keys" `Quick
           test_schema_bump;
+        Alcotest.test_case "direct emission == tree rendering" `Quick
+          test_direct_emission_matches_tree;
         Alcotest.test_case "float_repr examples" `Quick
           test_float_repr_examples;
         QCheck_alcotest.to_alcotest prop_float_repr_roundtrip;

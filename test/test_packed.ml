@@ -275,9 +275,20 @@ let test_wave_reuse_identical () =
    packed datapath landed at roughly 1.85e4 minor words; the ceiling is
    ~2x that so creep is caught by `dune runtest` without flaking on
    compiler-version noise. *)
-let alloc_budget_minor_words = 37_000.0
+(* Per-pass minor-word ceilings, roughly 2x the measured value of each pass
+   on the fig10 workload below, so a regression names the guilty pass
+   instead of drowning in a whole-compile number. Measured (2026-08):
+   lower 1.6e3, pipeline 5.4e3, trace-extract 1.1e3, simulate 1.6e2,
+   fingerprint 0.9e3, full compile+simulate 9.4e3 — down from the 1.85e4
+   the old single 3.7e4 budget guarded. *)
+let alloc_budget_full = 13_000.0
+let alloc_budget_lower = 3_500.0
+let alloc_budget_pipeline = 9_000.0
+let alloc_budget_trace_extract = 2_500.0
+let alloc_budget_simulate = 1_000.0
+let alloc_budget_fingerprint = 2_000.0
 
-let test_allocation_budget () =
+let budget_spec () =
   let spec = Alcop_workloads.Suites.mm_rn50_fc in
   let tiling =
     Alcop_sched.Tiling.make ~tb_m:64 ~tb_n:64 ~tb_k:32 ~warp_m:32 ~warp_n:32
@@ -286,17 +297,60 @@ let test_allocation_budget () =
   let params =
     Alcop_perfmodel.Params.make ~tiling ~smem_stages:3 ~reg_stages:2 ()
   in
-  let session = Alcop.Session.create ~hw ~cache:false () in
-  (* warm: first compile pays one-time lazies and scratch growth *)
-  ignore (Alcop.Session.compile session params spec);
+  (spec, tiling, params)
+
+(* Warm twice (one-time lazies, domain-local scratch growth), then measure
+   the third run. *)
+let measured_minor_words f =
+  ignore (f ());
+  ignore (f ());
   let w0 = Gc.minor_words () in
-  ignore (Alcop.Session.compile session params spec);
-  let dw = Gc.minor_words () -. w0 in
+  ignore (f ());
+  Gc.minor_words () -. w0
+
+let check_budget name budget f =
+  let dw = measured_minor_words f in
   Alcotest.(check bool)
-    (Printf.sprintf "cold compile+simulate allocates %.0f minor words (budget %.0f)"
-       dw alloc_budget_minor_words)
-    true
-    (dw < alloc_budget_minor_words)
+    (Printf.sprintf "%s allocates %.0f minor words (budget %.0f)" name dw
+       budget)
+    true (dw < budget)
+
+let test_allocation_budget () =
+  let spec, _tiling, params = budget_spec () in
+  let session = Alcop.Session.create ~hw ~cache:false () in
+  check_budget "cold compile+simulate" alloc_budget_full (fun () ->
+      Alcop.Session.compile session params spec)
+
+let test_per_pass_budgets () =
+  let spec, tiling, params = budget_spec () in
+  let sched =
+    Alcop_sched.Schedule.default_gemm ~smem_stages:3 ~reg_stages:2 spec tiling
+  in
+  check_budget "lower" alloc_budget_lower (fun () ->
+      Alcop_sched.Lower.run sched);
+  let lowered = Alcop_sched.Lower.run sched in
+  let run_pipeline () =
+    match
+      Alcop_pipeline.Pass.run ~hw ~hints:lowered.Alcop_sched.Lower.hints
+        lowered.Alcop_sched.Lower.kernel
+    with
+    | Ok r -> r
+    | Error _ -> Alcotest.fail "pipeline pass rejected the budget kernel"
+  in
+  check_budget "pipeline" alloc_budget_pipeline run_pipeline;
+  let piped = run_pipeline () in
+  let groups = Alcop_pipeline.Pass.groups piped in
+  let kernel = piped.Alcop_pipeline.Pass.kernel in
+  check_budget "trace-extract" alloc_budget_trace_extract (fun () ->
+      Alcop_gpusim.Trace.extract_program ~groups kernel);
+  let session = Alcop.Session.create ~hw ~cache:false () in
+  (match Alcop.Session.compile session params spec with
+   | Ok c ->
+     check_budget "simulate" alloc_budget_simulate (fun () ->
+         Alcop_gpusim.Timing.run c.Alcop.Compiler.timing_request)
+   | Error _ -> Alcotest.fail "budget compile failed");
+  check_budget "fingerprint" alloc_budget_fingerprint (fun () ->
+      Alcop.Fingerprint.compile_key ~hw ~extra_regs_per_thread:0 params spec)
 
 let suite =
   [ ( "packed",
@@ -310,4 +364,6 @@ let suite =
         Alcotest.test_case "wave reuse: identical results, real hits" `Quick
           test_wave_reuse_identical;
         Alcotest.test_case "allocation budget per cold compile" `Quick
-          test_allocation_budget ] ) ]
+          test_allocation_budget;
+        Alcotest.test_case "allocation budgets per pass" `Quick
+          test_per_pass_budgets ] ) ]
